@@ -1,0 +1,226 @@
+// Package atc is a Go implementation of ATC, the address-trace compressor
+// of Pierre Michaud's "Online compression of cache-filtered address traces"
+// (ISPASS 2009). It compresses traces of 64-bit values — typically cache
+// block addresses that missed a first-level cache — either losslessly
+// (bytesort transformation + block-sorting byte compressor) or lossily
+// (phase detection over sorted byte-histograms with byte-translated
+// interval reuse), reproducing the paper's `atc_open` / `atc_code` /
+// `atc_decode` / `atc_close` workflow with idiomatic Go types.
+//
+// # Quick start
+//
+//	w, err := atc.NewWriter("trace.atc", atc.WithMode(atc.Lossy))
+//	if err != nil { ... }
+//	for _, addr := range addrs {
+//	    if err := w.Code(addr); err != nil { ... }
+//	}
+//	if err := w.Close(); err != nil { ... }
+//
+//	r, err := atc.NewReader("trace.atc")
+//	if err != nil { ... }
+//	defer r.Close()
+//	for {
+//	    addr, err := r.Decode()
+//	    if err == io.EOF { break }
+//	    if err != nil { ... }
+//	    use(addr)
+//	}
+//
+// A compressed trace is a directory of back-end-compressed chunk files plus
+// an INFO metadata stream, as in the paper's Figure 8. Lossless mode is bit
+// exact. Lossy mode preserves the trace length and the memory-locality
+// structure (miss ratios, predictability) while storing only one chunk per
+// program phase; see the package documentation of atc/internal/core for
+// the on-disk format and DESIGN.md for the reproduction notes.
+package atc
+
+import (
+	"atc/internal/core"
+)
+
+// Mode selects the compression mode.
+type Mode = core.Mode
+
+// Compression modes.
+const (
+	// Lossless is the paper's 'c' mode: bit-exact bytesort compression.
+	Lossless = core.Lossless
+	// Lossy is the paper's 'k' mode: phase-based interval reuse.
+	Lossy = core.Lossy
+)
+
+// ErrCorrupt reports a malformed compressed trace.
+var ErrCorrupt = core.ErrCorrupt
+
+// Stats summarises a finished compression.
+type Stats struct {
+	// Mode is the compression mode used.
+	Mode Mode
+	// TotalAddrs is the number of 64-bit values coded.
+	TotalAddrs int64
+	// Intervals is the number of lossy intervals (1 for lossless).
+	Intervals int64
+	// Chunks is the number of chunk files written.
+	Chunks int64
+	// Imitations is the number of intervals stored as imitation records.
+	Imitations int64
+}
+
+// Option configures a Writer.
+type Option func(*core.Options)
+
+// WithMode selects Lossless (default) or Lossy compression.
+func WithMode(m Mode) Option {
+	return func(o *core.Options) { o.Mode = m }
+}
+
+// WithBackend selects the byte-level back end: "bsc" (default, a bzip2-class
+// block-sorting compressor), "flate", or "store".
+func WithBackend(name string) Option {
+	return func(o *core.Options) { o.Backend = name }
+}
+
+// WithIntervalLen sets the lossy interval length L in addresses
+// (default 10,000,000, the paper's value).
+func WithIntervalLen(l int) Option {
+	return func(o *core.Options) { o.IntervalLen = l }
+}
+
+// WithEpsilon sets the lossy matching threshold ε (default 0.1).
+func WithEpsilon(eps float64) Option {
+	return func(o *core.Options) { o.Epsilon = eps }
+}
+
+// WithBufferAddrs sets the bytesort buffer size B in addresses
+// (default 1,000,000, the paper's "small bytesort").
+func WithBufferAddrs(b int) Option {
+	return func(o *core.Options) { o.BufferAddrs = b }
+}
+
+// WithTableCapacity bounds the phase table (default 256 chunks).
+func WithTableCapacity(n int) Option {
+	return func(o *core.Options) { o.TableCapacity = n }
+}
+
+// Writer compresses a trace into a directory.
+type Writer struct {
+	c *core.Compressor
+}
+
+// NewWriter starts a new compressed trace in dir.
+func NewWriter(dir string, opts ...Option) (*Writer, error) {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c, err := core.Create(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{c: c}, nil
+}
+
+// Code appends one 64-bit value to the trace.
+func (w *Writer) Code(x uint64) error { return w.c.Code(x) }
+
+// CodeSlice appends many values.
+func (w *Writer) CodeSlice(xs []uint64) error { return w.c.CodeSlice(xs) }
+
+// Close finishes the trace, writing all metadata. It must be called.
+func (w *Writer) Close() error { return w.c.Close() }
+
+// Stats reports compression counters; call after Close.
+func (w *Writer) Stats() Stats {
+	s := w.c.Stats()
+	return Stats{
+		Mode:       s.Mode,
+		TotalAddrs: s.TotalAddrs,
+		Intervals:  s.Intervals,
+		Chunks:     s.Chunks,
+		Imitations: s.Imitations,
+	}
+}
+
+// ReadOption configures a Reader.
+type ReadOption func(*core.DecodeOptions)
+
+// WithReadBackend overrides the back end recorded in the trace MANIFEST.
+func WithReadBackend(name string) ReadOption {
+	return func(o *core.DecodeOptions) { o.Backend = name }
+}
+
+// WithoutTranslations disables byte translation during decoding — the
+// ablation of the paper's Figure 4. Only meaningful for lossy traces.
+func WithoutTranslations() ReadOption {
+	return func(o *core.DecodeOptions) { o.IgnoreTranslations = true }
+}
+
+// WithChunkCache bounds the number of decompressed chunks cached in memory
+// during decoding (default 8).
+func WithChunkCache(n int) ReadOption {
+	return func(o *core.DecodeOptions) { o.ChunkCacheSize = n }
+}
+
+// Reader decompresses a trace directory.
+type Reader struct {
+	d *core.Decompressor
+}
+
+// NewReader opens a compressed trace for decoding.
+func NewReader(dir string, opts ...ReadOption) (*Reader, error) {
+	var o core.DecodeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	d, err := core.Open(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{d: d}, nil
+}
+
+// Decode returns the next value; io.EOF signals a verified end of trace.
+func (r *Reader) Decode() (uint64, error) { return r.d.Decode() }
+
+// DecodeAll decodes the remaining trace into memory.
+func (r *Reader) DecodeAll() ([]uint64, error) { return r.d.DecodeAll() }
+
+// Mode reports the stored trace's compression mode.
+func (r *Reader) Mode() Mode { return r.d.Mode() }
+
+// TotalAddrs reports the stored trace length.
+func (r *Reader) TotalAddrs() int64 { return r.d.TotalAddrs() }
+
+// Close releases open files.
+func (r *Reader) Close() error { return r.d.Close() }
+
+// Compress is a convenience helper compressing an in-memory trace.
+func Compress(dir string, addrs []uint64, opts ...Option) (Stats, error) {
+	w, err := NewWriter(dir, opts...)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		return Stats{}, err
+	}
+	if err := w.Close(); err != nil {
+		return Stats{}, err
+	}
+	return w.Stats(), nil
+}
+
+// Decompress is a convenience helper expanding a whole compressed trace.
+func Decompress(dir string, opts ...ReadOption) ([]uint64, error) {
+	r, err := NewReader(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.DecodeAll()
+}
+
+// BitsPerAddress reports the paper's BPA metric for a compressed trace of
+// known length: total compressed bits divided by trace length.
+func BitsPerAddress(dir string, addrs int64) (float64, error) {
+	return core.BitsPerAddress(dir, addrs)
+}

@@ -1,0 +1,166 @@
+package atc_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"atc"
+)
+
+func TestPublicLosslessRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 20_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 30))
+	}
+	dir := t.TempDir()
+	stats, err := atc.Compress(dir, addrs, atc.WithBufferAddrs(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mode != atc.Lossless || stats.TotalAddrs != int64(len(addrs)) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	got, err := atc.Decompress(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestPublicLossyOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 10_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 12))
+	}
+	dir := t.TempDir()
+	stats, err := atc.Compress(dir, addrs,
+		atc.WithMode(atc.Lossy),
+		atc.WithIntervalLen(1000),
+		atc.WithBufferAddrs(500),
+		atc.WithEpsilon(0.1),
+		atc.WithTableCapacity(16),
+		atc.WithBackend("bsc"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mode != atc.Lossy {
+		t.Fatalf("mode = %v", stats.Mode)
+	}
+	if stats.Intervals != 10 {
+		t.Fatalf("intervals = %d", stats.Intervals)
+	}
+	got, err := atc.Decompress(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(addrs) {
+		t.Fatalf("length %d", len(got))
+	}
+}
+
+func TestPublicStreamingReader(t *testing.T) {
+	dir := t.TempDir()
+	addrs := []uint64{10, 20, 30, 40, 50}
+	if _, err := atc.Compress(dir, addrs, atc.WithBufferAddrs(2)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := atc.NewReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Mode() != atc.Lossless || r.TotalAddrs() != 5 {
+		t.Fatalf("metadata: %v %d", r.Mode(), r.TotalAddrs())
+	}
+	var got []uint64
+	for {
+		v, err := r.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(addrs) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPublicWithoutTranslations(t *testing.T) {
+	var addrs []uint64
+	for p := 0; p < 4; p++ {
+		base := uint64(p) << 33
+		for i := 0; i < 1000; i++ {
+			addrs = append(addrs, base+uint64(i%400))
+		}
+	}
+	dir := t.TempDir()
+	stats, err := atc.Compress(dir, addrs,
+		atc.WithMode(atc.Lossy), atc.WithIntervalLen(1000), atc.WithBufferAddrs(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Imitations == 0 {
+		t.Skip("no imitations to ablate")
+	}
+	with, err := atc.Decompress(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := atc.Decompress(dir, atc.WithoutTranslations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := footprint(with)
+	fo := footprint(without)
+	if fo >= fw {
+		t.Fatalf("translation ablation footprint %d >= translated %d", fo, fw)
+	}
+}
+
+func footprint(addrs []uint64) int {
+	m := map[uint64]struct{}{}
+	for _, a := range addrs {
+		m[a] = struct{}{}
+	}
+	return len(m)
+}
+
+func TestPublicBitsPerAddress(t *testing.T) {
+	dir := t.TempDir()
+	addrs := make([]uint64, 5000)
+	if _, err := atc.Compress(dir, addrs, atc.WithBufferAddrs(1000)); err != nil {
+		t.Fatal(err)
+	}
+	bpa, err := atc.BitsPerAddress(dir, int64(len(addrs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpa <= 0 {
+		t.Fatalf("bpa = %v", bpa)
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	if _, err := atc.NewReader(t.TempDir()); err == nil {
+		t.Fatal("NewReader on empty dir succeeded")
+	}
+	dir := t.TempDir()
+	if _, err := atc.Compress(dir, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atc.NewWriter(dir); err == nil {
+		t.Fatal("NewWriter over existing trace succeeded")
+	}
+}

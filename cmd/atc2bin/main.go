@@ -1,0 +1,63 @@
+// Command atc2bin decompresses an ATC trace directory to standard output
+// as raw 64-bit little-endian values, mirroring the example program of the
+// paper's Figure 7.
+//
+// Usage:
+//
+//	atc2bin <directory> | cachesim -sets 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"atc"
+	"atc/internal/trace"
+)
+
+func main() {
+	noTranslate := flag.Bool("no-translation", false, "disable byte translation (the Figure 4 ablation)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: atc2bin [flags] <directory>\nwrites 64-bit LE values to stdout\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var opts []atc.ReadOption
+	if *noTranslate {
+		opts = append(opts, atc.WithoutTranslations())
+	}
+	r, err := atc.NewReader(flag.Arg(0), opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	w := trace.NewWriter(os.Stdout)
+	for {
+		x, err := r.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.Write(x); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "atc2bin: %d addresses\n", w.Count())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atc2bin:", err)
+	os.Exit(1)
+}

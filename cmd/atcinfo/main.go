@@ -1,0 +1,71 @@
+// Command atcinfo inspects a compressed trace directory: mode, parameters,
+// record mix, per-chunk sizes and the effective bits per address.
+//
+// Usage:
+//
+//	atcinfo <directory>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atc"
+	"atc/internal/core"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: atcinfo <directory>\n")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+	d, err := core.Open(dir, core.DecodeOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atcinfo:", err)
+		os.Exit(1)
+	}
+	defer d.Close()
+
+	fmt.Printf("mode:          %s\n", d.Mode())
+	fmt.Printf("addresses:     %d\n", d.TotalAddrs())
+	if d.Mode() == core.Lossy {
+		fmt.Printf("interval (L):  %d\n", d.IntervalLen())
+		fmt.Printf("epsilon:       %g\n", d.Epsilon())
+		fmt.Printf("records:       %d\n", d.Records())
+	}
+	size, err := core.DirSize(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atcinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("size on disk:  %d bytes\n", size)
+	if d.TotalAddrs() > 0 {
+		bpa, err := atc.BitsPerAddress(dir, d.TotalAddrs())
+		if err == nil {
+			fmt.Printf("bits/address:  %.4f\n", bpa)
+			fmt.Printf("ratio vs raw:  %.2fx\n", 64/bpa)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atcinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Println("files:")
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-16s %12d bytes\n", e.Name(), fi.Size())
+	}
+}

@@ -1,0 +1,64 @@
+// Command cachesim computes LRU miss ratios for a trace of block addresses
+// read from standard input, across all associativities up to -maxassoc and
+// one or more set counts, in a single pass (Cheetah-style stack-distance
+// simulation). This is the tool behind the paper's Figure 3 curves.
+//
+// Usage:
+//
+//	tracegen -model 470.lbm -n 1000000 | cachesim -sets 512,2048,8192
+//	atc2bin mcf.atc | cachesim -sets 4096 -maxassoc 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"atc/internal/cheetah"
+	"atc/internal/trace"
+)
+
+func main() {
+	setsFlag := flag.String("sets", "512,2048,8192,32768", "comma-separated set counts (powers of two)")
+	maxAssoc := flag.Int("maxassoc", 32, "largest associativity to report")
+	flag.Parse()
+
+	var setCounts []int
+	for _, s := range strings.Split(*setsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cachesim: bad set count %q\n", s)
+			os.Exit(2)
+		}
+		setCounts = append(setCounts, v)
+	}
+	grid, err := cheetah.NewGrid(setCounts, *maxAssoc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(2)
+	}
+
+	r := trace.NewReader(os.Stdin)
+	for {
+		a, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachesim:", err)
+			os.Exit(1)
+		}
+		grid.Access(a)
+	}
+
+	fmt.Printf("# %d addresses\n", r.Count())
+	fmt.Printf("%8s %6s %10s\n", "sets", "assoc", "missratio")
+	for _, sim := range grid.Simulators() {
+		for a := 1; a <= sim.MaxAssoc(); a++ {
+			fmt.Printf("%8d %6d %10.6f\n", sim.Sets(), a, sim.MissRatio(a))
+		}
+	}
+}

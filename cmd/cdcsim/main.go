@@ -1,0 +1,55 @@
+// Command cdcsim runs the C/DC address predictor of the paper's §5.3 over
+// a trace of block addresses read from standard input and reports the
+// shares of non-predicted, correctly predicted and mispredicted addresses
+// (the Figure 5 metric).
+//
+// Usage:
+//
+//	tracegen -model 456.hmmer -n 1000000 | cdcsim
+//	atc2bin trace.atc | cdcsim -czone-bits 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"atc/internal/cdc"
+	"atc/internal/trace"
+)
+
+func main() {
+	czoneBits := flag.Uint("czone-bits", 10, "log2 of the CZone size in blocks (10 = 64KB zones of 64B blocks)")
+	indexEntries := flag.Int("index", 256, "index table entries")
+	ghbEntries := flag.Int("ghb", 256, "global history buffer entries")
+	flag.Parse()
+
+	p, err := cdc.New(cdc.Config{
+		CZoneBlockBits: *czoneBits,
+		IndexEntries:   *indexEntries,
+		GHBEntries:     *ghbEntries,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdcsim:", err)
+		os.Exit(2)
+	}
+	r := trace.NewReader(os.Stdin)
+	for {
+		a, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdcsim:", err)
+			os.Exit(1)
+		}
+		p.Access(a)
+	}
+	c := p.Counts()
+	np, cor, inc := c.Fractions()
+	fmt.Printf("addresses:     %d\n", c.Total())
+	fmt.Printf("non-predicted: %d (%.2f%%)\n", c.NonPredicted, 100*np)
+	fmt.Printf("correct:       %d (%.2f%%)\n", c.Correct, 100*cor)
+	fmt.Printf("incorrect:     %d (%.2f%%)\n", c.Incorrect, 100*inc)
+}

@@ -1,0 +1,96 @@
+package atc_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"atc"
+)
+
+// ExampleCompress demonstrates the one-shot helpers.
+func ExampleCompress() {
+	dir, _ := os.MkdirTemp("", "atc-example")
+	defer os.RemoveAll(dir)
+
+	trace := []uint64{0x1000, 0x1001, 0x1002, 0x1000, 0x1003}
+	stats, err := atc.Compress(dir, trace)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("mode:", stats.Mode)
+	fmt.Println("addresses:", stats.TotalAddrs)
+
+	back, _ := atc.Decompress(dir)
+	fmt.Println("round trip exact:", fmt.Sprint(back) == fmt.Sprint(trace))
+	// Output:
+	// mode: lossless
+	// addresses: 5
+	// round trip exact: true
+}
+
+// ExampleNewWriter shows the streaming interface, mirroring the paper's
+// bin2atc tool (Figure 6).
+func ExampleNewWriter() {
+	dir, _ := os.MkdirTemp("", "atc-example")
+	defer os.RemoveAll(dir)
+
+	w, err := atc.NewWriter(dir,
+		atc.WithMode(atc.Lossy),
+		atc.WithIntervalLen(100),
+		atc.WithBufferAddrs(50),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if err := w.Code(i % 100); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	if err := w.Close(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s := w.Stats()
+	fmt.Println("intervals:", s.Intervals)
+	fmt.Println("chunks:", s.Chunks)
+	// Output:
+	// intervals: 10
+	// chunks: 1
+}
+
+// ExampleNewReader shows streaming decode, mirroring atc2bin (Figure 7).
+func ExampleNewReader() {
+	dir, _ := os.MkdirTemp("", "atc-example")
+	defer os.RemoveAll(dir)
+	if _, err := atc.Compress(dir, []uint64{7, 8, 9}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	r, err := atc.NewReader(dir)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer r.Close()
+	for {
+		v, err := r.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// 7
+	// 8
+	// 9
+}

@@ -1,0 +1,88 @@
+// Quickstart: compress a cache-filtered address trace with ATC in both
+// modes, decompress it, and compare sizes — the 60-second tour of the
+// public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"atc"
+	"atc/internal/workload"
+)
+
+func main() {
+	// 1. Get a cache-filtered address trace. Here we synthesise one with
+	//    the workload suite (in real use this would come from a tracing
+	//    tool: each value is a 64-bit cache block address).
+	const n = 200_000
+	trace, err := workload.GenerateFiltered("482.sphinx3", n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d addresses (%d KB raw)\n", len(trace), len(trace)*8/1024)
+
+	tmp, err := os.MkdirTemp("", "atc-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// 2. Lossless compression (the paper's 'c' mode): bit-exact.
+	losslessDir := filepath.Join(tmp, "lossless")
+	if _, err := atc.Compress(losslessDir, trace,
+		atc.WithMode(atc.Lossless),
+		atc.WithBufferAddrs(20_000),
+	); err != nil {
+		log.Fatal(err)
+	}
+	bpaLossless, _ := atc.BitsPerAddress(losslessDir, int64(n))
+
+	decoded, err := atc.Decompress(losslessDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := len(decoded) == len(trace)
+	for i := range trace {
+		if decoded[i] != trace[i] {
+			exact = false
+			break
+		}
+	}
+	fmt.Printf("lossless: %.3f bits/address, bit-exact round trip: %v\n", bpaLossless, exact)
+
+	// 3. Lossy compression (the paper's 'k' mode): stores one chunk per
+	//    program phase and replays it with byte translations elsewhere.
+	lossyDir := filepath.Join(tmp, "lossy")
+	stats, err := atc.Compress(lossyDir, trace,
+		atc.WithMode(atc.Lossy),
+		atc.WithIntervalLen(n/100),
+		atc.WithBufferAddrs(n/1000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bpaLossy, _ := atc.BitsPerAddress(lossyDir, int64(n))
+	fmt.Printf("lossy:    %.3f bits/address (%d intervals -> %d chunks + %d imitations)\n",
+		bpaLossy, stats.Intervals, stats.Chunks, stats.Imitations)
+
+	// 4. The lossy trace still has the original's length and footprint.
+	approx, err := atc.Decompress(lossyDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lossy round trip: %d addresses, footprint %d vs exact %d distinct blocks\n",
+		len(approx), footprint(approx), footprint(trace))
+}
+
+func footprint(addrs []uint64) int {
+	seen := make(map[uint64]struct{}, len(addrs)/2)
+	for _, a := range addrs {
+		seen[a] = struct{}{}
+	}
+	return len(seen)
+}

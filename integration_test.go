@@ -1,0 +1,268 @@
+package atc_test
+
+// Integration tests across the whole pipeline: workload generation → L1
+// filtering → ATC compression → decompression → cache and predictor
+// simulation. These check the end-to-end invariants the paper's evaluation
+// rests on, not individual modules.
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atc"
+	"atc/internal/cdc"
+	"atc/internal/cheetah"
+	"atc/internal/histogram"
+	"atc/internal/workload"
+)
+
+func generate(t testing.TB, model string, n int) []uint64 {
+	t.Helper()
+	addrs, err := workload.GenerateFiltered(model, n, 2009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addrs
+}
+
+func TestIntegrationLosslessEveryModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 20_000
+	for _, m := range workload.Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			addrs := generate(t, m.Name, n)
+			dir := t.TempDir()
+			if _, err := atc.Compress(dir, addrs, atc.WithBufferAddrs(n/10)); err != nil {
+				t.Fatal(err)
+			}
+			got, err := atc.Decompress(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("decoded %d addrs", len(got))
+			}
+			for i := range addrs {
+				if got[i] != addrs[i] {
+					t.Fatalf("lossless mismatch at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestIntegrationLossyInvariantsEveryModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 30_000
+	for _, m := range workload.Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			addrs := generate(t, m.Name, n)
+			dir := t.TempDir()
+			if _, err := atc.Compress(dir, addrs,
+				atc.WithMode(atc.Lossy),
+				atc.WithIntervalLen(n/20),
+				atc.WithBufferAddrs(n/100),
+			); err != nil {
+				t.Fatal(err)
+			}
+			got, err := atc.Decompress(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Invariant 1: sequence length preserved (paper §5: "it is
+			// important to preserve the sequence length").
+			if len(got) != n {
+				t.Fatalf("lossy decode length %d, want %d", len(got), n)
+			}
+			// Invariant 2: per-interval sorted byte-histograms within 2ε of
+			// the originals (matched intervals are within ε by construction;
+			// chunks are exact).
+			const L = 30_000 / 20
+			for p := 0; p*L < n; p++ {
+				ho := histogram.Compute(addrs[p*L : (p+1)*L])
+				hd := histogram.Compute(got[p*L : (p+1)*L])
+				if d := histogram.Distance(ho, hd); d > 0.2+1e-9 {
+					t.Fatalf("interval %d: histogram distance %v > 2eps", p, d)
+				}
+			}
+		})
+	}
+}
+
+func TestIntegrationMissRatioPreservation(t *testing.T) {
+	// The paper's core fidelity claim (Figure 3): miss-ratio curves from
+	// the lossy trace track the exact ones.
+	const n = 100_000
+	for _, model := range []string{"462.libquantum", "453.povray", "429.mcf"} {
+		exact := generate(t, model, n)
+		dir := t.TempDir()
+		if _, err := atc.Compress(dir, exact,
+			atc.WithMode(atc.Lossy),
+			atc.WithIntervalLen(n/50),
+			atc.WithBufferAddrs(n/500),
+		); err != nil {
+			t.Fatal(err)
+		}
+		approx, err := atc.Decompress(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sets := range []int{256, 1024} {
+			se := cheetah.MustNew(sets, 16)
+			sa := cheetah.MustNew(sets, 16)
+			se.AccessAll(exact)
+			sa.AccessAll(approx)
+			for _, a := range []int{1, 4, 16} {
+				d := math.Abs(se.MissRatio(a) - sa.MissRatio(a))
+				if d > 0.15 {
+					t.Errorf("%s sets=%d assoc=%d: miss ratio distortion %.3f", model, sets, a, d)
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationPredictabilityPreservation(t *testing.T) {
+	// Figure 5's claim: the C/DC outcome mix carries over to lossy traces.
+	// Check the coarse property on the two extremes: a fully predictable
+	// stream stays predictable, a random one stays unpredictable.
+	const n = 100_000
+	cases := []struct {
+		model       string
+		wantCorrect bool
+	}{
+		{"462.libquantum", true},
+		{"458.sjeng", false},
+	}
+	for _, c := range cases {
+		exact := generate(t, c.model, n)
+		dir := t.TempDir()
+		if _, err := atc.Compress(dir, exact,
+			atc.WithMode(atc.Lossy),
+			atc.WithIntervalLen(n/50),
+			atc.WithBufferAddrs(n/500),
+		); err != nil {
+			t.Fatal(err)
+		}
+		approx, err := atc.Decompress(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := cdc.MustNew(cdc.PaperConfig)
+		p.AccessAll(approx)
+		_, correct, _ := p.Counts().Fractions()
+		if c.wantCorrect && correct < 0.7 {
+			t.Errorf("%s: lossy trace only %.2f correct; predictability lost", c.model, correct)
+		}
+		if !c.wantCorrect && correct > 0.3 {
+			t.Errorf("%s: lossy trace %.2f correct; spurious predictability introduced", c.model, correct)
+		}
+	}
+}
+
+func TestIntegrationCorruptChunkPayloadDetected(t *testing.T) {
+	// Flip bytes inside a chunk file: decoding must fail (CRC or framing),
+	// never silently return wrong data of the right length.
+	const n = 20_000
+	addrs := generate(t, "429.mcf", n)
+	dir := t.TempDir()
+	if _, err := atc.Compress(dir, addrs, atc.WithBufferAddrs(n/10)); err != nil {
+		t.Fatal(err)
+	}
+	chunk := filepath.Join(dir, "1.bsc")
+	data, err := os.ReadFile(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := append([]byte(nil), data...)
+	for i := len(mutated) / 3; i < len(mutated)/3+20 && i < len(mutated); i++ {
+		mutated[i] ^= 0x5A
+	}
+	if err := os.WriteFile(chunk, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := atc.Decompress(dir)
+	if err == nil {
+		same := len(got) == len(addrs)
+		if same {
+			for i := range addrs {
+				if got[i] != addrs[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			t.Fatal("corrupt chunk decoded silently to wrong data")
+		}
+	}
+}
+
+func TestIntegrationLosslessAndLossyAgreeOnFirstChunk(t *testing.T) {
+	// The first interval always becomes a chunk, so its decode must be
+	// bit-exact even in lossy mode.
+	const n = 50_000
+	const L = 10_000
+	addrs := generate(t, "483.xalancbmk", n)
+	dir := t.TempDir()
+	if _, err := atc.Compress(dir, addrs,
+		atc.WithMode(atc.Lossy),
+		atc.WithIntervalLen(L),
+		atc.WithBufferAddrs(L/10),
+	); err != nil {
+		t.Fatal(err)
+	}
+	got, err := atc.Decompress(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < L; i++ {
+		if got[i] != addrs[i] {
+			t.Fatalf("first interval not exact at %d", i)
+		}
+	}
+}
+
+func TestIntegrationDeterministicOutput(t *testing.T) {
+	// Same input, same options => byte-identical compressed directories
+	// (required for reproducible experiments).
+	const n = 30_000
+	addrs := generate(t, "450.soplex", n)
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for _, dir := range dirs {
+		if _, err := atc.Compress(dir, addrs,
+			atc.WithMode(atc.Lossy),
+			atc.WithIntervalLen(n/20),
+			atc.WithBufferAddrs(n/100),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		a, err := os.ReadFile(filepath.Join(dirs[0], e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], e.Name()))
+		if err != nil {
+			t.Fatalf("file %s missing from second run: %v", e.Name(), err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("file %s differs between identical runs", e.Name())
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package bsc implements a block-sorting compressor in the style of bzip2:
+// each block of input is Burrows–Wheeler transformed, move-to-front and
+// zero-run coded, then entropy coded with a canonical Huffman code. It is
+// the byte-level back end this reproduction uses where the paper uses bzip2
+// (the Go standard library ships only a bzip2 reader, no writer).
+//
+// The stream format is self-framing:
+//
+//	magic "BSC1" (4 bytes)
+//	repeated blocks:
+//	    u8   1 (block marker)
+//	    u32  original length (little endian)
+//	    u32  IEEE CRC-32 of the original bytes
+//	    u32  BWT primary index
+//	    258 × 5-bit Huffman code lengths (bit packed)
+//	    Huffman-coded RUNA/RUNB/MTF symbols, terminated by EOB
+//	    (zero padding to the next byte boundary)
+//	u8 0 (end-of-stream marker)
+//
+// Writer implements io.WriteCloser, Reader implements io.Reader, so the
+// package composes with any byte stream.
+package bsc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"atc/internal/bitio"
+	"atc/internal/bwt"
+	"atc/internal/huffman"
+	"atc/internal/mtf"
+)
+
+const (
+	magic = "BSC1"
+	// DefaultBlockSize matches bzip2 -9 (900 KB blocks).
+	DefaultBlockSize = 900 * 1000
+	// MaxBlockSize bounds memory use for hostile streams.
+	MaxBlockSize = 16 << 20
+
+	lenBits = 5 // bits per Huffman code length in the header (max length 20)
+)
+
+var (
+	// ErrCorrupt reports a malformed or truncated stream.
+	ErrCorrupt = errors.New("bsc: corrupt stream")
+	// ErrChecksum reports a CRC mismatch on a decompressed block.
+	ErrChecksum = errors.New("bsc: checksum mismatch")
+)
+
+// Writer compresses data written to it and emits the compressed stream to
+// the underlying writer. Close must be called to flush the final block and
+// the end-of-stream marker.
+type Writer struct {
+	w         io.Writer
+	buf       []byte
+	blockSize int
+	wroteHdr  bool
+	closed    bool
+	err       error
+}
+
+// NewWriter returns a Writer with the default block size.
+func NewWriter(w io.Writer) *Writer {
+	return NewWriterSize(w, DefaultBlockSize)
+}
+
+// NewWriterSize returns a Writer with the given block size in bytes.
+// Sizes outside [1, MaxBlockSize] are clamped.
+func NewWriterSize(w io.Writer, blockSize int) *Writer {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	if blockSize > MaxBlockSize {
+		blockSize = MaxBlockSize
+	}
+	return &Writer{w: w, blockSize: blockSize, buf: make([]byte, 0, blockSize)}
+}
+
+// Write buffers p, compressing complete blocks as they fill.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, errors.New("bsc: write after close")
+	}
+	total := 0
+	for len(p) > 0 {
+		room := w.blockSize - len(w.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		if len(w.buf) == w.blockSize {
+			if err := w.flushBlock(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) writeHeader() error {
+	if w.wroteHdr {
+		return nil
+	}
+	if _, err := io.WriteString(w.w, magic); err != nil {
+		w.err = err
+		return err
+	}
+	w.wroteHdr = true
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if err := compressBlock(w.w, w.buf); err != nil {
+		w.err = err
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes any buffered data and writes the end-of-stream marker.
+// It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	if _, err := w.w.Write([]byte{0}); err != nil {
+		w.err = err
+		return err
+	}
+	w.closed = true
+	return nil
+}
+
+// compressBlock writes one framed compressed block.
+func compressBlock(w io.Writer, block []byte) error {
+	transformed, primary := bwt.Transform(block)
+	syms := mtf.Encode(transformed)
+	freqs := make([]int64, mtf.NumSyms)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	lengths, err := huffman.BuildLengths(freqs, huffman.MaxBits)
+	if err != nil {
+		return fmt.Errorf("bsc: %w", err)
+	}
+	cb, err := huffman.NewCodebook(lengths)
+	if err != nil {
+		return fmt.Errorf("bsc: %w", err)
+	}
+
+	var hdr [13]byte
+	hdr[0] = 1
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(block)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(block))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(primary))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	bw := bitio.NewWriter(w)
+	for _, l := range lengths {
+		if err := bw.WriteBits(uint64(l), lenBits); err != nil {
+			return err
+		}
+	}
+	enc := huffman.NewEncoder(cb, bw)
+	for _, s := range syms {
+		if err := enc.WriteSymbol(int(s)); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}
+
+// Reader decompresses a bsc stream.
+//
+// All consumption of the underlying stream — framing headers and the bit
+// stream alike — goes through a single buffered reader, and the bit reader
+// consumes it strictly byte-at-a-time, so block boundaries stay in sync.
+type Reader struct {
+	raw     *byteCounter
+	br      *bufio.Reader
+	pending []byte // decompressed bytes not yet delivered
+	done    bool
+	started bool
+	err     error
+}
+
+// byteCounter counts bytes consumed from the underlying reader so callers
+// can attribute input consumption (used by the Table 2 instrumentation).
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// NewReader returns a Reader decompressing from r.
+func NewReader(r io.Reader) *Reader {
+	bc := &byteCounter{r: r}
+	return &Reader{raw: bc, br: bufio.NewReader(bc)}
+}
+
+// CompressedBytesRead reports how many compressed bytes have been consumed
+// from the underlying reader (including buffered read-ahead).
+func (r *Reader) CompressedBytesRead() int64 { return r.raw.n }
+
+func (r *Reader) readHeader() error {
+	var m [4]byte
+	if _, err := io.ReadFull(r.br, m[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: short magic", ErrCorrupt)
+	}
+	if string(m[:]) != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	r.started = true
+	return nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.pending) == 0 {
+		if r.done {
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		if !r.started {
+			if err := r.readHeader(); err != nil {
+				r.err = err
+				return 0, err
+			}
+		}
+		if err := r.nextBlock(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.pending)
+	r.pending = r.pending[n:]
+	return n, nil
+}
+
+func (r *Reader) nextBlock() error {
+	var marker [1]byte
+	if _, err := io.ReadFull(r.br, marker[:]); err != nil {
+		return fmt.Errorf("%w: missing block marker", ErrCorrupt)
+	}
+	if marker[0] == 0 {
+		r.done = true
+		return nil
+	}
+	if marker[0] != 1 {
+		return fmt.Errorf("%w: bad block marker %d", ErrCorrupt, marker[0])
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return fmt.Errorf("%w: short block header", ErrCorrupt)
+	}
+	origLen := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	primary := binary.LittleEndian.Uint32(hdr[8:12])
+	if origLen > MaxBlockSize {
+		return fmt.Errorf("%w: block length %d too large", ErrCorrupt, origLen)
+	}
+	br := bitio.NewReader(r.br)
+	lengths := make([]uint8, mtf.NumSyms)
+	for i := range lengths {
+		v, err := br.ReadBits(lenBits)
+		if err != nil {
+			return fmt.Errorf("%w: short length table", ErrCorrupt)
+		}
+		lengths[i] = uint8(v)
+	}
+	dec, err := huffman.NewDecoder(lengths, br)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var syms []uint16
+	for {
+		s, err := dec.ReadSymbol()
+		if err != nil {
+			return fmt.Errorf("%w: symbol stream: %v", ErrCorrupt, err)
+		}
+		syms = append(syms, uint16(s))
+		if s == mtf.EOB {
+			break
+		}
+	}
+	transformed, _, err := mtf.Decode(syms)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if uint32(len(transformed)) != origLen {
+		return fmt.Errorf("%w: block length mismatch (%d != %d)", ErrCorrupt, len(transformed), origLen)
+	}
+	block, err := bwt.Inverse(transformed, int(primary))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(block) != wantCRC {
+		return ErrChecksum
+	}
+	r.pending = block
+	// NOTE: the bit reader may have buffered bits past the block's padding;
+	// bitio reads byte-at-a-time from the shared counter, and compressBlock
+	// byte-aligns its output, so the next block starts exactly at the next
+	// byte. bitio.Reader only consumes whole bytes, so no realignment of the
+	// underlying stream is needed.
+	return nil
+}
+
+// Compress is a convenience helper compressing a whole buffer.
+func Compress(data []byte) ([]byte, error) {
+	return CompressSize(data, DefaultBlockSize)
+}
+
+// CompressSize compresses a whole buffer with the given block size.
+func CompressSize(data []byte, blockSize int) ([]byte, error) {
+	var buf writerBuffer
+	w := NewWriterSize(&buf, blockSize)
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// Decompress is a convenience helper expanding a whole buffer.
+func Decompress(data []byte) ([]byte, error) {
+	r := NewReader(&sliceReader{b: data})
+	return io.ReadAll(r)
+}
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.i:])
+	s.i += n
+	return n, nil
+}

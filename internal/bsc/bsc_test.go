@@ -1,0 +1,277 @@
+package bsc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []byte, blockSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriterSize(&buf, blockSize)
+	if _, err := w.Write(data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := io.ReadAll(NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(data))
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	roundTrip(t, nil, DefaultBlockSize)
+}
+
+func TestRoundTripText(t *testing.T) {
+	roundTrip(t, []byte("the quick brown fox jumps over the lazy dog"), DefaultBlockSize)
+}
+
+func TestRoundTripMultipleBlocks(t *testing.T) {
+	data := bytes.Repeat([]byte("block sorting compressors like repeated text. "), 100)
+	compressed := roundTrip(t, data, 256) // forces many blocks
+	if len(compressed) >= len(data) {
+		t.Logf("note: tiny blocks inflate (in=%d out=%d); expected with 256-byte blocks", len(data), len(compressed))
+	}
+}
+
+func TestRoundTripBlockBoundaryExact(t *testing.T) {
+	// Data exactly filling N blocks.
+	data := bytes.Repeat([]byte{1, 2, 3, 4}, 64) // 256 bytes
+	roundTrip(t, data, 128)
+	roundTrip(t, data, 256)
+	roundTrip(t, data, 255)
+}
+
+func TestRoundTripBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 100_000)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	roundTrip(t, data, 32<<10)
+}
+
+func TestCompressionRatioOnRepetitive(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 10000) // 80 KB
+	compressed := roundTrip(t, data, DefaultBlockSize)
+	if len(compressed) > len(data)/20 {
+		t.Fatalf("repetitive data compressed to %d bytes (>5%% of %d); BWT pipeline ineffective", len(compressed), len(data))
+	}
+}
+
+func TestConvenienceHelpers(t *testing.T) {
+	data := []byte("convenience round trip")
+	c, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatal("helper round trip mismatch")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestDoubleCloseIsIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_, _ = w.Write([]byte("data"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatal("second Close wrote more data")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := Decompress([]byte("NOPE...."))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	c, err := Compress([]byte("some data that will be truncated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 5, 10, len(c) - 1} {
+		if cut >= len(c) {
+			continue
+		}
+		_, err := Decompress(c[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d of %d not detected", cut, len(c))
+		}
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	data := bytes.Repeat([]byte("corruption canary "), 200)
+	c, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip bits in the middle of the stream. Any of CRC/structure checks may
+	// fire, but silent wrong output is a failure.
+	detected := 0
+	for _, pos := range []int{len(c) / 2, len(c)/2 + 7, len(c) - 10} {
+		mutated := append([]byte(nil), c...)
+		mutated[pos] ^= 0x41
+		got, err := Decompress(mutated)
+		if err != nil {
+			detected++
+			continue
+		}
+		if bytes.Equal(got, data) {
+			// Flip landed in dont-care padding; acceptable.
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no corruption detected for any mutation")
+	}
+}
+
+func TestEmptyWriteProducesValidStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty stream decoded to %d bytes", len(got))
+	}
+}
+
+func TestSmallReads(t *testing.T) {
+	data := bytes.Repeat([]byte("tiny reads "), 500)
+	c, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(c))
+	var got []byte
+	one := make([]byte, 1)
+	for {
+		n, err := r.Read(one)
+		if n > 0 {
+			got = append(got, one[0])
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("byte-at-a-time read mismatch")
+	}
+}
+
+func TestCompressedBytesRead(t *testing.T) {
+	c, err := Compress([]byte("count me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(c))
+	if _, err := io.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CompressedBytesRead(); got != int64(len(c)) {
+		t.Fatalf("CompressedBytesRead = %d, want %d", got, len(c))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte, bs uint16) bool {
+		blockSize := int(bs%4096) + 1
+		c, err := CompressSize(data, blockSize)
+		if err != nil {
+			return false
+		}
+		d, err := Decompress(c)
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			return len(d) == 0
+		}
+		return bytes.Equal(d, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncompressibleDataSurvives(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	data := make([]byte, 300_000)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	compressed := roundTrip(t, data, DefaultBlockSize)
+	// Random bytes should roughly break even (within ~6% overhead).
+	if len(compressed) > len(data)+len(data)/16 {
+		t.Fatalf("random data expanded to %d bytes from %d", len(compressed), len(data))
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	data := bytes.Repeat([]byte("benchmark data with some repetition in it. "), 5000)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	data := bytes.Repeat([]byte("benchmark data with some repetition in it. "), 5000)
+	c, err := Compress(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

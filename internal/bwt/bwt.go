@@ -1,0 +1,195 @@
+// Package bwt implements the Burrows–Wheeler transform and its inverse.
+//
+// The transform uses the virtual-sentinel convention: conceptually a unique
+// smallest symbol is appended to the input, rotations of the extended string
+// are sorted, and the last column is emitted. The sentinel itself is not
+// written to the output; its row index (the "primary index") is returned
+// alongside the n transformed bytes. This matches the suffix order produced
+// by a plain suffix array, so the forward transform reduces to suffix
+// sorting, done here with a Manber–Myers prefix-doubling sort that is
+// O(n log n) worst case (no pathological behaviour on repetitive inputs,
+// which BWT blocks frequently are).
+package bwt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadPrimary is returned by Inverse when the primary index is out of range.
+var ErrBadPrimary = errors.New("bwt: primary index out of range")
+
+// Transform computes the BWT of data. It returns the n output bytes and the
+// primary index p in [1, n] (row of the virtual sentinel in the sorted
+// rotation matrix). Transforming an empty slice returns (nil, 0).
+// The output slice is freshly allocated; data is not modified.
+func Transform(data []byte) (out []byte, primary int) {
+	n := len(data)
+	if n == 0 {
+		return nil, 0
+	}
+	sa := suffixArray(data)
+	out = make([]byte, n)
+	// Row 0 is the rotation that starts with the sentinel; its last column
+	// entry is the final byte of the input.
+	out[0] = data[n-1]
+	w := 1
+	for k, s := range sa {
+		if s == 0 {
+			// This row's last column is the sentinel: record its position.
+			primary = k + 1
+			continue
+		}
+		out[w] = data[s-1]
+		w++
+	}
+	return out, primary
+}
+
+// Inverse reconstructs the original data from a BWT output and primary index.
+func Inverse(out []byte, primary int) ([]byte, error) {
+	n := len(out)
+	if n == 0 {
+		if primary != 0 {
+			return nil, ErrBadPrimary
+		}
+		return nil, nil
+	}
+	if primary < 1 || primary > n {
+		return nil, fmt.Errorf("%w: %d not in [1,%d]", ErrBadPrimary, primary, n)
+	}
+	// realByte maps an index in the (n+1)-row column (sentinel at `primary`)
+	// to the stored byte.
+	realByte := func(i int) byte {
+		if i < primary {
+			return out[i]
+		}
+		return out[i-1]
+	}
+	var cnt [256]int
+	for _, b := range out {
+		cnt[b]++
+	}
+	// start[c]: first row in the F column holding byte c (row 0 is the
+	// sentinel, hence the +1 initialisation).
+	var start [256]int
+	sum := 1
+	for c := 0; c < 256; c++ {
+		start[c] = sum
+		sum += cnt[c]
+	}
+	next := make([]int32, n+1)
+	var occ [256]int
+	for i := 0; i <= n; i++ {
+		if i == primary {
+			continue
+		}
+		c := realByte(i)
+		next[i] = int32(start[c] + occ[c])
+		occ[c]++
+	}
+	s := make([]byte, n)
+	i := 0
+	for k := n - 1; k >= 0; k-- {
+		if i == primary {
+			return nil, fmt.Errorf("bwt: cycle hit sentinel early (corrupt data or wrong primary)")
+		}
+		s[k] = realByte(i)
+		i = int(next[i])
+	}
+	if i != primary {
+		return nil, fmt.Errorf("bwt: cycle did not terminate at sentinel (corrupt data or wrong primary)")
+	}
+	return s, nil
+}
+
+// suffixArray computes the suffix array of data using Manber–Myers prefix
+// doubling with counting sorts, O(n log n) time and O(n) auxiliary space.
+func suffixArray(data []byte) []int32 {
+	n := len(data)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	// Initial ranks are the byte values; initial order by counting sort.
+	var cnt [257]int32
+	for _, b := range data {
+		cnt[int(b)+1]++
+	}
+	for c := 1; c < 257; c++ {
+		cnt[c] += cnt[c-1]
+	}
+	for i := 0; i < n; i++ {
+		b := data[i]
+		sa[cnt[b]] = int32(i)
+		cnt[b]++
+	}
+	r := int32(0)
+	for i := 0; i < n; i++ {
+		if i > 0 && data[sa[i]] != data[sa[i-1]] {
+			r++
+		}
+		rank[sa[i]] = r
+	}
+	maxRank := r
+	if int(maxRank) == n-1 {
+		return sa
+	}
+
+	count := make([]int32, n+1)
+	sa2 := make([]int32, n)
+	for k := 1; k < n; k *= 2 {
+		// Sort by second key (rank[i+k], -1 if out of range): suffixes with
+		// i+k >= n have the smallest second key and come first; others are
+		// appended in the order of the previous sa pass restricted to
+		// positions >= k (a counting-sort-free stable pass).
+		w := 0
+		for i := n - k; i < n; i++ {
+			sa2[w] = int32(i)
+			w++
+		}
+		for _, s := range sa {
+			if int(s) >= k {
+				sa2[w] = s - int32(k)
+				w++
+			}
+		}
+		// Stable counting sort of sa2 by first key rank[i].
+		for i := range count[:maxRank+2] {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[rank[i]+1]++
+		}
+		for c := int32(1); c <= maxRank+1; c++ {
+			count[c] += count[c-1]
+		}
+		for _, s := range sa2 {
+			sa[count[rank[s]]] = s
+			count[rank[s]]++
+		}
+		// Recompute ranks.
+		key := func(i int32) (int32, int32) {
+			second := int32(-1)
+			if int(i)+k < n {
+				second = rank[int(i)+k]
+			}
+			return rank[i], second
+		}
+		r = 0
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			a1, a2 := key(sa[i-1])
+			b1, b2 := key(sa[i])
+			if a1 != b1 || a2 != b2 {
+				r++
+			}
+			tmp[sa[i]] = r
+		}
+		rank, tmp = tmp, rank
+		maxRank = r
+		if int(maxRank) == n-1 {
+			break
+		}
+	}
+	return sa
+}

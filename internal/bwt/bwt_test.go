@@ -1,0 +1,218 @@
+package bwt
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformKnown(t *testing.T) {
+	// Worked example: "ab" with sentinel.
+	// Rotations of "ab$": "$ab"(L=b), "ab$"(L=$), "b$a"(L=a).
+	// out = [b a], primary = 1.
+	out, p := Transform([]byte("ab"))
+	if !bytes.Equal(out, []byte("ba")) || p != 1 {
+		t.Fatalf("Transform(ab) = %q, %d; want \"ba\", 1", out, p)
+	}
+}
+
+func TestTransformBanana(t *testing.T) {
+	in := []byte("banana")
+	out, p := Transform(in)
+	got, err := Inverse(out, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, in) {
+		t.Fatalf("round trip = %q, want %q", got, in)
+	}
+	// BWT of banana$ is well known: "annb$aa" -> without sentinel "annbaa", p=4.
+	if !bytes.Equal(out, []byte("annbaa")) || p != 4 {
+		t.Fatalf("Transform(banana) = %q, %d; want \"annbaa\", 4", out, p)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	out, p := Transform(nil)
+	if out != nil || p != 0 {
+		t.Fatalf("Transform(nil) = %v, %d", out, p)
+	}
+	got, err := Inverse(nil, 0)
+	if err != nil || got != nil {
+		t.Fatalf("Inverse(nil,0) = %v, %v", got, err)
+	}
+}
+
+func TestSingleByte(t *testing.T) {
+	out, p := Transform([]byte{7})
+	got, err := Inverse(out, p)
+	if err != nil || !bytes.Equal(got, []byte{7}) {
+		t.Fatalf("single byte round trip failed: %v %v", got, err)
+	}
+}
+
+func TestAllSameByte(t *testing.T) {
+	in := bytes.Repeat([]byte{'x'}, 1000)
+	out, p := Transform(in)
+	got, err := Inverse(out, p)
+	if err != nil || !bytes.Equal(got, in) {
+		t.Fatalf("run of identical bytes failed to round trip: %v", err)
+	}
+}
+
+func TestRepetitivePatterns(t *testing.T) {
+	cases := [][]byte{
+		bytes.Repeat([]byte("ab"), 500),
+		bytes.Repeat([]byte("abc"), 333),
+		bytes.Repeat([]byte{0, 0, 1}, 400),
+		append(bytes.Repeat([]byte{255}, 100), bytes.Repeat([]byte{0}, 100)...),
+	}
+	for i, in := range cases {
+		out, p := Transform(in)
+		got, err := Inverse(out, p)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, in) {
+			t.Fatalf("case %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestOutputIsPermutation(t *testing.T) {
+	in := []byte("the quick brown fox jumps over the lazy dog")
+	out, _ := Transform(in)
+	a := append([]byte(nil), in...)
+	b := append([]byte(nil), out...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	if !bytes.Equal(a, b) {
+		t.Fatal("BWT output is not a permutation of the input")
+	}
+}
+
+func TestInverseBadPrimary(t *testing.T) {
+	out, _ := Transform([]byte("hello"))
+	if _, err := Inverse(out, 0); err == nil {
+		t.Fatal("primary=0 accepted for nonempty data")
+	}
+	if _, err := Inverse(out, len(out)+1); err == nil {
+		t.Fatal("primary > n accepted")
+	}
+}
+
+func TestInverseWrongPrimaryDetected(t *testing.T) {
+	// With a wrong (but in-range) primary the walk usually either hits the
+	// sentinel early or ends elsewhere; it must not silently return garbage
+	// of the wrong length.
+	in := []byte("mississippi")
+	out, p := Transform(in)
+	for q := 1; q <= len(out); q++ {
+		got, err := Inverse(out, q)
+		if q == p {
+			if err != nil || !bytes.Equal(got, in) {
+				t.Fatalf("correct primary %d failed: %v", q, err)
+			}
+			continue
+		}
+		if err == nil && bytes.Equal(got, in) {
+			t.Fatalf("wrong primary %d reproduced the input", q)
+		}
+	}
+}
+
+func TestSuffixArrayAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200) + 1
+		data := make([]byte, n)
+		alpha := rng.Intn(4) + 2 // small alphabets stress tie-breaking
+		for i := range data {
+			data[i] = byte(rng.Intn(alpha))
+		}
+		got := suffixArray(data)
+		want := make([]int32, n)
+		for i := range want {
+			want[i] = int32(i)
+		}
+		sort.Slice(want, func(a, b int) bool {
+			return bytes.Compare(data[want[a]:], data[want[b]:]) < 0
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: sa[%d] = %d, want %d (data=%v)", trial, i, got[i], want[i], data)
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		out, p := Transform(data)
+		got, err := Inverse(out, p)
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := make([]byte, 1<<18)
+	for i := range in {
+		in[i] = byte(rng.Intn(256))
+	}
+	out, p := Transform(in)
+	got, err := Inverse(out, p)
+	if err != nil || !bytes.Equal(got, in) {
+		t.Fatal("large random block failed to round trip")
+	}
+}
+
+func TestLargeRepetitive(t *testing.T) {
+	// Worst case for comparison sorts; must stay fast with doubling sort.
+	in := bytes.Repeat([]byte("aaaaaaab"), 1<<15)
+	out, p := Transform(in)
+	got, err := Inverse(out, p)
+	if err != nil || !bytes.Equal(got, in) {
+		t.Fatal("large repetitive block failed to round trip")
+	}
+}
+
+func BenchmarkTransform1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]byte, 1<<20)
+	for i := range in {
+		in[i] = byte(rng.Intn(64))
+	}
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform(in)
+	}
+}
+
+func BenchmarkInverse1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]byte, 1<<20)
+	for i := range in {
+		in[i] = byte(rng.Intn(64))
+	}
+	out, p := Transform(in)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inverse(out, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package bytesort implements the reversible trace transformation of
+// Section 4 of the paper (Michaud, ISPASS 2009): byte-unshuffling with
+// progressive stable sorting.
+//
+// A buffer of B 64-bit addresses is emitted as eight blocks of B bytes.
+// Block 0 holds the most-significant byte of every address in sequence
+// order. Before each subsequent block j is emitted, the addresses are
+// stably sorted (counting sort) by the byte just emitted, so addresses
+// sharing a prefix of high-order bytes are grouped together and block j
+// exposes the per-region regularity that a byte-level compressor (bzip2 in
+// the paper, bsc here) can exploit. Because the sort is stable, the
+// transformation is reversible from the blocks alone: the histogram of
+// block j-1 determines the permutation applied before block j.
+//
+// The package also implements plain byte-unshuffling (no sorting), the
+// "us" baseline of the paper's Table 1.
+//
+// Stream framing: each flushed buffer becomes one segment,
+//
+//	u32 little-endian address count n  (0 terminates the stream)
+//	8 × n bytes (blocks in order, most-significant byte first)
+//
+// Time and space are O(B) per segment, matching the paper's Figure 2 code.
+package bytesort
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Mode selects the transformation variant.
+type Mode int
+
+const (
+	// Sorted is the full bytesort transformation (unshuffle + stable sorts).
+	Sorted Mode = iota
+	// Unshuffle emits byte columns in sequence order without sorting.
+	Unshuffle
+)
+
+// DefaultBufferAddrs mirrors the paper's "small bytesort" buffer
+// (1 million addresses).
+const DefaultBufferAddrs = 1 << 20
+
+// ErrCorrupt reports malformed segment framing.
+var ErrCorrupt = errors.New("bytesort: corrupt stream")
+
+// Encoder applies the transformation to a stream of addresses and writes
+// framed segments to an underlying writer (typically a compression back
+// end).
+type Encoder struct {
+	w       io.Writer
+	mode    Mode
+	buf     []uint64
+	scratch []uint64
+	block   []byte
+	hist    [256]int32
+	jb      [256]int32
+	err     error
+	closed  bool
+}
+
+// NewEncoder returns a bytesort Encoder with buffer capacity bufAddrs
+// addresses (values < 1 are replaced with DefaultBufferAddrs).
+func NewEncoder(w io.Writer, bufAddrs int) *Encoder {
+	return NewEncoderMode(w, bufAddrs, Sorted)
+}
+
+// NewEncoderMode returns an Encoder for the given variant.
+func NewEncoderMode(w io.Writer, bufAddrs int, mode Mode) *Encoder {
+	if bufAddrs < 1 {
+		bufAddrs = DefaultBufferAddrs
+	}
+	return &Encoder{
+		w:       w,
+		mode:    mode,
+		buf:     make([]uint64, 0, bufAddrs),
+		scratch: make([]uint64, bufAddrs),
+		block:   make([]byte, bufAddrs),
+	}
+}
+
+// Write adds one address; a full buffer is flushed automatically.
+func (e *Encoder) Write(addr uint64) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return errors.New("bytesort: write after close")
+	}
+	e.buf = append(e.buf, addr)
+	if len(e.buf) == cap(e.buf) {
+		return e.flush()
+	}
+	return nil
+}
+
+// WriteSlice adds many addresses.
+func (e *Encoder) WriteSlice(addrs []uint64) error {
+	for _, a := range addrs {
+		if err := e.Write(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush emits any buffered addresses as a (possibly short) segment.
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.flush()
+}
+
+// Close flushes buffered addresses and writes the zero-count terminator.
+// It does not close the underlying writer.
+func (e *Encoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return nil
+	}
+	if err := e.flush(); err != nil {
+		return err
+	}
+	var z [4]byte
+	if _, err := e.w.Write(z[:]); err != nil {
+		e.err = err
+		return err
+	}
+	e.closed = true
+	return nil
+}
+
+func (e *Encoder) flush() error {
+	n := len(e.buf)
+	if n == 0 {
+		return nil
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		e.err = err
+		return err
+	}
+	a := e.buf
+	b := e.scratch[:n]
+	for j := 0; j < 8; j++ {
+		if j > 0 && e.mode == Sorted {
+			// Stable counting sort of a by its current top byte (which is
+			// the byte emitted in the previous round), shifting left so the
+			// next original byte becomes the top byte. Mirrors sort_bytes()
+			// in the paper's Figure 2.
+			e.jb[0] = 0
+			for c := 1; c < 256; c++ {
+				e.jb[c] = e.jb[c-1] + e.hist[c-1]
+			}
+			for _, v := range a {
+				c := v >> 56
+				b[e.jb[c]] = v << 8
+				e.jb[c]++
+			}
+			a, b = b, a[:n]
+		} else if j > 0 {
+			for i := range a {
+				a[i] <<= 8
+			}
+		}
+		// Unshuffle: emit the top byte of each address in current order and
+		// compute its histogram for the next round's sort. Mirrors
+		// unshuffle_bytes() in the paper's Figure 2.
+		for c := range e.hist {
+			e.hist[c] = 0
+		}
+		blk := e.block[:n]
+		for i, v := range a {
+			c := byte(v >> 56)
+			blk[i] = c
+			e.hist[c]++
+		}
+		if _, err := e.w.Write(blk); err != nil {
+			e.err = err
+			return err
+		}
+	}
+	e.buf = e.buf[:0]
+	return nil
+}
+
+// Decoder reverses the transformation, reading framed segments.
+type Decoder struct {
+	r       io.Reader
+	mode    Mode
+	pending []uint64
+	pos     int
+	done    bool
+	err     error
+}
+
+// NewDecoder returns a Decoder for Sorted streams.
+func NewDecoder(r io.Reader) *Decoder {
+	return NewDecoderMode(r, Sorted)
+}
+
+// NewDecoderMode returns a Decoder for the given variant; the mode must
+// match the Encoder that produced the stream.
+func NewDecoderMode(r io.Reader, mode Mode) *Decoder {
+	return &Decoder{r: r, mode: mode}
+}
+
+// Read returns the next decoded address, or io.EOF after the terminator
+// (or clean end of stream).
+func (d *Decoder) Read() (uint64, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	for d.pos >= len(d.pending) {
+		if d.done {
+			d.err = io.EOF
+			return 0, io.EOF
+		}
+		if err := d.readSegment(); err != nil {
+			d.err = err
+			return 0, err
+		}
+	}
+	v := d.pending[d.pos]
+	d.pos++
+	return v, nil
+}
+
+// ReadAll decodes every remaining address.
+func (d *Decoder) ReadAll() ([]uint64, error) {
+	var out []uint64
+	for {
+		v, err := d.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+}
+
+func (d *Decoder) readSegment() error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			// Clean end without explicit terminator: accept.
+			d.done = true
+			return nil
+		}
+		return fmt.Errorf("%w: short segment header", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n == 0 {
+		d.done = true
+		return nil
+	}
+	blocks := make([]byte, 8*n)
+	if _, err := io.ReadFull(d.r, blocks); err != nil {
+		return fmt.Errorf("%w: short segment body (%d addresses)", ErrCorrupt, n)
+	}
+	addrs, err := inverseSegment(blocks, n, d.mode)
+	if err != nil {
+		return err
+	}
+	d.pending = addrs
+	d.pos = 0
+	return nil
+}
+
+// inverseSegment reconstructs n addresses from their eight byte blocks.
+func inverseSegment(blocks []byte, n int, mode Mode) ([]uint64, error) {
+	addrs := make([]uint64, n)
+	if mode == Unshuffle {
+		for j := 0; j < 8; j++ {
+			blk := blocks[j*n : (j+1)*n]
+			for i := 0; i < n; i++ {
+				addrs[i] = addrs[i]<<8 | uint64(blk[i])
+			}
+		}
+		return addrs, nil
+	}
+	// pos[e]: index of sequence element e within the current block order.
+	pos := make([]int32, n)
+	perm := make([]int32, n)
+	for i := range pos {
+		pos[i] = int32(i)
+	}
+	var start [256]int32
+	for j := 0; j < 8; j++ {
+		blk := blocks[j*n : (j+1)*n]
+		if j > 0 {
+			// The order of block j is the stable counting sort of block
+			// j-1's order by block j-1's values: rebuild that permutation
+			// from the previous block's histogram.
+			prev := blocks[(j-1)*n : j*n]
+			var hist [256]int32
+			for _, c := range prev {
+				hist[c]++
+			}
+			start[0] = 0
+			for c := 1; c < 256; c++ {
+				start[c] = start[c-1] + hist[c-1]
+			}
+			for i := 0; i < n; i++ {
+				c := prev[i]
+				perm[i] = start[c]
+				start[c]++
+			}
+			for e := range pos {
+				pos[e] = perm[pos[e]]
+			}
+		}
+		for e := 0; e < n; e++ {
+			addrs[e] = addrs[e]<<8 | uint64(blk[pos[e]])
+		}
+	}
+	return addrs, nil
+}
+
+// TransformBuffer applies one in-memory transformation pass and returns the
+// concatenated eight blocks; exported for tests and analysis tools.
+func TransformBuffer(addrs []uint64, mode Mode) []byte {
+	var sink sliceWriter
+	e := NewEncoderMode(&sink, len(addrs), mode)
+	_ = e.WriteSlice(addrs)
+	_ = e.Flush()
+	if len(sink.b) < 4 {
+		return nil
+	}
+	return sink.b[4:] // strip the count header
+}
+
+// InverseBuffer reverses TransformBuffer.
+func InverseBuffer(blocks []byte, mode Mode) ([]uint64, error) {
+	if len(blocks)%8 != 0 {
+		return nil, fmt.Errorf("%w: block length %d not a multiple of 8", ErrCorrupt, len(blocks))
+	}
+	n := len(blocks) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	return inverseSegment(blocks, n, mode)
+}
+
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,178 @@
+// Package cache models a set-associative cache with LRU replacement. It is
+// the building block for the level-1 filter that produces cache-filtered
+// address traces (the paper's experimental setup: 32 KB, 4-way, 64-byte
+// blocks, LRU) and for validating the cheetah stack-distance simulator.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity in bytes.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// BlockBytes is the cache line size in bytes (power of two).
+	BlockBytes int
+}
+
+// L1Config is the paper's level-1 configuration: 32 KB, 4-way, 64-byte
+// blocks, LRU.
+var L1Config = Config{SizeBytes: 32 << 10, Ways: 4, BlockBytes: 64}
+
+// Sets computes the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	return c.SizeBytes / (c.Ways * c.BlockBytes)
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache: nonpositive geometry %+v", c)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache: block size %d not a power of two", c.BlockBytes)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*c.BlockBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not divisible into %d-way sets of %d-byte blocks",
+			c.SizeBytes, c.Ways, c.BlockBytes)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses int64
+	Hits     int64
+	Misses   int64
+}
+
+// MissRatio returns Misses/Accesses (0 for an untouched cache).
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// line is one resident block with its dirty state.
+type line struct {
+	tag   uint64
+	dirty bool
+}
+
+// Cache is a set-associative LRU cache. Create one with New.
+type Cache struct {
+	cfg       Config
+	setMask   uint64
+	blockBits uint
+	// sets[s] holds lines in LRU order: index 0 is most recently used.
+	// Tags are full block addresses; len <= Ways.
+	sets  [][]line
+	stats Stats
+}
+
+// New builds a cache; the configuration must validate.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		setMask: uint64(sets - 1),
+		sets:    make([][]line, sets),
+	}
+	for b := cfg.BlockBytes; b > 1; b >>= 1 {
+		c.blockBits++
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, 0, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.stats = Stats{}
+}
+
+// Access performs one byte-address access, returning true on hit. On a miss
+// the block is filled, evicting the LRU way if the set is full.
+func (c *Cache) Access(byteAddr uint64) bool {
+	return c.AccessBlock(byteAddr >> c.blockBits)
+}
+
+// BlockAddr converts a byte address to its block address.
+func (c *Cache) BlockAddr(byteAddr uint64) uint64 { return byteAddr >> c.blockBits }
+
+// AccessBlock performs one (read) access by block address.
+func (c *Cache) AccessBlock(block uint64) bool {
+	hit, _, _ := c.AccessBlockWrite(block, false)
+	return hit
+}
+
+// AccessBlockWrite performs one access by block address, marking the line
+// dirty when write is true. On a miss that evicts a dirty line, the
+// victim's block address is returned with writeback=true — the write-back
+// events the paper suggests tagging in a trace's 6 spare top bits.
+func (c *Cache) AccessBlockWrite(block uint64, write bool) (hit bool, victim uint64, writeback bool) {
+	c.stats.Accesses++
+	set := c.sets[block&c.setMask]
+	for i := range set {
+		if set[i].tag == block {
+			// Hit: move to MRU position, accumulating the dirty state.
+			l := set[i]
+			l.dirty = l.dirty || write
+			copy(set[1:i+1], set[:i])
+			set[0] = l
+			c.stats.Hits++
+			return true, 0, false
+		}
+	}
+	c.stats.Misses++
+	if len(set) < c.cfg.Ways {
+		set = append(set, line{})
+	} else {
+		lru := set[len(set)-1]
+		if lru.dirty {
+			victim, writeback = lru.tag, true
+		}
+	}
+	copy(set[1:], set)
+	set[0] = line{tag: block, dirty: write}
+	c.sets[block&c.setMask] = set
+	return false, victim, writeback
+}
+
+// Contains reports whether a block is resident (without touching LRU state).
+func (c *Cache) Contains(block uint64) bool {
+	for _, l := range c.sets[block&c.setMask] {
+		if l.tag == block {
+			return true
+		}
+	}
+	return false
+}

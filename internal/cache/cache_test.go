@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigSets(t *testing.T) {
+	if got := L1Config.Sets(); got != 128 {
+		t.Fatalf("L1 sets = %d, want 128 (32KB / (4*64B))", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 1, BlockBytes: 64},
+		{SizeBytes: 1024, Ways: 0, BlockBytes: 64},
+		{SizeBytes: 1024, Ways: 1, BlockBytes: 63},       // not power of two
+		{SizeBytes: 1000, Ways: 1, BlockBytes: 64},       // not divisible
+		{SizeBytes: 3 * 64 * 4, Ways: 4, BlockBytes: 64}, // 3 sets: not pow2
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if err := L1Config.Validate(); err != nil {
+		t.Fatalf("L1Config rejected: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustNew(L1Config)
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1004) {
+		t.Fatal("same-block access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped single-set cache: 1 set, 2 ways.
+	cfg := Config{SizeBytes: 2 * 64, Ways: 2, BlockBytes: 64}
+	c := MustNew(cfg)
+	c.AccessBlock(1)
+	c.AccessBlock(2)
+	c.AccessBlock(1) // 1 is now MRU, 2 is LRU
+	c.AccessBlock(3) // evicts 2
+	if !c.Contains(1) {
+		t.Fatal("block 1 (MRU) was evicted")
+	}
+	if c.Contains(2) {
+		t.Fatal("block 2 (LRU) survived eviction")
+	}
+	if !c.Contains(3) {
+		t.Fatal("block 3 missing after fill")
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	// Blocks mapping to different sets must not evict each other.
+	cfg := Config{SizeBytes: 4 * 64, Ways: 1, BlockBytes: 64} // 4 sets, direct mapped
+	c := MustNew(cfg)
+	for b := uint64(0); b < 4; b++ {
+		c.AccessBlock(b)
+	}
+	for b := uint64(0); b < 4; b++ {
+		if !c.Contains(b) {
+			t.Fatalf("block %d evicted despite distinct sets", b)
+		}
+	}
+	// Block 4 maps to set 0 and evicts block 0 only.
+	c.AccessBlock(4)
+	if c.Contains(0) || !c.Contains(1) {
+		t.Fatal("conflict eviction wrong")
+	}
+}
+
+func TestWorkingSetFitsAfterWarmup(t *testing.T) {
+	c := MustNew(L1Config)
+	blocks := make([]uint64, 512) // 32KB / 64B = 512 blocks: exactly capacity
+	for i := range blocks {
+		blocks[i] = uint64(i)
+	}
+	// Sequential blocks spread uniformly over sets: the whole set fits.
+	for _, b := range blocks {
+		c.AccessBlock(b)
+	}
+	miss0 := c.Stats().Misses
+	for round := 0; round < 3; round++ {
+		for _, b := range blocks {
+			c.AccessBlock(b)
+		}
+	}
+	if c.Stats().Misses != miss0 {
+		t.Fatalf("steady-state misses: %d extra", c.Stats().Misses-miss0)
+	}
+}
+
+func TestThrashingBeyondCapacity(t *testing.T) {
+	c := MustNew(L1Config)
+	// 2x capacity, sequential: LRU thrashes, every access misses.
+	n := 1024
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			c.AccessBlock(uint64(i))
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 0 {
+		t.Fatalf("cyclic over-capacity scan got %d hits under LRU, want 0", s.Hits)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(L1Config)
+	c.Access(123456)
+	c.Reset()
+	if s := c.Stats(); s.Accesses != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	if c.Access(123456) {
+		t.Fatal("hit after reset")
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	var s Stats
+	if s.MissRatio() != 0 {
+		t.Fatal("empty stats miss ratio != 0")
+	}
+	s = Stats{Accesses: 4, Misses: 1}
+	if s.MissRatio() != 0.25 {
+		t.Fatalf("miss ratio = %v", s.MissRatio())
+	}
+}
+
+func TestRandomLoopHitRatioApproximation(t *testing.T) {
+	// The paper's motivating example (§5): random accesses over N blocks
+	// with a cache of C block capacity give hit ratio ~ C/N (for N >> C,
+	// fully-associative intuition; set-associative is close).
+	c := MustNew(Config{SizeBytes: 64 * 256, Ways: 8, BlockBytes: 64}) // C=256 blocks
+	const N = 2048
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400_000; i++ {
+		c.AccessBlock(uint64(rng.Intn(N)))
+	}
+	hitRatio := 1 - c.Stats().MissRatio()
+	want := 256.0 / N
+	if hitRatio < want*0.8 || hitRatio > want*1.2 {
+		t.Fatalf("hit ratio = %.4f, want ~%.4f", hitRatio, want)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := MustNew(L1Config)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AccessBlock(addrs[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,96 @@
+// Package cachefilter produces cache-filtered address traces: the sequence
+// of block addresses that miss in a level-1 instruction cache or a level-1
+// data cache, in program order. This is the trace format the ATC compressor
+// takes as input and matches the paper's setup (§4.2): both caches 32 KB,
+// 4-way set-associative, LRU, 64-byte blocks. Because block addresses are
+// byte addresses shifted right by 6, the 6 most significant bits of every
+// trace record are zero, as the paper requires.
+package cachefilter
+
+import (
+	"atc/internal/cache"
+)
+
+// Kind distinguishes the access streams feeding the two L1 caches.
+type Kind uint8
+
+const (
+	// Instr is an instruction fetch (filtered by the L1I).
+	Instr Kind = iota
+	// Load is a data read (filtered by the L1D).
+	Load
+	// Store is a data write (filtered by the L1D; write-allocate).
+	Store
+)
+
+// Access is one memory reference by byte address.
+type Access struct {
+	Addr uint64
+	Kind Kind
+}
+
+// Filter runs accesses through the two L1 caches and collects the block
+// addresses of misses.
+type Filter struct {
+	icache *cache.Cache
+	dcache *cache.Cache
+}
+
+// New returns a Filter with the given I and D cache configurations.
+func New(icfg, dcfg cache.Config) (*Filter, error) {
+	ic, err := cache.New(icfg)
+	if err != nil {
+		return nil, err
+	}
+	dc, err := cache.New(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{icache: ic, dcache: dc}, nil
+}
+
+// NewL1 returns a Filter with the paper's L1 configuration for both caches.
+func NewL1() *Filter {
+	f, err := New(cache.L1Config, cache.L1Config)
+	if err != nil {
+		panic(err) // L1Config is known good
+	}
+	return f
+}
+
+// Access performs one reference. If it misses its cache, the missing block
+// address is returned with ok=true.
+func (f *Filter) Access(a Access) (block uint64, ok bool) {
+	c := f.dcache
+	if a.Kind == Instr {
+		c = f.icache
+	}
+	blk := c.BlockAddr(a.Addr)
+	if c.AccessBlock(blk) {
+		return 0, false
+	}
+	return blk, true
+}
+
+// ICacheStats returns the instruction cache counters.
+func (f *Filter) ICacheStats() cache.Stats { return f.icache.Stats() }
+
+// DCacheStats returns the data cache counters.
+func (f *Filter) DCacheStats() cache.Stats { return f.dcache.Stats() }
+
+// Source produces an unbounded stream of raw accesses.
+type Source interface {
+	Next() Access
+}
+
+// Collect drives a Source through the filter until n filtered (missing)
+// block addresses have been produced, and returns them.
+func Collect(f *Filter, src Source, n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		if blk, ok := f.Access(src.Next()); ok {
+			out = append(out, blk)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package cachefilter
+
+import (
+	"testing"
+
+	"atc/internal/cache"
+)
+
+func TestMissProducesBlockAddress(t *testing.T) {
+	f := NewL1()
+	blk, ok := f.Access(Access{Addr: 0x12345, Kind: Load})
+	if !ok {
+		t.Fatal("cold access did not miss")
+	}
+	if blk != 0x12345>>6 {
+		t.Fatalf("block = %#x, want %#x", blk, 0x12345>>6)
+	}
+}
+
+func TestHitProducesNothing(t *testing.T) {
+	f := NewL1()
+	f.Access(Access{Addr: 0x1000, Kind: Load})
+	if _, ok := f.Access(Access{Addr: 0x1008, Kind: Load}); ok {
+		t.Fatal("same-block access missed")
+	}
+}
+
+func TestTopSixBitsNull(t *testing.T) {
+	// The paper: block addresses have their 6 most significant bits null.
+	f := NewL1()
+	blk, ok := f.Access(Access{Addr: ^uint64(0), Kind: Load})
+	if !ok {
+		t.Fatal("no miss")
+	}
+	if blk>>58 != 0 {
+		t.Fatalf("block address %#x has nonzero top 6 bits", blk)
+	}
+}
+
+func TestInstructionAndDataStreamsSeparate(t *testing.T) {
+	f := NewL1()
+	// Same address through both kinds: each cache takes its own cold miss.
+	if _, ok := f.Access(Access{Addr: 0x4000, Kind: Instr}); !ok {
+		t.Fatal("I-stream cold miss missing")
+	}
+	if _, ok := f.Access(Access{Addr: 0x4000, Kind: Load}); !ok {
+		t.Fatal("D-stream cold miss missing (streams must be independent)")
+	}
+	if _, ok := f.Access(Access{Addr: 0x4000, Kind: Instr}); ok {
+		t.Fatal("I-stream re-access missed")
+	}
+	if _, ok := f.Access(Access{Addr: 0x4000, Kind: Store}); ok {
+		t.Fatal("D-stream re-access (store) missed")
+	}
+	if f.ICacheStats().Accesses != 2 || f.DCacheStats().Accesses != 2 {
+		t.Fatalf("stream accounting: I=%+v D=%+v", f.ICacheStats(), f.DCacheStats())
+	}
+}
+
+func TestSequentialStreamMissesOncePerBlock(t *testing.T) {
+	f := NewL1()
+	misses := 0
+	// Stream 64 KB (beyond L1) of sequential 8-byte loads: one miss per
+	// 64-byte block.
+	for a := uint64(0); a < 64<<10; a += 8 {
+		if _, ok := f.Access(Access{Addr: a, Kind: Load}); ok {
+			misses++
+		}
+	}
+	if misses != 1024 {
+		t.Fatalf("sequential stream misses = %d, want 1024", misses)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	f := NewL1()
+	src := &stride{stride: 8}
+	got := Collect(f, src, 100)
+	if len(got) != 100 {
+		t.Fatalf("collected %d blocks", len(got))
+	}
+	// A pure sequential stream yields consecutive block addresses.
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("blocks not consecutive at %d: %d -> %d", i, got[i-1], got[i])
+		}
+	}
+}
+
+type stride struct {
+	next   uint64
+	stride uint64
+}
+
+func (s *stride) Next() Access {
+	a := Access{Addr: s.next, Kind: Load}
+	s.next += s.stride
+	return a
+}
+
+func TestCustomConfigs(t *testing.T) {
+	small := cache.Config{SizeBytes: 1 << 10, Ways: 2, BlockBytes: 64}
+	f, err := New(small, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2 KB loop footprint misses forever in a 1 KB cache.
+	misses := 0
+	for round := 0; round < 4; round++ {
+		for a := uint64(0); a < 2<<10; a += 64 {
+			if _, ok := f.Access(Access{Addr: a, Kind: Load}); ok {
+				misses++
+			}
+		}
+	}
+	if misses != 4*32 {
+		t.Fatalf("thrash misses = %d, want %d", misses, 4*32)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	bad := cache.Config{SizeBytes: 100, Ways: 3, BlockBytes: 60}
+	if _, err := New(bad, cache.L1Config); err == nil {
+		t.Fatal("bad I-cache config accepted")
+	}
+	if _, err := New(cache.L1Config, bad); err == nil {
+		t.Fatal("bad D-cache config accepted")
+	}
+}

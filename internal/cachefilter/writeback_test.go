@@ -1,0 +1,145 @@
+package cachefilter
+
+import (
+	"testing"
+
+	"atc/internal/cache"
+	"atc/internal/trace"
+)
+
+func TestWriteBackEmittedOnDirtyEviction(t *testing.T) {
+	// Single-set, 2-way data cache: write block 1, write block 2, then
+	// read blocks 3 and 4: evictions of 1 and 2 must surface write-backs.
+	small := cache.Config{SizeBytes: 2 * 64, Ways: 2, BlockBytes: 64}
+	f, err := NewTagged(small, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := f.Access(Access{Addr: 1 * 64, Kind: Store})
+	if len(recs) != 1 {
+		t.Fatalf("first store records = %v", recs)
+	}
+	f.Access(Access{Addr: 2 * 64, Kind: Store})
+	recs = append([]uint64(nil), f.Access(Access{Addr: 3 * 64, Kind: Load})...)
+	if len(recs) != 2 {
+		t.Fatalf("eviction records = %d, want miss + writeback", len(recs))
+	}
+	blk, tag := trace.SplitTag(recs[0])
+	if tag != trace.TagDemandMiss || blk != 3 {
+		t.Fatalf("record 0 = (%d, %d)", blk, tag)
+	}
+	blk, tag = trace.SplitTag(recs[1])
+	if tag != trace.TagWriteBack || blk != 1 {
+		t.Fatalf("record 1 = (%d, %d), want write-back of block 1", blk, tag)
+	}
+}
+
+func TestCleanEvictionNoWriteBack(t *testing.T) {
+	small := cache.Config{SizeBytes: 2 * 64, Ways: 2, BlockBytes: 64}
+	f, err := NewTagged(small, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Access(Access{Addr: 1 * 64, Kind: Load})
+	f.Access(Access{Addr: 2 * 64, Kind: Load})
+	recs := f.Access(Access{Addr: 3 * 64, Kind: Load})
+	if len(recs) != 1 {
+		t.Fatalf("clean eviction emitted %d records, want 1 (demand miss only)", len(recs))
+	}
+}
+
+func TestWriteHitDirtiesLine(t *testing.T) {
+	small := cache.Config{SizeBytes: 2 * 64, Ways: 2, BlockBytes: 64}
+	f, err := NewTagged(small, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Access(Access{Addr: 1 * 64, Kind: Load})  // clean fill
+	f.Access(Access{Addr: 1 * 64, Kind: Store}) // dirty on hit
+	f.Access(Access{Addr: 2 * 64, Kind: Load})
+	recs := f.Access(Access{Addr: 3 * 64, Kind: Load}) // evicts block 1
+	found := false
+	for _, r := range recs {
+		if blk, tag := trace.SplitTag(r); tag == trace.TagWriteBack && blk == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("store-hit-dirtied line evicted without a write-back record")
+	}
+}
+
+func TestInstructionStreamNeverWritesBack(t *testing.T) {
+	f := NewTaggedL1()
+	src := &stride{stride: 4}
+	for i := 0; i < 500_000; i++ {
+		a := src.Next()
+		a.Kind = Instr
+		for _, r := range f.Access(a) {
+			if _, tag := trace.SplitTag(r); tag == trace.TagWriteBack {
+				t.Fatal("instruction stream produced a write-back")
+			}
+		}
+	}
+}
+
+func TestCollectTagged(t *testing.T) {
+	f := NewTaggedL1()
+	// Store-heavy stream over > L1 footprint: write-backs must appear.
+	src := &storeStride{}
+	recs := CollectTagged(f, src, 10_000)
+	if len(recs) != 10_000 {
+		t.Fatalf("collected %d records", len(recs))
+	}
+	wb := 0
+	for _, r := range recs {
+		blk, tag := trace.SplitTag(r)
+		if blk>>58 != 0 {
+			t.Fatal("address leaked into tag bits")
+		}
+		if tag == trace.TagWriteBack {
+			wb++
+		}
+	}
+	if wb == 0 {
+		t.Fatal("store-thrash produced no write-backs")
+	}
+	// Steady-state thrash with all stores: roughly one write-back per
+	// demand miss.
+	if wb < len(recs)/4 {
+		t.Fatalf("only %d write-backs of %d records", wb, len(recs))
+	}
+}
+
+// storeStride streams stores over a 2x-L1 footprint, wrapping.
+type storeStride struct {
+	next uint64
+}
+
+func (s *storeStride) Next() Access {
+	a := Access{Addr: s.next, Kind: Store}
+	s.next = (s.next + 64) % (64 << 10)
+	return a
+}
+
+func TestTagsRoundTrip(t *testing.T) {
+	cases := []struct {
+		block uint64
+		tag   trace.Tag
+	}{
+		{0, trace.TagDemandMiss},
+		{0x3FF_FFFF_FFFF_FFFF, trace.TagWriteBack},
+		{12345, trace.TagWriteBack},
+	}
+	for _, c := range cases {
+		rec := trace.WithTag(c.block, c.tag)
+		blk, tag := trace.SplitTag(rec)
+		if blk != c.block || tag != c.tag {
+			t.Fatalf("round trip (%#x,%d) -> (%#x,%d)", c.block, c.tag, blk, tag)
+		}
+	}
+	// Untagged records read back as demand misses.
+	if _, tag := trace.SplitTag(999); tag != trace.TagDemandMiss {
+		t.Fatal("untagged record not a demand miss")
+	}
+}

@@ -1,0 +1,217 @@
+// Package cdc implements the address predictor the paper uses in Figure 5
+// to judge whether lossy-compressed traces "look like" the originals: a
+// predictor based on the C/DC prefetcher of Nesbit, Dhodapkar and Smith
+// (PACT 2004), with 64-Kbyte CZones, a 256-entry index table, a 256-entry
+// global history buffer (GHB), and a 2-delta correlation key.
+//
+// For each incoming block address, the predictor first checks the pending
+// prediction for the address's CZone (counting a correct, incorrect, or —
+// if no prediction was made — non-predicted outcome), then inserts the
+// address into the GHB and tries to predict the *next* address in the same
+// CZone: the last two deltas of the zone form the correlation key, the
+// zone's history chain is searched for the key's most recent previous
+// occurrence, and the delta that followed it there is applied to the
+// current address.
+package cdc
+
+import "fmt"
+
+// Config parameterises the predictor.
+type Config struct {
+	// CZoneBlockBits is log2 of the CZone size in blocks. The paper's
+	// 64-Kbyte zones over 64-byte blocks give 1024 blocks = 10 bits.
+	CZoneBlockBits uint
+	// IndexEntries is the CZone index table size (paper: 256).
+	IndexEntries int
+	// GHBEntries is the global history buffer size (paper: 256).
+	GHBEntries int
+}
+
+// PaperConfig reproduces the configuration of the paper's §5.3.
+var PaperConfig = Config{CZoneBlockBits: 10, IndexEntries: 256, GHBEntries: 256}
+
+func (c Config) validate() error {
+	if c.IndexEntries <= 0 || c.GHBEntries <= 0 {
+		return fmt.Errorf("cdc: nonpositive table sizes %+v", c)
+	}
+	return nil
+}
+
+// Counts tallies prediction outcomes, one per trace address.
+type Counts struct {
+	NonPredicted int64
+	Correct      int64
+	Incorrect    int64
+}
+
+// Total returns the number of classified addresses.
+func (c Counts) Total() int64 { return c.NonPredicted + c.Correct + c.Incorrect }
+
+// Fractions returns the three outcome shares (0 if no addresses seen).
+func (c Counts) Fractions() (nonPred, correct, incorrect float64) {
+	t := c.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(c.NonPredicted) / float64(t),
+		float64(c.Correct) / float64(t),
+		float64(c.Incorrect) / float64(t)
+}
+
+type indexEntry struct {
+	zone       uint64
+	headPos    int64 // absolute GHB position of the zone's most recent address
+	pending    uint64
+	valid      bool
+	hasPending bool
+}
+
+type ghbEntry struct {
+	addr    uint64
+	prevPos int64 // absolute position of previous address in same zone, -1 none
+}
+
+// Predictor is a C/DC address predictor. Create one with New.
+type Predictor struct {
+	cfg    Config
+	table  []indexEntry
+	ghb    []ghbEntry
+	wpos   int64 // absolute write position (total pushes)
+	counts Counts
+}
+
+// New builds a Predictor.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		cfg:   cfg,
+		table: make([]indexEntry, cfg.IndexEntries),
+		ghb:   make([]ghbEntry, cfg.GHBEntries),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Counts returns the outcome counters.
+func (p *Predictor) Counts() Counts { return p.counts }
+
+func (p *Predictor) zoneOf(block uint64) uint64 {
+	return block >> p.cfg.CZoneBlockBits
+}
+
+func (p *Predictor) slotOf(zone uint64) int {
+	h := zone * 0x9E3779B97F4A7C15
+	return int(h % uint64(p.cfg.IndexEntries))
+}
+
+// live reports whether an absolute GHB position still holds its entry.
+func (p *Predictor) live(pos int64) bool {
+	return pos >= 0 && pos > p.wpos-int64(p.cfg.GHBEntries) && pos < p.wpos
+}
+
+func (p *Predictor) at(pos int64) ghbEntry {
+	return p.ghb[pos%int64(p.cfg.GHBEntries)]
+}
+
+// Access classifies one block address and prepares the next prediction for
+// its CZone.
+func (p *Predictor) Access(block uint64) {
+	zone := p.zoneOf(block)
+	e := &p.table[p.slotOf(zone)]
+	if !e.valid || e.zone != zone {
+		// New (or aliased) zone: no pending prediction applies.
+		p.counts.NonPredicted++
+		*e = indexEntry{zone: zone, headPos: -1, valid: true}
+	} else if e.hasPending {
+		if e.pending == block {
+			p.counts.Correct++
+		} else {
+			p.counts.Incorrect++
+		}
+		e.hasPending = false
+	} else {
+		p.counts.NonPredicted++
+	}
+
+	// Push into the GHB, linking to the zone's previous address.
+	prev := int64(-1)
+	if p.live(e.headPos) {
+		prev = e.headPos
+	}
+	p.ghb[p.wpos%int64(p.cfg.GHBEntries)] = ghbEntry{addr: block, prevPos: prev}
+	e.headPos = p.wpos
+	p.wpos++
+
+	// Predict the zone's next address via 2-delta correlation.
+	if pred, ok := p.predict(e.headPos); ok {
+		e.pending = pred
+		e.hasPending = true
+	}
+}
+
+// predict walks the zone chain rooted at head (the newest entry) and
+// returns the predicted next address if the last two deltas recur earlier
+// in the chain.
+func (p *Predictor) predict(head int64) (uint64, bool) {
+	// Need at least three addresses for two deltas.
+	p0 := head
+	e0 := p.at(p0)
+	p1 := e0.prevPos
+	if !p.live(p1) {
+		return 0, false
+	}
+	e1 := p.at(p1)
+	p2 := e1.prevPos
+	if !p.live(p2) {
+		return 0, false
+	}
+	e2 := p.at(p2)
+	d1 := int64(e0.addr) - int64(e1.addr)
+	d2 := int64(e1.addr) - int64(e2.addr)
+
+	// Slide a triple (x[k], x[k+1], x[k+2]) down the chain, starting one
+	// step older than the key itself, looking for the same delta pair.
+	// x[k-1] is the address that followed x[k]; its delta gives the
+	// prediction.
+	xPrev := e1 // x[k-1] candidate, one newer than x[k]
+	pk := p2
+	for p.live(pk) {
+		ek := p.at(pk)
+		pk1 := ek.prevPos
+		if !p.live(pk1) {
+			return 0, false
+		}
+		ek1 := p.at(pk1)
+		pk2 := ek1.prevPos
+		if !p.live(pk2) {
+			return 0, false
+		}
+		ek2 := p.at(pk2)
+		f1 := int64(ek.addr) - int64(ek1.addr)
+		f2 := int64(ek1.addr) - int64(ek2.addr)
+		if f1 == d1 && f2 == d2 {
+			followDelta := int64(xPrev.addr) - int64(ek.addr)
+			pred := uint64(int64(e0.addr) + followDelta)
+			return pred, true
+		}
+		xPrev = ek
+		pk = pk1
+	}
+	return 0, false
+}
+
+// AccessAll classifies a whole trace.
+func (p *Predictor) AccessAll(blocks []uint64) {
+	for _, b := range blocks {
+		p.Access(b)
+	}
+}

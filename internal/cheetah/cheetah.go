@@ -1,0 +1,161 @@
+// Package cheetah implements single-pass LRU cache simulation for a whole
+// range of associativities at once, in the spirit of the Cheetah simulator
+// (Sugumar & Abraham) that the paper uses for its Figure 3 miss-ratio
+// studies.
+//
+// For a fixed number of sets, the per-set LRU stack position (stack
+// distance) of each reference determines its hit/miss outcome for every
+// associativity simultaneously: a reference found at depth d hits in any
+// cache with associativity > d and misses in smaller ones. One pass over
+// the trace therefore yields the full miss-ratio-vs-associativity curve.
+// A Grid aggregates several set counts to produce the whole Figure 3
+// surface in a single trace traversal.
+package cheetah
+
+import "fmt"
+
+// Simulator computes miss counts for associativities 1..MaxAssoc at a fixed
+// set count (a power of two).
+type Simulator struct {
+	sets     int
+	maxAssoc int
+	setMask  uint64
+	// stacks[s] is the LRU stack of set s, most recent first, bounded at
+	// maxAssoc entries.
+	stacks [][]uint64
+	// distHist[d] counts references found at stack distance d.
+	distHist []int64
+	// coldOrDeep counts references not found within maxAssoc (cold misses
+	// and references beyond the deepest tracked way).
+	coldOrDeep int64
+	accesses   int64
+}
+
+// New returns a Simulator for the given geometry.
+func New(sets, maxAssoc int) (*Simulator, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cheetah: set count %d not a positive power of two", sets)
+	}
+	if maxAssoc <= 0 {
+		return nil, fmt.Errorf("cheetah: nonpositive max associativity %d", maxAssoc)
+	}
+	return &Simulator{
+		sets:     sets,
+		maxAssoc: maxAssoc,
+		setMask:  uint64(sets - 1),
+		stacks:   make([][]uint64, sets),
+		distHist: make([]int64, maxAssoc),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(sets, maxAssoc int) *Simulator {
+	s, err := New(sets, maxAssoc)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Sets returns the simulated set count.
+func (s *Simulator) Sets() int { return s.sets }
+
+// MaxAssoc returns the largest simulated associativity.
+func (s *Simulator) MaxAssoc() int { return s.maxAssoc }
+
+// Accesses returns the number of references simulated.
+func (s *Simulator) Accesses() int64 { return s.accesses }
+
+// Access simulates one block-address reference.
+func (s *Simulator) Access(block uint64) {
+	s.accesses++
+	idx := block & s.setMask
+	stack := s.stacks[idx]
+	for d, tag := range stack {
+		if tag == block {
+			s.distHist[d]++
+			copy(stack[1:d+1], stack[:d])
+			stack[0] = block
+			return
+		}
+	}
+	s.coldOrDeep++
+	if len(stack) < s.maxAssoc {
+		stack = append(stack, 0)
+	}
+	copy(stack[1:], stack)
+	stack[0] = block
+	s.stacks[idx] = stack
+}
+
+// AccessAll simulates a whole trace.
+func (s *Simulator) AccessAll(blocks []uint64) {
+	for _, b := range blocks {
+		s.Access(b)
+	}
+}
+
+// Misses returns the miss count for a cache of the given associativity
+// (1 <= assoc <= MaxAssoc): every reference with stack distance >= assoc.
+func (s *Simulator) Misses(assoc int) int64 {
+	if assoc < 1 || assoc > s.maxAssoc {
+		panic(fmt.Sprintf("cheetah: associativity %d out of range [1,%d]", assoc, s.maxAssoc))
+	}
+	m := s.coldOrDeep
+	for d := assoc; d < s.maxAssoc; d++ {
+		m += s.distHist[d]
+	}
+	return m
+}
+
+// MissRatio returns Misses(assoc)/Accesses.
+func (s *Simulator) MissRatio(assoc int) float64 {
+	if s.accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses(assoc)) / float64(s.accesses)
+}
+
+// MissRatios returns the curve for associativities 1..MaxAssoc.
+func (s *Simulator) MissRatios() []float64 {
+	out := make([]float64, s.maxAssoc)
+	for a := 1; a <= s.maxAssoc; a++ {
+		out[a-1] = s.MissRatio(a)
+	}
+	return out
+}
+
+// Grid simulates several set counts in one pass.
+type Grid struct {
+	sims []*Simulator
+}
+
+// NewGrid builds simulators for each set count.
+func NewGrid(setCounts []int, maxAssoc int) (*Grid, error) {
+	g := &Grid{}
+	for _, sc := range setCounts {
+		s, err := New(sc, maxAssoc)
+		if err != nil {
+			return nil, err
+		}
+		g.sims = append(g.sims, s)
+	}
+	return g, nil
+}
+
+// Access feeds one reference to every simulator.
+func (g *Grid) Access(block uint64) {
+	for _, s := range g.sims {
+		s.Access(block)
+	}
+}
+
+// AccessAll feeds a whole trace to every simulator.
+func (g *Grid) AccessAll(blocks []uint64) {
+	for _, b := range blocks {
+		g.Access(b)
+	}
+}
+
+// Simulators exposes the per-set-count simulators in construction order.
+func (g *Grid) Simulators() []*Simulator { return g.sims }

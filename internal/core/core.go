@@ -1,0 +1,483 @@
+// Package core implements ATC, the address-trace compressor of the paper
+// (Michaud, ISPASS 2009, Section 6): a single-pass streaming compressor for
+// traces of 64-bit values with a lossless mode ('c' in the paper) and a
+// lossy, phase-based mode ('k').
+//
+// A compressed trace is a directory:
+//
+//	MANIFEST        small plain-text descriptor (version, mode, back end)
+//	INFO.<suffix>   back-end-compressed metadata: parameters and the
+//	                interval record sequence (chunk / imitate+translations)
+//	<n>.<suffix>    chunk n: one interval (lossy) or the whole trace
+//	                (lossless), bytesort-transformed and back-end-compressed
+//
+// Lossless mode pipes every address through the bytesort transformation
+// into a single chunk. Lossy mode cuts the trace into intervals of L
+// addresses; each interval either becomes a new chunk or is recorded as an
+// imitation of a previous chunk together with the byte translations of
+// Section 5.1. The final, possibly short interval always becomes a chunk so
+// every imitation replays a full-length interval.
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"atc/internal/bytesort"
+	"atc/internal/histogram"
+	"atc/internal/phase"
+	"atc/internal/xcompress"
+)
+
+// Mode selects lossless or lossy compression.
+type Mode int
+
+const (
+	// Lossless is the paper's 'c' mode: bytesort + back end, bit exact.
+	Lossless Mode = iota
+	// Lossy is the paper's 'k' mode: phase-based interval reuse.
+	Lossy
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Lossless:
+		return "lossless"
+	case Lossy:
+		return "lossy"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Defaults mirroring the paper's parameters.
+const (
+	// DefaultIntervalLen is the paper's interval length L (10 million
+	// addresses, §5.3).
+	DefaultIntervalLen = 10_000_000
+	// DefaultBufferAddrs is the paper's bytesort buffer for chunks
+	// (1 million addresses, §5.2).
+	DefaultBufferAddrs = 1_000_000
+	// DefaultBackend is the byte-level back end (bzip2 in the paper).
+	DefaultBackend = "bsc"
+)
+
+const (
+	manifestName = "MANIFEST"
+	infoBase     = "INFO"
+	infoMagic    = "ATCI"
+	infoVersion  = 1
+
+	recChunk   = 1
+	recImitate = 2
+	recEnd     = 0
+)
+
+// ErrCorrupt reports a malformed compressed trace.
+var ErrCorrupt = errors.New("atc: corrupt compressed trace")
+
+// Options configures compression.
+type Options struct {
+	// Mode selects Lossless or Lossy. Default Lossless.
+	Mode Mode
+	// Backend names the byte-level compressor ("bsc", "flate", "store").
+	// Default DefaultBackend.
+	Backend string
+	// IntervalLen is the lossy interval length L in addresses.
+	// Default DefaultIntervalLen.
+	IntervalLen int
+	// Epsilon is the lossy matching threshold. Default phase.DefaultEpsilon.
+	Epsilon float64
+	// BufferAddrs is the bytesort buffer size B in addresses.
+	// Default DefaultBufferAddrs.
+	BufferAddrs int
+	// TableCapacity bounds the phase table. Default phase.DefaultCapacity.
+	TableCapacity int
+}
+
+func (o *Options) fillDefaults() {
+	if o.Backend == "" {
+		o.Backend = DefaultBackend
+	}
+	if o.IntervalLen <= 0 {
+		o.IntervalLen = DefaultIntervalLen
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = phase.DefaultEpsilon
+	}
+	if o.BufferAddrs <= 0 {
+		o.BufferAddrs = DefaultBufferAddrs
+	}
+	if o.TableCapacity <= 0 {
+		o.TableCapacity = phase.DefaultCapacity
+	}
+}
+
+// record is one INFO entry describing an interval.
+type record struct {
+	tag     uint8
+	chunkID int
+	trans   *histogram.Translations // imitation records only
+}
+
+// Stats summarises a finished compression.
+type Stats struct {
+	Mode       Mode
+	TotalAddrs int64 // addresses coded
+	Intervals  int64 // lossy intervals seen (lossless: 1)
+	Chunks     int64 // chunks written
+	Imitations int64 // intervals replaced by imitation records
+}
+
+// Compressor writes an ATC-compressed trace. Create one with Create, feed
+// it with Code/CodeSlice and finish with Close.
+type Compressor struct {
+	dir     string
+	opts    Options
+	backend xcompress.Backend
+
+	// Lossless pipeline.
+	chunkFile *os.File
+	chunkBuf  *bufio.Writer
+	chunkCW   io.WriteCloser
+	chunkEnc  *bytesort.Encoder
+
+	// Lossy pipeline.
+	interval []uint64
+	table    *phase.Table
+	records  []record
+
+	nextChunk int
+	total     int64
+	nChunks   int64
+	nImit     int64
+	closed    bool
+	err       error
+}
+
+// Create starts a new compressed trace in directory dir (created if
+// needed; it must be empty of ATC files).
+func Create(dir string, opts Options) (*Compressor, error) {
+	opts.fillDefaults()
+	backend, err := xcompress.Lookup(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("atc: create dir: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("atc: %s already contains a compressed trace", dir)
+	}
+	c := &Compressor{
+		dir:       dir,
+		opts:      opts,
+		backend:   backend,
+		nextChunk: 1,
+	}
+	switch opts.Mode {
+	case Lossless:
+		if err := c.openLosslessChunk(); err != nil {
+			return nil, err
+		}
+	case Lossy:
+		c.interval = make([]uint64, 0, opts.IntervalLen)
+		c.table = phase.New(opts.TableCapacity, opts.Epsilon)
+	default:
+		return nil, fmt.Errorf("atc: unknown mode %v", opts.Mode)
+	}
+	return c, nil
+}
+
+func (c *Compressor) chunkPath(id int) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%d.%s", id, c.opts.Backend))
+}
+
+func (c *Compressor) openLosslessChunk() error {
+	f, err := os.Create(c.chunkPath(1))
+	if err != nil {
+		return fmt.Errorf("atc: %w", err)
+	}
+	c.chunkFile = f
+	c.chunkBuf = bufio.NewWriterSize(f, 1<<16)
+	cw, err := c.backend.NewWriter(c.chunkBuf)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	c.chunkCW = cw
+	c.chunkEnc = bytesort.NewEncoder(cw, c.opts.BufferAddrs)
+	c.records = append(c.records, record{tag: recChunk, chunkID: 1})
+	c.nextChunk = 2
+	c.nChunks = 1
+	return nil
+}
+
+// Code appends one 64-bit value to the trace (the paper's atc_code).
+func (c *Compressor) Code(x uint64) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return errors.New("atc: code after close")
+	}
+	c.total++
+	if c.opts.Mode == Lossless {
+		if err := c.chunkEnc.Write(x); err != nil {
+			c.err = err
+			return err
+		}
+		return nil
+	}
+	c.interval = append(c.interval, x)
+	if len(c.interval) == c.opts.IntervalLen {
+		return c.endInterval(false)
+	}
+	return nil
+}
+
+// CodeSlice appends many values.
+func (c *Compressor) CodeSlice(xs []uint64) error {
+	for _, x := range xs {
+		if err := c.Code(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// endInterval classifies the buffered interval as a chunk or an imitation.
+// The final (possibly short) interval is always stored as a chunk.
+func (c *Compressor) endInterval(final bool) error {
+	if len(c.interval) == 0 {
+		return nil
+	}
+	hist := histogram.Compute(c.interval)
+	full := len(c.interval) == c.opts.IntervalLen
+	if full {
+		if id, _, ok := c.table.Match(hist); ok {
+			chunkHist, ok := c.table.Lookup(id)
+			if !ok {
+				return fmt.Errorf("atc: internal: matched chunk %d not resident", id)
+			}
+			tr := histogram.BuildTranslations(chunkHist, hist, c.opts.Epsilon)
+			c.records = append(c.records, record{tag: recImitate, chunkID: id, trans: tr})
+			c.nImit++
+			c.interval = c.interval[:0]
+			return nil
+		}
+	}
+	id := c.nextChunk
+	c.nextChunk++
+	if err := c.writeChunk(id, c.interval); err != nil {
+		c.err = err
+		return err
+	}
+	c.nChunks++
+	// Only full-length chunks may be imitated later; a short final chunk
+	// never enters the table (it cannot stand in for a full interval).
+	if full {
+		c.table.Insert(id, hist)
+	}
+	c.records = append(c.records, record{tag: recChunk, chunkID: id})
+	c.interval = c.interval[:0]
+	return nil
+}
+
+// writeChunk stores one interval as a bytesorted, back-end-compressed file.
+func (c *Compressor) writeChunk(id int, addrs []uint64) error {
+	f, err := os.Create(c.chunkPath(id))
+	if err != nil {
+		return fmt.Errorf("atc: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	cw, err := c.backend.NewWriter(bw)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	bufAddrs := c.opts.BufferAddrs
+	if bufAddrs > len(addrs) {
+		bufAddrs = len(addrs)
+	}
+	enc := bytesort.NewEncoder(cw, bufAddrs)
+	if err := enc.WriteSlice(addrs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := enc.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := cw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Close flushes all state and writes INFO and MANIFEST (the paper's
+// atc_close). The Compressor cannot be used afterwards.
+func (c *Compressor) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return nil
+	}
+	if c.opts.Mode == Lossless {
+		if err := c.chunkEnc.Close(); err != nil {
+			c.err = err
+			return err
+		}
+		if err := c.chunkCW.Close(); err != nil {
+			c.err = err
+			return err
+		}
+		if err := c.chunkBuf.Flush(); err != nil {
+			c.err = err
+			return err
+		}
+		if err := c.chunkFile.Close(); err != nil {
+			c.err = err
+			return err
+		}
+	} else {
+		if err := c.endInterval(true); err != nil {
+			return err
+		}
+	}
+	if err := c.writeInfo(); err != nil {
+		c.err = err
+		return err
+	}
+	if err := c.writeManifest(); err != nil {
+		c.err = err
+		return err
+	}
+	c.closed = true
+	return nil
+}
+
+// Stats reports compression counters; valid after Close.
+func (c *Compressor) Stats() Stats {
+	intervals := int64(1)
+	if c.opts.Mode == Lossy {
+		intervals = c.nChunks + c.nImit
+	}
+	return Stats{
+		Mode:       c.opts.Mode,
+		TotalAddrs: c.total,
+		Intervals:  intervals,
+		Chunks:     c.nChunks,
+		Imitations: c.nImit,
+	}
+}
+
+func (c *Compressor) writeManifest() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "atc %d\n", infoVersion)
+	fmt.Fprintf(&b, "mode %s\n", c.opts.Mode)
+	fmt.Fprintf(&b, "backend %s\n", c.opts.Backend)
+	return os.WriteFile(filepath.Join(c.dir, manifestName), []byte(b.String()), 0o644)
+}
+
+func (c *Compressor) writeInfo() error {
+	f, err := os.Create(filepath.Join(c.dir, infoBase+"."+c.opts.Backend))
+	if err != nil {
+		return fmt.Errorf("atc: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	cw, err := c.backend.NewWriter(bw)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w := bufio.NewWriter(cw)
+	w.WriteString(infoMagic)
+	w.WriteByte(infoVersion)
+	w.WriteByte(byte(c.opts.Mode))
+	writeUvarint(w, uint64(c.opts.IntervalLen))
+	writeUvarint(w, uint64(c.opts.BufferAddrs))
+	var eps [8]byte
+	binary.LittleEndian.PutUint64(eps[:], math.Float64bits(c.opts.Epsilon))
+	w.Write(eps[:])
+	for _, r := range c.records {
+		w.WriteByte(r.tag)
+		writeUvarint(w, uint64(r.chunkID))
+		if r.tag == recImitate {
+			w.WriteByte(r.trans.Mask)
+			for j := 0; j < histogram.Positions; j++ {
+				if r.trans.Mask&(1<<uint(j)) != 0 {
+					w.Write(r.trans.T[j][:])
+				}
+			}
+		}
+	}
+	w.WriteByte(recEnd)
+	writeUvarint(w, uint64(c.total))
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := cw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+// DirSize sums the sizes of all files in a compressed-trace directory;
+// used to compute bits-per-address figures.
+func DirSize(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// BitsPerAddress computes the paper's BPA metric for a compressed trace.
+func BitsPerAddress(dir string, addrs int64) (float64, error) {
+	if addrs <= 0 {
+		return 0, errors.New("atc: nonpositive address count")
+	}
+	size, err := DirSize(dir)
+	if err != nil {
+		return 0, err
+	}
+	return float64(size*8) / float64(addrs), nil
+}

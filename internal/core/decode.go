@@ -1,0 +1,376 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"atc/internal/bytesort"
+	"atc/internal/histogram"
+	"atc/internal/xcompress"
+)
+
+// DecodeOptions configures decompression.
+type DecodeOptions struct {
+	// Backend overrides the back end named in MANIFEST (rarely needed).
+	Backend string
+	// IgnoreTranslations disables byte translation during imitation —
+	// the ablation of the paper's Figure 4. The decoded trace then reuses
+	// chunks verbatim and understates the trace footprint.
+	IgnoreTranslations bool
+	// ChunkCacheSize bounds the number of decompressed chunks kept in
+	// memory (default 8). Imitations of cached chunks avoid re-reading the
+	// chunk file.
+	ChunkCacheSize int
+}
+
+// Decompressor streams a compressed trace back out (the paper's 'd' mode).
+type Decompressor struct {
+	dir     string
+	opts    DecodeOptions
+	backend xcompress.Backend
+
+	mode        Mode
+	intervalLen int
+	bufferAddrs int
+	epsilon     float64
+	records     []record
+	total       int64
+
+	// Lossless streaming state.
+	losslessFile *os.File
+	losslessDec  *bytesort.Decoder
+
+	// Lossy iteration state.
+	recIdx  int
+	pending []uint64
+	pos     int
+	emitted int64
+
+	cache     map[int][]uint64
+	cacheFIFO []int
+
+	err error
+}
+
+// Open prepares a compressed trace directory for decoding.
+func Open(dir string, opts DecodeOptions) (*Decompressor, error) {
+	if opts.ChunkCacheSize <= 0 {
+		opts.ChunkCacheSize = 8
+	}
+	d := &Decompressor{dir: dir, opts: opts, cache: map[int][]uint64{}}
+	backendName := opts.Backend
+	if backendName == "" {
+		var err error
+		backendName, err = readManifestBackend(filepath.Join(dir, manifestName))
+		if err != nil {
+			return nil, err
+		}
+	}
+	backend, err := xcompress.Lookup(backendName)
+	if err != nil {
+		return nil, err
+	}
+	d.backend = backend
+	if err := d.readInfo(backendName); err != nil {
+		return nil, err
+	}
+	if d.mode == Lossless {
+		if err := d.openLossless(backendName); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func readManifestBackend(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("%w: missing MANIFEST: %v", ErrCorrupt, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == "backend" {
+			return fields[1], nil
+		}
+	}
+	return "", fmt.Errorf("%w: MANIFEST has no backend line", ErrCorrupt)
+}
+
+func (d *Decompressor) readInfo(backendName string) error {
+	f, err := os.Open(filepath.Join(d.dir, infoBase+"."+backendName))
+	if err != nil {
+		return fmt.Errorf("%w: missing INFO: %v", ErrCorrupt, err)
+	}
+	defer f.Close()
+	cr, err := d.backend.NewReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return err
+	}
+	r := bufio.NewReader(cr)
+	var magicBuf [4]byte
+	if _, err := io.ReadFull(r, magicBuf[:]); err != nil || string(magicBuf[:]) != infoMagic {
+		return fmt.Errorf("%w: bad INFO magic", ErrCorrupt)
+	}
+	ver, err := r.ReadByte()
+	if err != nil || ver != infoVersion {
+		return fmt.Errorf("%w: unsupported INFO version %d", ErrCorrupt, ver)
+	}
+	modeB, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: short INFO", ErrCorrupt)
+	}
+	d.mode = Mode(modeB)
+	if d.mode != Lossless && d.mode != Lossy {
+		return fmt.Errorf("%w: unknown mode %d", ErrCorrupt, modeB)
+	}
+	il, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("%w: short INFO", ErrCorrupt)
+	}
+	d.intervalLen = int(il)
+	ba, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("%w: short INFO", ErrCorrupt)
+	}
+	d.bufferAddrs = int(ba)
+	var eps [8]byte
+	if _, err := io.ReadFull(r, eps[:]); err != nil {
+		return fmt.Errorf("%w: short INFO", ErrCorrupt)
+	}
+	d.epsilon = math.Float64frombits(binary.LittleEndian.Uint64(eps[:]))
+	for {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: INFO truncated before end record", ErrCorrupt)
+		}
+		switch tag {
+		case recEnd:
+			total, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("%w: short trailer", ErrCorrupt)
+			}
+			d.total = int64(total)
+			return nil
+		case recChunk:
+			id, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("%w: short chunk record", ErrCorrupt)
+			}
+			d.records = append(d.records, record{tag: recChunk, chunkID: int(id)})
+		case recImitate:
+			id, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("%w: short imitation record", ErrCorrupt)
+			}
+			mask, err := r.ReadByte()
+			if err != nil {
+				return fmt.Errorf("%w: short imitation record", ErrCorrupt)
+			}
+			tr := &histogram.Translations{Mask: mask}
+			for j := 0; j < histogram.Positions; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					if _, err := io.ReadFull(r, tr.T[j][:]); err != nil {
+						return fmt.Errorf("%w: short translation table", ErrCorrupt)
+					}
+				} else {
+					for i := 0; i < 256; i++ {
+						tr.T[j][i] = uint8(i)
+					}
+				}
+			}
+			d.records = append(d.records, record{tag: recImitate, chunkID: int(id), trans: tr})
+		default:
+			return fmt.Errorf("%w: unknown record tag %d", ErrCorrupt, tag)
+		}
+	}
+}
+
+func (d *Decompressor) chunkPath(id int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%d.%s", id, d.backend.Name()))
+}
+
+func (d *Decompressor) openLossless(backendName string) error {
+	f, err := os.Open(d.chunkPath(1))
+	if err != nil {
+		return fmt.Errorf("%w: missing chunk 1: %v", ErrCorrupt, err)
+	}
+	cr, err := d.backend.NewReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		f.Close()
+		return err
+	}
+	d.losslessFile = f
+	d.losslessDec = bytesort.NewDecoder(cr)
+	return nil
+}
+
+// Mode reports the stored trace's compression mode.
+func (d *Decompressor) Mode() Mode { return d.mode }
+
+// TotalAddrs reports the stored trace's length in addresses.
+func (d *Decompressor) TotalAddrs() int64 { return d.total }
+
+// IntervalLen reports the stored interval length L (lossy traces).
+func (d *Decompressor) IntervalLen() int { return d.intervalLen }
+
+// Epsilon reports the stored matching threshold (lossy traces).
+func (d *Decompressor) Epsilon() float64 { return d.epsilon }
+
+// Records reports the number of interval records (lossy traces).
+func (d *Decompressor) Records() int { return len(d.records) }
+
+// Decode returns the next trace value (the paper's atc_decode); io.EOF
+// signals a complete, verified end of trace.
+func (d *Decompressor) Decode() (uint64, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	if d.mode == Lossless {
+		v, err := d.losslessDec.Read()
+		if err == io.EOF {
+			if d.emitted != d.total {
+				d.err = fmt.Errorf("%w: decoded %d addresses, trailer says %d", ErrCorrupt, d.emitted, d.total)
+				return 0, d.err
+			}
+			d.err = io.EOF
+			return 0, io.EOF
+		}
+		if err != nil {
+			d.err = err
+			return 0, err
+		}
+		d.emitted++
+		if d.emitted > d.total {
+			d.err = fmt.Errorf("%w: more addresses than trailer count %d", ErrCorrupt, d.total)
+			return 0, d.err
+		}
+		return v, nil
+	}
+	for d.pos >= len(d.pending) {
+		if d.recIdx >= len(d.records) {
+			if d.emitted != d.total {
+				d.err = fmt.Errorf("%w: decoded %d addresses, trailer says %d", ErrCorrupt, d.emitted, d.total)
+				return 0, d.err
+			}
+			d.err = io.EOF
+			return 0, io.EOF
+		}
+		if err := d.nextInterval(); err != nil {
+			d.err = err
+			return 0, err
+		}
+	}
+	v := d.pending[d.pos]
+	d.pos++
+	d.emitted++
+	return v, nil
+}
+
+// DecodeAll decodes the remaining trace into memory.
+func (d *Decompressor) DecodeAll() ([]uint64, error) {
+	out := make([]uint64, 0, d.total)
+	for {
+		v, err := d.Decode()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+}
+
+func (d *Decompressor) nextInterval() error {
+	rec := d.records[d.recIdx]
+	d.recIdx++
+	chunk, err := d.loadChunk(rec.chunkID)
+	if err != nil {
+		return err
+	}
+	switch rec.tag {
+	case recChunk:
+		d.pending = chunk
+		d.pos = 0
+	case recImitate:
+		out := make([]uint64, len(chunk))
+		copy(out, chunk)
+		if !d.opts.IgnoreTranslations {
+			rec.trans.ApplySlice(out)
+		}
+		d.pending = out
+		d.pos = 0
+	default:
+		return fmt.Errorf("%w: bad record tag %d", ErrCorrupt, rec.tag)
+	}
+	return nil
+}
+
+// loadChunk returns the decoded addresses of a chunk, consulting the cache.
+func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
+	if addrs, ok := d.cache[id]; ok {
+		return addrs, nil
+	}
+	f, err := os.Open(d.chunkPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing chunk %d: %v", ErrCorrupt, id, err)
+	}
+	defer f.Close()
+	cr, err := d.backend.NewReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	addrs, err := bytesort.NewDecoder(cr).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%w: chunk %d: %v", ErrCorrupt, id, err)
+	}
+	if len(d.cacheFIFO) >= d.opts.ChunkCacheSize {
+		oldest := d.cacheFIFO[0]
+		d.cacheFIFO = d.cacheFIFO[1:]
+		delete(d.cache, oldest)
+	}
+	d.cache[id] = addrs
+	d.cacheFIFO = append(d.cacheFIFO, id)
+	return addrs, nil
+}
+
+// Close releases any open files.
+func (d *Decompressor) Close() error {
+	if d.losslessFile != nil {
+		err := d.losslessFile.Close()
+		d.losslessFile = nil
+		return err
+	}
+	return nil
+}
+
+// ReadTrace is a convenience helper decoding an entire compressed trace.
+func ReadTrace(dir string) ([]uint64, error) {
+	d, err := Open(dir, DecodeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	return d.DecodeAll()
+}
+
+// WriteTrace is a convenience helper compressing an in-memory trace.
+func WriteTrace(dir string, addrs []uint64, opts Options) (Stats, error) {
+	c, err := Create(dir, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := c.CodeSlice(addrs); err != nil {
+		return Stats{}, err
+	}
+	if err := c.Close(); err != nil {
+		return Stats{}, err
+	}
+	return c.Stats(), nil
+}

@@ -1,0 +1,215 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation from the synthetic workload suite. It is the shared harness
+// behind cmd/atcbench and the module's top-level benchmarks: each
+// experiment has a Run function returning a structured result and a Render
+// method printing rows shaped like the paper's.
+//
+// Scaling: the paper's traces are 100 M – 1 G addresses; the defaults here
+// are 50–500× smaller so the full suite runs in minutes, with every knob
+// exported so paper-scale runs remain possible. DESIGN.md §4 maps each
+// experiment to its paper counterpart; EXPERIMENTS.md records measured
+// values.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"atc/internal/bytesort"
+	"atc/internal/trace"
+	"atc/internal/workload"
+	"atc/internal/xcompress"
+)
+
+// DefaultTraceLen is the scaled stand-in for the paper's 100 M-address
+// traces (Table 1).
+const DefaultTraceLen = 500_000
+
+// DefaultSeed makes all experiments reproducible by default.
+const DefaultSeed = 2009 // ISPASS 2009
+
+// TraceCache memoises generated traces so multi-column experiments
+// generate each workload once. It is safe for concurrent use.
+type TraceCache struct {
+	mu sync.Mutex
+	m  map[string][]uint64
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{m: map[string][]uint64{}}
+}
+
+// Get returns the filtered trace for a model, generating it on first use.
+func (tc *TraceCache) Get(model string, n int, seed uint64) ([]uint64, error) {
+	key := fmt.Sprintf("%s/%d/%d", model, n, seed)
+	tc.mu.Lock()
+	if addrs, ok := tc.m[key]; ok {
+		tc.mu.Unlock()
+		return addrs, nil
+	}
+	tc.mu.Unlock()
+	addrs, err := workload.GenerateFiltered(model, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	tc.m[key] = addrs
+	tc.mu.Unlock()
+	return addrs, nil
+}
+
+// ModelNames lists the full 22-model suite in paper order.
+func ModelNames() []string {
+	models := workload.Models()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// countingWriter counts compressed output bytes.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// bpa converts a compressed size to bits per address.
+func bpa(bytes int64, addrs int) float64 {
+	if addrs == 0 {
+		return 0
+	}
+	return float64(bytes*8) / float64(addrs)
+}
+
+// CompressRawSize compresses the little-endian encoding of a trace with a
+// back end and returns the compressed size (the Table 1 "bz2" column).
+func CompressRawSize(addrs []uint64, backend string) (int64, error) {
+	b, err := xcompress.Lookup(backend)
+	if err != nil {
+		return 0, err
+	}
+	var cw countingWriter
+	w, err := b.NewWriter(&cw)
+	if err != nil {
+		return 0, err
+	}
+	tw := trace.NewWriter(w)
+	if err := tw.WriteSlice(addrs); err != nil {
+		return 0, err
+	}
+	if err := tw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// CompressBytesort compresses a trace through the bytesort (or unshuffle)
+// transformation into a back end and returns the compressed bytes.
+func CompressBytesort(addrs []uint64, bufAddrs int, mode bytesort.Mode, backend string) ([]byte, error) {
+	b, err := xcompress.Lookup(backend)
+	if err != nil {
+		return nil, err
+	}
+	var sink appendWriter
+	w, err := b.NewWriter(&sink)
+	if err != nil {
+		return nil, err
+	}
+	enc := bytesort.NewEncoderMode(w, bufAddrs, mode)
+	if err := enc.WriteSlice(addrs); err != nil {
+		return nil, err
+	}
+	if err := enc.Close(); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return sink.b, nil
+}
+
+// DecompressBytesort decodes a CompressBytesort stream.
+func DecompressBytesort(data []byte, mode bytesort.Mode, backend string) ([]uint64, error) {
+	b, err := xcompress.Lookup(backend)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.NewReader(newSliceReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return bytesort.NewDecoderMode(r, mode).ReadAll()
+}
+
+// DrainBackend runs only the back-end decompression of a stream, returning
+// the number of decompressed bytes (for back-end cost attribution).
+func DrainBackend(data []byte, backend string) (int64, error) {
+	b, err := xcompress.Lookup(backend)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.NewReader(newSliceReader(data))
+	if err != nil {
+		return 0, err
+	}
+	return io.Copy(io.Discard, r)
+}
+
+type appendWriter struct{ b []byte }
+
+func (a *appendWriter) Write(p []byte) (int, error) {
+	a.b = append(a.b, p...)
+	return len(p), nil
+}
+
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func newSliceReader(b []byte) *sliceReader { return &sliceReader{b: b} }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.i:])
+	s.i += n
+	return n, nil
+}
+
+func (s *sliceReader) ReadByte() (byte, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	b := s.b[s.i]
+	s.i++
+	return b, nil
+}
+
+// Footprint counts distinct addresses in a trace.
+func Footprint(addrs []uint64) int {
+	seen := make(map[uint64]struct{}, len(addrs)/4+16)
+	for _, a := range addrs {
+		seen[a] = struct{}{}
+	}
+	return len(seen)
+}
+
+// shortName trims "400.perlbench" to "400" for paper-style rows.
+func shortName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return name
+}

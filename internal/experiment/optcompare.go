@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"atc/internal/cheetah"
+	"atc/internal/opt"
+)
+
+// OptCompareConfig parameterises the OPT-fidelity extension: the paper
+// verifies that lossy traces preserve LRU miss ratios (Figure 3); this
+// experiment additionally checks Belady/OPT miss ratios — the metric the
+// Cheetah simulator the paper uses was originally built for — and the
+// LRU/OPT gap, which cache-replacement studies read off such traces.
+type OptCompareConfig struct {
+	Models      []string // default: a 4-model subset
+	N           int
+	IntervalLen int
+	BufferAddrs int
+	Epsilon     float64
+	Backend     string
+	Seed        uint64
+	Sets        int // default 1024
+	Ways        int // default 8
+}
+
+func (c *OptCompareConfig) fillDefaults() {
+	if len(c.Models) == 0 {
+		c.Models = []string{"401.bzip2", "429.mcf", "453.povray", "464.h264ref"}
+	}
+	if c.N <= 0 {
+		c.N = DefaultTraceLen
+	}
+	if c.IntervalLen <= 0 {
+		c.IntervalLen = c.N / 20
+	}
+	if c.BufferAddrs <= 0 {
+		c.BufferAddrs = c.IntervalLen / 10
+		if c.BufferAddrs < 1 {
+			c.BufferAddrs = 1
+		}
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.1
+	}
+	if c.Backend == "" {
+		c.Backend = "bsc"
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.Sets <= 0 {
+		c.Sets = 1024
+	}
+	if c.Ways <= 0 {
+		c.Ways = 8
+	}
+}
+
+// OptCompareRow is one trace's LRU and OPT miss ratios, exact vs lossy.
+type OptCompareRow struct {
+	Trace               string
+	LRUExact, LRUApprox float64
+	OPTExact, OPTApprox float64
+}
+
+// OptCompareResult holds all rows.
+type OptCompareResult struct {
+	Config OptCompareConfig
+	Rows   []OptCompareRow
+}
+
+// RunOptCompare simulates both replacement policies on both traces.
+func RunOptCompare(cfg OptCompareConfig, tc *TraceCache) (*OptCompareResult, error) {
+	cfg.fillDefaults()
+	if tc == nil {
+		tc = NewTraceCache()
+	}
+	res := &OptCompareResult{Config: cfg}
+	for _, model := range cfg.Models {
+		exact, err := tc.Get(model, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		approx, _, _, err := lossyRoundTrip(exact, cfg.IntervalLen, cfg.BufferAddrs, cfg.Epsilon, cfg.Backend, false)
+		if err != nil {
+			return nil, fmt.Errorf("optcompare %s: %w", model, err)
+		}
+		row := OptCompareRow{Trace: model}
+		for _, v := range []struct {
+			addrs []uint64
+			lru   *float64
+			optr  *float64
+		}{
+			{exact, &row.LRUExact, &row.OPTExact},
+			{approx, &row.LRUApprox, &row.OPTApprox},
+		} {
+			lru := cheetah.MustNew(cfg.Sets, cfg.Ways)
+			lru.AccessAll(v.addrs)
+			*v.lru = lru.MissRatio(cfg.Ways)
+			o, err := opt.SimulateSetAssociative(v.addrs, cfg.Sets, cfg.Ways)
+			if err != nil {
+				return nil, err
+			}
+			*v.optr = o.MissRatio()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *OptCompareResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "OPT fidelity extension: LRU and Belady/OPT miss ratios, exact vs lossy\n")
+	fmt.Fprintf(w, "  cache: %d sets x %d ways; N=%d, L=%d, eps=%.2f\n",
+		r.Config.Sets, r.Config.Ways, r.Config.N, r.Config.IntervalLen, r.Config.Epsilon)
+	fmt.Fprintf(w, "%-16s %10s %10s %10s %10s %10s\n",
+		"trace", "LRU exact", "LRU lossy", "OPT exact", "OPT lossy", "gap kept")
+	for _, row := range r.Rows {
+		gapExact := row.LRUExact - row.OPTExact
+		gapApprox := row.LRUApprox - row.OPTApprox
+		kept := "yes"
+		if (gapExact-gapApprox) > 0.1 || (gapApprox-gapExact) > 0.1 {
+			kept = "no"
+		}
+		fmt.Fprintf(w, "%-16s %10.4f %10.4f %10.4f %10.4f %10s\n",
+			row.Trace, row.LRUExact, row.LRUApprox, row.OPTExact, row.OPTApprox, kept)
+	}
+}

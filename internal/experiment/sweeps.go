@@ -1,0 +1,428 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"atc/internal/bytesort"
+	"atc/internal/core"
+)
+
+// EpsilonSweepConfig parameterises the ε ablation: the paper states that
+// ε = 0.1 balances compression ratio against fidelity (§5.2); the sweep
+// makes that trade-off measurable.
+type EpsilonSweepConfig struct {
+	Model       string // default "482.sphinx3"
+	N           int
+	IntervalLen int
+	BufferAddrs int
+	Epsilons    []float64 // default {0.01, 0.05, 0.1, 0.2, 0.5, 1.0}
+	Backend     string
+	Seed        uint64
+}
+
+func (c *EpsilonSweepConfig) fillDefaults() {
+	if c.Model == "" {
+		c.Model = "482.sphinx3"
+	}
+	if c.N <= 0 {
+		c.N = DefaultTraceLen
+	}
+	if c.IntervalLen <= 0 {
+		c.IntervalLen = c.N / 20
+	}
+	if c.BufferAddrs <= 0 {
+		c.BufferAddrs = c.IntervalLen / 10
+		if c.BufferAddrs < 1 {
+			c.BufferAddrs = 1
+		}
+	}
+	if len(c.Epsilons) == 0 {
+		c.Epsilons = []float64{0.01, 0.05, 0.1, 0.2, 0.5, 1.0}
+	}
+	if c.Backend == "" {
+		c.Backend = "bsc"
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+}
+
+// EpsilonPoint is one sweep sample: compression and fidelity at one ε.
+type EpsilonPoint struct {
+	Epsilon        float64
+	BPA            float64
+	Chunks         int64
+	FootprintRatio float64 // decoded distinct / exact distinct (1.0 = faithful)
+}
+
+// EpsilonSweepResult holds the sweep.
+type EpsilonSweepResult struct {
+	Config EpsilonSweepConfig
+	Points []EpsilonPoint
+}
+
+// RunEpsilonSweep measures BPA and footprint fidelity across thresholds.
+func RunEpsilonSweep(cfg EpsilonSweepConfig, tc *TraceCache) (*EpsilonSweepResult, error) {
+	cfg.fillDefaults()
+	if tc == nil {
+		tc = NewTraceCache()
+	}
+	exact, err := tc.Get(cfg.Model, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	exactFoot := Footprint(exact)
+	res := &EpsilonSweepResult{Config: cfg}
+	for _, eps := range cfg.Epsilons {
+		dir, err := os.MkdirTemp("", "atc-eps")
+		if err != nil {
+			return nil, err
+		}
+		stats, err := core.WriteTrace(dir, exact, core.Options{
+			Mode:        core.Lossy,
+			Backend:     cfg.Backend,
+			IntervalLen: cfg.IntervalLen,
+			BufferAddrs: cfg.BufferAddrs,
+			Epsilon:     eps,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		v, err := core.BitsPerAddress(dir, int64(cfg.N))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		decoded, err := core.ReadTrace(dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, EpsilonPoint{
+			Epsilon:        eps,
+			BPA:            v,
+			Chunks:         stats.Chunks,
+			FootprintRatio: float64(Footprint(decoded)) / float64(exactFoot),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *EpsilonSweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Epsilon sweep on %s (N=%d, L=%d): compression vs fidelity\n",
+		r.Config.Model, r.Config.N, r.Config.IntervalLen)
+	fmt.Fprintf(w, "%8s %10s %8s %16s\n", "eps", "BPA", "chunks", "footprint ratio")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8.3f %10.4f %8d %16.3f\n", p.Epsilon, p.BPA, p.Chunks, p.FootprintRatio)
+	}
+}
+
+// IntervalSweepConfig parameterises the myopic-interval study (§5): with a
+// short interval L, an unmitigated lossy compressor understates the trace
+// footprint. The sweep reports the decoded footprint with and without byte
+// translation across interval lengths.
+type IntervalSweepConfig struct {
+	Model        string // default "429.mcf" (large footprint, random-ish)
+	N            int
+	IntervalLens []int // default {N/200, N/100, N/50, N/20, N/10}
+	BufferAddrs  int
+	Epsilon      float64
+	Backend      string
+	Seed         uint64
+}
+
+func (c *IntervalSweepConfig) fillDefaults() {
+	if c.Model == "" {
+		c.Model = "429.mcf"
+	}
+	if c.N <= 0 {
+		c.N = DefaultTraceLen
+	}
+	if len(c.IntervalLens) == 0 {
+		c.IntervalLens = []int{c.N / 200, c.N / 100, c.N / 50, c.N / 20, c.N / 10}
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.1
+	}
+	if c.Backend == "" {
+		c.Backend = "bsc"
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+}
+
+// IntervalPoint is one sweep sample.
+type IntervalPoint struct {
+	IntervalLen      int
+	BPA              float64
+	FootprintRatio   float64 // with translation
+	NoTransFootRatio float64 // translation disabled (the myopic failure)
+}
+
+// IntervalSweepResult holds the sweep.
+type IntervalSweepResult struct {
+	Config IntervalSweepConfig
+	Points []IntervalPoint
+}
+
+// RunIntervalSweep measures footprint fidelity across interval lengths.
+func RunIntervalSweep(cfg IntervalSweepConfig, tc *TraceCache) (*IntervalSweepResult, error) {
+	cfg.fillDefaults()
+	if tc == nil {
+		tc = NewTraceCache()
+	}
+	exact, err := tc.Get(cfg.Model, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	exactFoot := float64(Footprint(exact))
+	res := &IntervalSweepResult{Config: cfg}
+	for _, L := range cfg.IntervalLens {
+		if L < 1 {
+			continue
+		}
+		buf := cfg.BufferAddrs
+		if buf <= 0 {
+			buf = L / 10
+			if buf < 1 {
+				buf = 1
+			}
+		}
+		approx, noTrans, _, err := lossyRoundTrip(exact, L, buf, cfg.Epsilon, cfg.Backend, true)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "atc-lsweep")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.WriteTrace(dir, exact, core.Options{
+			Mode: core.Lossy, Backend: cfg.Backend,
+			IntervalLen: L, BufferAddrs: buf, Epsilon: cfg.Epsilon,
+		}); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		v, err := core.BitsPerAddress(dir, int64(cfg.N))
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, IntervalPoint{
+			IntervalLen:      L,
+			BPA:              v,
+			FootprintRatio:   float64(Footprint(approx)) / exactFoot,
+			NoTransFootRatio: float64(Footprint(noTrans)) / exactFoot,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *IntervalSweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Interval-length sweep on %s (N=%d): the myopic-interval problem\n",
+		r.Config.Model, r.Config.N)
+	fmt.Fprintf(w, "%12s %10s %18s %18s\n", "L", "BPA", "footprint(trans)", "footprint(no-tr)")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12d %10.4f %18.3f %18.3f\n",
+			p.IntervalLen, p.BPA, p.FootprintRatio, p.NoTransFootRatio)
+	}
+}
+
+// BackendCompareConfig parameterises the back-end ablation: bytesort's
+// gain should hold for any byte-level compressor, with the block-sorting
+// back end ahead of flate.
+type BackendCompareConfig struct {
+	Models   []string // default: a representative 6-model subset
+	N        int
+	Buf      int      // bytesort buffer; default N/10
+	Backends []string // default {"bsc", "flate"}
+	Seed     uint64
+}
+
+func (c *BackendCompareConfig) fillDefaults() {
+	if len(c.Models) == 0 {
+		c.Models = []string{"403.gcc", "410.bwaves", "429.mcf", "453.povray", "462.libquantum", "473.astar"}
+	}
+	if c.N <= 0 {
+		c.N = DefaultTraceLen
+	}
+	if c.Buf <= 0 {
+		c.Buf = c.N / 10
+	}
+	if len(c.Backends) == 0 {
+		c.Backends = []string{"bsc", "flate"}
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+}
+
+// BackendCompareRow is one (trace, backend) pair of BPA values.
+type BackendCompareRow struct {
+	Trace   string
+	Backend string
+	RawBPA  float64 // back end alone
+	SortBPA float64 // bytesort + back end
+	Gain    float64 // RawBPA / SortBPA
+}
+
+// BackendCompareResult holds all rows.
+type BackendCompareResult struct {
+	Config BackendCompareConfig
+	Rows   []BackendCompareRow
+}
+
+// RunBackendCompare measures bytesort's gain under each back end.
+func RunBackendCompare(cfg BackendCompareConfig, tc *TraceCache) (*BackendCompareResult, error) {
+	cfg.fillDefaults()
+	if tc == nil {
+		tc = NewTraceCache()
+	}
+	res := &BackendCompareResult{Config: cfg}
+	for _, model := range cfg.Models {
+		addrs, err := tc.Get(model, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, backend := range cfg.Backends {
+			raw, err := CompressRawSize(addrs, backend)
+			if err != nil {
+				return nil, err
+			}
+			blob, err := CompressBytesort(addrs, cfg.Buf, bytesort.Sorted, backend)
+			if err != nil {
+				return nil, err
+			}
+			row := BackendCompareRow{
+				Trace:   model,
+				Backend: backend,
+				RawBPA:  bpa(raw, len(addrs)),
+				SortBPA: bpa(int64(len(blob)), len(addrs)),
+			}
+			if row.SortBPA > 0 {
+				row.Gain = row.RawBPA / row.SortBPA
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *BackendCompareResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Backend ablation: bytesort gain under different byte-level back ends\n")
+	fmt.Fprintf(w, "%-16s %-8s %10s %10s %8s\n", "trace", "backend", "raw BPA", "bsort BPA", "gain")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %-8s %10.3f %10.3f %8.2f\n",
+			row.Trace, row.Backend, row.RawBPA, row.SortBPA, row.Gain)
+	}
+}
+
+// HistorySweepConfig parameterises the phase-table capacity ablation.
+type HistorySweepConfig struct {
+	Model       string // default "471.omnetpp" (alternating phases)
+	N           int
+	IntervalLen int
+	BufferAddrs int
+	Capacities  []int // default {1, 2, 4, 16, 64, 256}
+	Epsilon     float64
+	Backend     string
+	Seed        uint64
+}
+
+func (c *HistorySweepConfig) fillDefaults() {
+	if c.Model == "" {
+		c.Model = "471.omnetpp"
+	}
+	if c.N <= 0 {
+		c.N = DefaultTraceLen
+	}
+	if c.IntervalLen <= 0 {
+		c.IntervalLen = c.N / 20
+	}
+	if c.BufferAddrs <= 0 {
+		c.BufferAddrs = c.IntervalLen / 10
+		if c.BufferAddrs < 1 {
+			c.BufferAddrs = 1
+		}
+	}
+	if len(c.Capacities) == 0 {
+		c.Capacities = []int{1, 2, 4, 16, 64, 256}
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.1
+	}
+	if c.Backend == "" {
+		c.Backend = "bsc"
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+}
+
+// HistoryPoint is one capacity sample.
+type HistoryPoint struct {
+	Capacity int
+	BPA      float64
+	Chunks   int64
+}
+
+// HistorySweepResult holds the sweep.
+type HistorySweepResult struct {
+	Config HistorySweepConfig
+	Points []HistoryPoint
+}
+
+// RunHistorySweep measures the phase-table capacity's effect on chunk reuse.
+func RunHistorySweep(cfg HistorySweepConfig, tc *TraceCache) (*HistorySweepResult, error) {
+	cfg.fillDefaults()
+	if tc == nil {
+		tc = NewTraceCache()
+	}
+	exact, err := tc.Get(cfg.Model, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &HistorySweepResult{Config: cfg}
+	for _, capn := range cfg.Capacities {
+		dir, err := os.MkdirTemp("", "atc-hist")
+		if err != nil {
+			return nil, err
+		}
+		stats, err := core.WriteTrace(dir, exact, core.Options{
+			Mode:          core.Lossy,
+			Backend:       cfg.Backend,
+			IntervalLen:   cfg.IntervalLen,
+			BufferAddrs:   cfg.BufferAddrs,
+			Epsilon:       cfg.Epsilon,
+			TableCapacity: capn,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		v, err := core.BitsPerAddress(dir, int64(cfg.N))
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, HistoryPoint{Capacity: capn, BPA: v, Chunks: stats.Chunks})
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *HistorySweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Phase-table capacity sweep on %s (N=%d, L=%d)\n",
+		r.Config.Model, r.Config.N, r.Config.IntervalLen)
+	fmt.Fprintf(w, "%10s %10s %8s\n", "capacity", "BPA", "chunks")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%10d %10.4f %8d\n", p.Capacity, p.BPA, p.Chunks)
+	}
+}

@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"atc/internal/bytesort"
+	"atc/internal/core"
+)
+
+// Table3Config parameterises the lossless-vs-lossy comparison of the
+// paper's Table 3 (1 G-address traces, L = 10 M, ε = 0.1 in the paper; the
+// scaled defaults keep 100 intervals per trace).
+type Table3Config struct {
+	Models      []string
+	N           int     // addresses per trace; default 4*DefaultTraceLen
+	IntervalLen int     // default N/20 (see fillDefaults for the scaling note)
+	BufferAddrs int     // chunk bytesort buffer; default IntervalLen/10
+	Epsilon     float64 // default 0.1
+	Backend     string  // default "bsc"
+	Seed        uint64
+}
+
+func (c *Table3Config) fillDefaults() {
+	if len(c.Models) == 0 {
+		c.Models = ModelNames()
+	}
+	if c.N <= 0 {
+		c.N = 4 * DefaultTraceLen
+	}
+	if c.IntervalLen <= 0 {
+		// The paper uses L = N/100 at N = 1 G (L = 10 M). At laptop scale
+		// that ratio would push L below the sorted-histogram sampling-noise
+		// floor (E[d] ≈ 18/sqrt(L), which must stay well under ε): default
+		// to N/20 instead. Paper-scale runs can pass IntervalLen = N/100.
+		c.IntervalLen = c.N / 20
+		if c.IntervalLen < 1 {
+			c.IntervalLen = 1
+		}
+	}
+	if c.BufferAddrs <= 0 {
+		c.BufferAddrs = c.IntervalLen / 10
+		if c.BufferAddrs < 1 {
+			c.BufferAddrs = 1
+		}
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.1
+	}
+	if c.Backend == "" {
+		c.Backend = "bsc"
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+}
+
+// Table3Row is one trace's lossless and lossy bits per address.
+type Table3Row struct {
+	Trace      string
+	Lossless   float64
+	Lossy      float64
+	Chunks     int64
+	Imitations int64
+}
+
+// Table3Result is the full comparison.
+type Table3Result struct {
+	Config       Table3Config
+	Rows         []Table3Row
+	MeanLossless float64
+	MeanLossy    float64
+}
+
+// RunTable3 compresses each trace both ways and reports BPA.
+func RunTable3(cfg Table3Config, tc *TraceCache) (*Table3Result, error) {
+	cfg.fillDefaults()
+	if tc == nil {
+		tc = NewTraceCache()
+	}
+	res := &Table3Result{Config: cfg}
+	for _, model := range cfg.Models {
+		addrs, err := tc.Get(model, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Trace: model}
+
+		// Lossless: bytesort with the small buffer, as in the paper.
+		blob, err := CompressBytesort(addrs, cfg.BufferAddrs, bytesort.Sorted, cfg.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s lossless: %w", model, err)
+		}
+		row.Lossless = bpa(int64(len(blob)), len(addrs))
+
+		// Lossy: the full ATC pipeline into a directory.
+		dir, err := os.MkdirTemp("", "atc-table3")
+		if err != nil {
+			return nil, err
+		}
+		stats, err := core.WriteTrace(dir, addrs, core.Options{
+			Mode:        core.Lossy,
+			Backend:     cfg.Backend,
+			IntervalLen: cfg.IntervalLen,
+			BufferAddrs: cfg.BufferAddrs,
+			Epsilon:     cfg.Epsilon,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("table3 %s lossy: %w", model, err)
+		}
+		lossyBPA, err := core.BitsPerAddress(dir, int64(len(addrs)))
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		row.Lossy = lossyBPA
+		row.Chunks = stats.Chunks
+		row.Imitations = stats.Imitations
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(res.Rows))
+	for _, r := range res.Rows {
+		res.MeanLossless += r.Lossless / n
+		res.MeanLossy += r.Lossy / n
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 3: bits per address, lossless vs. lossy\n")
+	fmt.Fprintf(w, "  traces: %d addresses, L=%d, eps=%.2f, backend=%s\n",
+		r.Config.N, r.Config.IntervalLen, r.Config.Epsilon, r.Config.Backend)
+	fmt.Fprintf(w, "%-16s %10s %10s %8s %8s\n", "trace", "lossless", "lossy", "chunks", "imit")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %10.3f %10.3f %8d %8d\n",
+			row.Trace, row.Lossless, row.Lossy, row.Chunks, row.Imitations)
+	}
+	fmt.Fprintf(w, "%-16s %10.3f %10.3f\n", "arith. mean", r.MeanLossless, r.MeanLossy)
+}

@@ -1,0 +1,252 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atc/internal/bitio"
+)
+
+func roundTrip(t *testing.T, data []byte, maxBits int) {
+	t.Helper()
+	freqs := make([]int64, 256)
+	for _, b := range data {
+		freqs[b]++
+	}
+	lengths, err := BuildLengths(freqs, maxBits)
+	if err != nil {
+		t.Fatalf("BuildLengths: %v", err)
+	}
+	cb, err := NewCodebook(lengths)
+	if err != nil {
+		t.Fatalf("NewCodebook: %v", err)
+	}
+	var buf bytes.Buffer
+	bw := bitio.NewWriter(&buf)
+	enc := NewEncoder(cb, bw)
+	for _, b := range data {
+		if err := enc.WriteSymbol(int(b)); err != nil {
+			t.Fatalf("WriteSymbol: %v", err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	br := bitio.NewReader(&buf)
+	dec, err := NewDecoder(lengths, br)
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	for i, want := range data {
+		got, err := dec.ReadSymbol()
+		if err != nil {
+			t.Fatalf("ReadSymbol %d: %v", i, err)
+		}
+		if got != int(want) {
+			t.Fatalf("symbol %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	roundTrip(t, []byte("abracadabra, the quick brown fox jumps over the lazy dog"), MaxBits)
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte{42}, 100), MaxBits)
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	roundTrip(t, []byte{0, 1, 0, 0, 1, 0, 0, 0, 1}, MaxBits)
+}
+
+func TestRoundTripAllBytes(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	roundTrip(t, data, MaxBits)
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	// Exponentially skewed frequencies force deep codes.
+	var data []byte
+	for i := 0; i < 20; i++ {
+		data = append(data, bytes.Repeat([]byte{byte(i)}, 1<<uint(i%18))...)
+	}
+	roundTrip(t, data, MaxBits)
+}
+
+func TestLengthLimit(t *testing.T) {
+	// Fibonacci-like frequencies make unconstrained Huffman deep.
+	freqs := make([]int64, 32)
+	a, b := int64(1), int64(1)
+	for i := range freqs {
+		freqs[i] = a
+		a, b = b, a+b
+	}
+	for _, limit := range []int{5, 8, 10, MaxBits} {
+		lengths, err := BuildLengths(freqs, limit)
+		if err != nil {
+			t.Fatalf("BuildLengths(limit=%d): %v", limit, err)
+		}
+		var kraft float64
+		for sym, l := range lengths {
+			if freqs[sym] > 0 && l == 0 {
+				t.Fatalf("limit %d: symbol %d lost its code", limit, sym)
+			}
+			if int(l) > limit {
+				t.Fatalf("limit %d: length %d exceeds limit", limit, l)
+			}
+			if l > 0 {
+				kraft += 1 / float64(uint64(1)<<l)
+			}
+		}
+		if kraft > 1.0000001 {
+			t.Fatalf("limit %d: Kraft sum %v > 1", limit, kraft)
+		}
+		if _, err := NewCodebook(lengths); err != nil {
+			t.Fatalf("limit %d: codebook rejected: %v", limit, err)
+		}
+	}
+}
+
+func TestNoSymbols(t *testing.T) {
+	if _, err := BuildLengths(make([]int64, 256), MaxBits); err == nil {
+		t.Fatal("BuildLengths on empty frequencies should fail")
+	}
+}
+
+func TestBadMaxBits(t *testing.T) {
+	freqs := []int64{1, 2, 3}
+	if _, err := BuildLengths(freqs, 0); err == nil {
+		t.Fatal("maxBits=0 should fail")
+	}
+	if _, err := BuildLengths(freqs, 64); err == nil {
+		t.Fatal("maxBits=64 should fail")
+	}
+}
+
+func TestOverfullLengthsRejected(t *testing.T) {
+	// Three codes of length 1 violate Kraft.
+	if _, err := NewCodebook([]uint8{1, 1, 1}); err == nil {
+		t.Fatal("overfull length table accepted")
+	}
+}
+
+func TestCanonicalCodeOrder(t *testing.T) {
+	// lengths: a=2 b=1 c=3 d=3 -> canonical: b=0, a=10, c=110, d=111
+	lengths := []uint8{2, 1, 3, 3}
+	cb, err := NewCodebook(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0b10, 0b0, 0b110, 0b111}
+	for sym, w := range want {
+		if cb.Codes[sym] != w {
+			t.Errorf("code[%d] = %b, want %b", sym, cb.Codes[sym], w)
+		}
+	}
+}
+
+func TestEncoderRejectsUncodedSymbol(t *testing.T) {
+	cb, err := NewCodebook([]uint8{1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(cb, bitio.NewWriter(&bytes.Buffer{}))
+	if err := enc.WriteSymbol(2); err == nil {
+		t.Fatal("encoding a symbol without a code should fail")
+	}
+}
+
+func TestOptimalityOrdering(t *testing.T) {
+	// More frequent symbols must never get longer codes.
+	freqs := []int64{100, 50, 25, 12, 6, 3, 1, 1}
+	lengths, err := BuildLengths(freqs, MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i-1] > freqs[i] && lengths[i-1] > lengths[i] {
+			t.Fatalf("freq %d > %d but length %d > %d", freqs[i-1], freqs[i], lengths[i-1], lengths[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%2048) + 1
+		data := make([]byte, size)
+		// Mix of skewed and uniform distributions.
+		nSyms := rng.Intn(255) + 1
+		for i := range data {
+			data[i] = byte(rng.Intn(nSyms))
+		}
+		freqs := make([]int64, 256)
+		for _, b := range data {
+			freqs[b]++
+		}
+		lengths, err := BuildLengths(freqs, MaxBits)
+		if err != nil {
+			return false
+		}
+		cb, err := NewCodebook(lengths)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		bw := bitio.NewWriter(&buf)
+		enc := NewEncoder(cb, bw)
+		for _, b := range data {
+			if err := enc.WriteSymbol(int(b)); err != nil {
+				return false
+			}
+		}
+		if err := bw.Close(); err != nil {
+			return false
+		}
+		dec, err := NewDecoder(lengths, bitio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		for _, want := range data {
+			got, err := dec.ReadSymbol()
+			if err != nil || got != int(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(rng.Intn(32))
+	}
+	freqs := make([]int64, 256)
+	for _, v := range data {
+		freqs[v]++
+	}
+	lengths, _ := BuildLengths(freqs, MaxBits)
+	cb, _ := NewCodebook(lengths)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bw := bitio.NewWriter(&buf)
+		enc := NewEncoder(cb, bw)
+		for _, v := range data {
+			_ = enc.WriteSymbol(int(v))
+		}
+		_ = bw.Close()
+	}
+}

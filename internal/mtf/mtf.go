@@ -1,0 +1,166 @@
+// Package mtf implements the move-to-front transform and the zero-run
+// (RUNA/RUNB) encoding used between the Burrows–Wheeler transform and the
+// entropy coder, mirroring the bzip2 pipeline that the paper uses as its
+// byte-level back end.
+//
+// Symbol space of the run-length encoded stream:
+//
+//	0        RUNA (contributes 1<<k to a zero-run length)
+//	1        RUNB (contributes 2<<k to a zero-run length)
+//	2..256   MTF values 1..255 (value v encodes as symbol v+1)
+//	257      EOB, end of block
+//
+// Zero runs are encoded in bijective base 2, exactly as in bzip2: a run of
+// length r emits digits d0,d1,... where digit k is RUNA (weight 1<<k) or
+// RUNB (weight 2<<k) and r = Σ weight(k).
+package mtf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Symbol constants for the run-length encoded MTF stream.
+const (
+	RunA    = 0
+	RunB    = 1
+	EOB     = 257
+	NumSyms = 258 // alphabet size for the entropy coder
+)
+
+var errCorrupt = errors.New("mtf: corrupt symbol stream")
+
+// Encode applies move-to-front to data and returns the zero-run encoded
+// symbol stream, terminated by EOB.
+func Encode(data []byte) []uint16 {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	syms := make([]uint16, 0, len(data)/2+16)
+	zeroRun := 0
+	flushRun := func() {
+		r := zeroRun
+		for r > 0 {
+			if r&1 == 1 {
+				syms = append(syms, RunA)
+				r = (r - 1) / 2
+			} else {
+				syms = append(syms, RunB)
+				r = (r - 2) / 2
+			}
+		}
+		zeroRun = 0
+	}
+	for _, b := range data {
+		// Find position of b in the MTF table and move it to front.
+		var pos int
+		if order[0] == b {
+			pos = 0
+		} else {
+			j := 1
+			for order[j] != b {
+				j++
+			}
+			copy(order[1:j+1], order[:j])
+			order[0] = b
+			pos = j
+		}
+		if pos == 0 {
+			zeroRun++
+			continue
+		}
+		flushRun()
+		syms = append(syms, uint16(pos+1))
+	}
+	flushRun()
+	return append(syms, EOB)
+}
+
+// Decode reverses Encode. It consumes symbols up to and including the first
+// EOB and returns the reconstructed bytes together with the number of
+// symbols consumed.
+func Decode(syms []uint16) ([]byte, int, error) {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, 0, len(syms)*2)
+	i := 0
+	for i < len(syms) {
+		s := syms[i]
+		switch {
+		case s == EOB:
+			return out, i + 1, nil
+		case s == RunA || s == RunB:
+			// Collect the whole bijective base-2 run.
+			run := 0
+			shift := uint(0)
+			for i < len(syms) && (syms[i] == RunA || syms[i] == RunB) {
+				if syms[i] == RunA {
+					run += 1 << shift
+				} else {
+					run += 2 << shift
+				}
+				shift++
+				i++
+			}
+			front := order[0]
+			for k := 0; k < run; k++ {
+				out = append(out, front)
+			}
+		case s >= 2 && s <= 256:
+			pos := int(s) - 1
+			b := order[pos]
+			copy(order[1:pos+1], order[:pos])
+			order[0] = b
+			out = append(out, b)
+			i++
+		default:
+			return nil, 0, fmt.Errorf("%w: symbol %d", errCorrupt, s)
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: missing EOB", errCorrupt)
+}
+
+// MoveToFront applies the plain MTF transform (no run coding); exported for
+// testing and for analysis tools.
+func MoveToFront(data []byte) []byte {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for k, b := range data {
+		var pos int
+		if order[0] == b {
+			pos = 0
+		} else {
+			j := 1
+			for order[j] != b {
+				j++
+			}
+			copy(order[1:j+1], order[:j])
+			order[0] = b
+			pos = j
+		}
+		out[k] = byte(pos)
+	}
+	return out
+}
+
+// InverseMoveToFront reverses MoveToFront.
+func InverseMoveToFront(data []byte) []byte {
+	var order [256]byte
+	for i := range order {
+		order[i] = byte(i)
+	}
+	out := make([]byte, len(data))
+	for k, p := range data {
+		b := order[p]
+		copy(order[1:int(p)+1], order[:p])
+		order[0] = b
+		out[k] = b
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package mtf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMoveToFrontKnown(t *testing.T) {
+	// Classic example: "banana" over initial identity table.
+	in := []byte("banana")
+	got := MoveToFront(in)
+	// b=98 -> 98; a: a is now at index 98? order after moving b: [b,0..97,99..]
+	// a=97 originally at 97, after b moved to front a sits at 98.
+	want := []byte{98, 98, 110, 1, 1, 1}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("MTF(banana) = %v, want %v", got, want)
+	}
+}
+
+func TestMoveToFrontRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(InverseMoveToFront(MoveToFront(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveToFrontRunsBecomeZeros(t *testing.T) {
+	in := []byte{5, 5, 5, 5, 7, 7, 7}
+	out := MoveToFront(in)
+	for i := 1; i < 4; i++ {
+		if out[i] != 0 {
+			t.Fatalf("repeat positions should MTF to 0, got %v", out)
+		}
+	}
+	for i := 5; i < 7; i++ {
+		if out[i] != 0 {
+			t.Fatalf("repeat positions should MTF to 0, got %v", out)
+		}
+	}
+}
+
+func TestZeroRunBijectiveBase2(t *testing.T) {
+	// Runs of the front symbol of length r must encode to the documented
+	// RUNA/RUNB digit strings.
+	cases := []struct {
+		run  int
+		want []uint16
+	}{
+		{1, []uint16{RunA}},
+		{2, []uint16{RunB}},
+		{3, []uint16{RunA, RunA}},
+		{4, []uint16{RunB, RunA}},
+		{5, []uint16{RunA, RunB}},
+		{6, []uint16{RunB, RunB}},
+		{7, []uint16{RunA, RunA, RunA}},
+	}
+	for _, c := range cases {
+		// A run of byte 0 at stream start MTFs to a zero run of the same length.
+		in := bytes.Repeat([]byte{0}, c.run)
+		syms := Encode(in)
+		want := append(append([]uint16{}, c.want...), EOB)
+		if len(syms) != len(want) {
+			t.Fatalf("run %d: symbols %v, want %v", c.run, syms, want)
+		}
+		for i := range want {
+			if syms[i] != want[i] {
+				t.Fatalf("run %d: symbols %v, want %v", c.run, syms, want)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeEmpty(t *testing.T) {
+	syms := Encode(nil)
+	if len(syms) != 1 || syms[0] != EOB {
+		t.Fatalf("Encode(nil) = %v, want [EOB]", syms)
+	}
+	out, n, err := Decode(syms)
+	if err != nil || n != 1 || len(out) != 0 {
+		t.Fatalf("Decode = %v, %d, %v", out, n, err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		syms := Encode(data)
+		out, n, err := Decode(syms)
+		if err != nil || n != len(syms) {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeStopsAtEOB(t *testing.T) {
+	syms := Encode([]byte("hello"))
+	// Append trailing garbage; Decode must stop at EOB.
+	syms = append(syms, 5, 6, 7)
+	out, n, err := Decode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte("hello")) {
+		t.Fatalf("decoded %q", out)
+	}
+	if n != len(syms)-3 {
+		t.Fatalf("consumed %d symbols, want %d", n, len(syms)-3)
+	}
+}
+
+func TestDecodeMissingEOB(t *testing.T) {
+	if _, _, err := Decode([]uint16{2, 3, 4}); err == nil {
+		t.Fatal("missing EOB not detected")
+	}
+}
+
+func TestDecodeBadSymbol(t *testing.T) {
+	if _, _, err := Decode([]uint16{300, EOB}); err == nil {
+		t.Fatal("out-of-range symbol not detected")
+	}
+}
+
+func TestCompressionEffect(t *testing.T) {
+	// Highly repetitive data must produce far fewer symbols than bytes.
+	in := bytes.Repeat([]byte{'z'}, 10000)
+	syms := Encode(in)
+	if len(syms) > 30 {
+		t.Fatalf("10000-byte run encoded to %d symbols; run coding broken", len(syms))
+	}
+}
+
+func TestLongRunBoundaries(t *testing.T) {
+	for _, n := range []int{255, 256, 257, 1023, 1024, 65535} {
+		in := bytes.Repeat([]byte{9}, n)
+		out, _, err := Decode(Encode(in))
+		if err != nil || !bytes.Equal(out, in) {
+			t.Fatalf("run length %d failed: %v", n, err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	data := bytes.Repeat([]byte("abcabcabd"), 10000)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Encode(data)
+	}
+}

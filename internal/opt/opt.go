@@ -1,0 +1,183 @@
+// Package opt simulates a cache under Belady's optimal replacement (MIN),
+// the other half of the Cheetah simulator the paper uses (Sugumar &
+// Abraham, "Efficient simulation of caches under optimal replacement").
+// OPT miss ratios bound what any replacement policy can achieve, so
+// comparing a trace's LRU surface (internal/cheetah) against its OPT
+// surface separates capacity misses from replacement-policy losses — a
+// standard use of cache-filtered traces.
+//
+// The simulator is offline (OPT requires future knowledge): it takes the
+// whole trace, precomputes each reference's next-use time, and evicts the
+// block whose next use is farthest in the future. A fully-associative
+// variant and a set-associative variant are provided; both run in
+// O(N log A) using a priority queue keyed by next-use time with lazy
+// deletion.
+package opt
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Result reports an OPT simulation.
+type Result struct {
+	Accesses int64
+	Misses   int64
+}
+
+// MissRatio returns Misses/Accesses (0 for an empty trace).
+func (r Result) MissRatio() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+const never = int64(1) << 62 // next-use time for blocks never used again
+
+// nextUse computes, for each position i in the trace, the position of the
+// next reference to the same block (or `never`).
+func nextUse(blocks []uint64) []int64 {
+	next := make([]int64, len(blocks))
+	last := make(map[uint64]int64, len(blocks)/4+16)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		b := blocks[i]
+		if p, ok := last[b]; ok {
+			next[i] = p
+		} else {
+			next[i] = never
+		}
+		last[b] = int64(i)
+	}
+	return next
+}
+
+// entry is a resident block with its next-use time.
+type entry struct {
+	block uint64
+	next  int64
+}
+
+// maxHeap orders entries by descending next-use time (farthest first).
+type maxHeap []entry
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].next > h[j].next }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// set simulates one cache set under OPT with lazy heap deletion: stale
+// heap entries (whose next-use time no longer matches the resident state)
+// are discarded when popped.
+type set struct {
+	capacity int
+	resident map[uint64]int64 // block -> current next-use time
+	h        maxHeap
+}
+
+func newSet(capacity int) *set {
+	return &set{capacity: capacity, resident: make(map[uint64]int64, capacity)}
+}
+
+// access processes one reference; returns true on hit.
+func (s *set) access(block uint64, next int64) bool {
+	if _, ok := s.resident[block]; ok {
+		s.resident[block] = next
+		heap.Push(&s.h, entry{block, next})
+		return true
+	}
+	if len(s.resident) >= s.capacity {
+		// Evict the resident block with the farthest next use.
+		for {
+			top := heap.Pop(&s.h).(entry)
+			cur, ok := s.resident[top.block]
+			if ok && cur == top.next {
+				delete(s.resident, top.block)
+				break
+			}
+			// Stale entry: the block was re-referenced (or evicted); skip.
+		}
+	}
+	s.resident[block] = next
+	heap.Push(&s.h, entry{block, next})
+	return false
+}
+
+// Simulate runs OPT over a block-address trace for a fully-associative
+// cache of the given capacity in blocks.
+func Simulate(blocks []uint64, capacity int) (Result, error) {
+	if capacity <= 0 {
+		return Result{}, fmt.Errorf("opt: nonpositive capacity %d", capacity)
+	}
+	next := nextUse(blocks)
+	s := newSet(capacity)
+	var res Result
+	for i, b := range blocks {
+		res.Accesses++
+		if !s.access(b, next[i]) {
+			res.Misses++
+		}
+	}
+	return res, nil
+}
+
+// SimulateSetAssociative runs OPT independently per set (sets a power of
+// two, indexing by the low block-address bits as in internal/cache).
+//
+// Per-set OPT is the standard Cheetah formulation; note it is optimal for
+// each set in isolation, which equals global OPT for set-associative
+// hardware since blocks cannot move between sets.
+func SimulateSetAssociative(blocks []uint64, sets, ways int) (Result, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return Result{}, fmt.Errorf("opt: set count %d not a positive power of two", sets)
+	}
+	if ways <= 0 {
+		return Result{}, fmt.Errorf("opt: nonpositive ways %d", ways)
+	}
+	// Next-use must be computed per set stream; using global positions is
+	// fine because only the relative order within a set matters.
+	next := nextUsePerSet(blocks, uint64(sets-1))
+	table := make([]*set, sets)
+	var res Result
+	for i, b := range blocks {
+		idx := b & uint64(sets-1)
+		s := table[idx]
+		if s == nil {
+			s = newSet(ways)
+			table[idx] = s
+		}
+		res.Accesses++
+		if !s.access(b, next[i]) {
+			res.Misses++
+		}
+	}
+	return res, nil
+}
+
+// nextUsePerSet computes next-use times; identical to nextUse since a
+// block always maps to the same set, the global next reference is also
+// the next reference within the set.
+func nextUsePerSet(blocks []uint64, _ uint64) []int64 {
+	return nextUse(blocks)
+}
+
+// Curve computes OPT miss ratios for a range of fully-associative
+// capacities in one call (one pass per capacity).
+func Curve(blocks []uint64, capacities []int) ([]float64, error) {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		r, err := Simulate(blocks, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.MissRatio()
+	}
+	return out, nil
+}

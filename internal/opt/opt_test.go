@@ -1,0 +1,199 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"atc/internal/cache"
+	"atc/internal/cheetah"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(nil, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := SimulateSetAssociative(nil, 3, 2); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+	if _, err := SimulateSetAssociative(nil, 4, 0); err == nil {
+		t.Fatal("zero ways accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r, err := Simulate(nil, 4)
+	if err != nil || r.Accesses != 0 || r.MissRatio() != 0 {
+		t.Fatalf("empty trace: %+v, %v", r, err)
+	}
+}
+
+func TestColdMissesOnly(t *testing.T) {
+	blocks := []uint64{1, 2, 3, 1, 2, 3}
+	r, err := Simulate(blocks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Misses != 3 {
+		t.Fatalf("misses = %d, want 3 (cold only, everything fits)", r.Misses)
+	}
+}
+
+// TestBeladyClassic is the textbook OPT example: with capacity 3 and a
+// cyclic over-capacity pattern, OPT keeps the soonest-reused blocks.
+func TestBeladyClassic(t *testing.T) {
+	// Reference string: 1 2 3 4 1 2 5 1 2 3 4 5, capacity 3.
+	// Textbook OPT result: 7 misses (also known as Belady's anomaly demo).
+	blocks := []uint64{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	r, err := Simulate(blocks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Misses != 7 {
+		t.Fatalf("OPT misses = %d, want 7", r.Misses)
+	}
+}
+
+func TestCyclicPatternOPTBeatsLRU(t *testing.T) {
+	// Cyclic scan of W+1 blocks with capacity W: LRU misses 100%, OPT
+	// keeps W-1 blocks resident and misses far less.
+	const W = 8
+	var blocks []uint64
+	for round := 0; round < 50; round++ {
+		for b := uint64(0); b <= W; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	optRes, err := Simulate(blocks, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru := cache.MustNew(cache.Config{SizeBytes: W * 64, Ways: W, BlockBytes: 64})
+	for _, b := range blocks {
+		lru.AccessBlock(b)
+	}
+	if lru.Stats().MissRatio() != 1.0 {
+		t.Fatalf("LRU cyclic miss ratio = %v, want 1.0", lru.Stats().MissRatio())
+	}
+	if optRes.MissRatio() > 0.4 {
+		t.Fatalf("OPT cyclic miss ratio = %v, want far below LRU's 1.0", optRes.MissRatio())
+	}
+}
+
+// TestOPTNeverWorseThanLRU is the defining property, checked on random
+// traces for both the fully-associative and set-associative variants.
+func TestOPTNeverWorseThanLRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 5000 + rng.Intn(5000)
+		universe := 64 + rng.Intn(512)
+		blocks := make([]uint64, n)
+		for i := range blocks {
+			blocks[i] = uint64(rng.Intn(universe))
+		}
+		// Fully associative, capacity 64 = 1 set x 64 ways.
+		optRes, err := Simulate(blocks, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lru := cheetah.MustNew(1, 64)
+		lru.AccessAll(blocks)
+		if optRes.Misses > lru.Misses(64) {
+			t.Fatalf("trial %d: OPT %d misses > LRU %d", trial, optRes.Misses, lru.Misses(64))
+		}
+		// Set associative: 16 sets x 4 ways.
+		optSA, err := SimulateSetAssociative(blocks, 16, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lruSA := cheetah.MustNew(16, 4)
+		lruSA.AccessAll(blocks)
+		if optSA.Misses > lruSA.Misses(4) {
+			t.Fatalf("trial %d: set-assoc OPT %d misses > LRU %d", trial, optSA.Misses, lruSA.Misses(4))
+		}
+	}
+}
+
+// TestOPTAgainstBruteForce validates the heap implementation against a
+// direct O(N*C) Belady simulation on small traces.
+func TestOPTAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 200 + rng.Intn(300)
+		blocks := make([]uint64, n)
+		for i := range blocks {
+			blocks[i] = uint64(rng.Intn(24))
+		}
+		capacity := 2 + rng.Intn(8)
+		got, err := Simulate(blocks, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceOPT(blocks, capacity)
+		if got.Misses != want {
+			t.Fatalf("trial %d: heap OPT %d misses, brute force %d (cap=%d)", trial, got.Misses, want, capacity)
+		}
+	}
+}
+
+func bruteForceOPT(blocks []uint64, capacity int) int64 {
+	resident := map[uint64]bool{}
+	var misses int64
+	for i, b := range blocks {
+		if resident[b] {
+			continue
+		}
+		misses++
+		if len(resident) >= capacity {
+			// Evict the block used farthest in the future (ties: any).
+			evict, evictAt := uint64(0), -1
+			for r := range resident {
+				at := len(blocks) // "never" sentinel
+				for j := i + 1; j < len(blocks); j++ {
+					if blocks[j] == r {
+						at = j
+						break
+					}
+				}
+				if at > evictAt {
+					evict, evictAt = r, at
+				}
+			}
+			delete(resident, evict)
+		}
+		resident[b] = true
+	}
+	return misses
+}
+
+func TestCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	blocks := make([]uint64, 20000)
+	for i := range blocks {
+		blocks[i] = uint64(rng.Intn(1000))
+	}
+	caps := []int{16, 64, 256, 1024}
+	curve, err := Curve(blocks, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-12 {
+			t.Fatalf("OPT curve not monotone: %v", curve)
+		}
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	blocks := make([]uint64, 1<<17)
+	for i := range blocks {
+		blocks[i] = uint64(rng.Intn(1 << 14))
+	}
+	b.SetBytes(int64(len(blocks) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(blocks, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

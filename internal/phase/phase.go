@@ -1,0 +1,116 @@
+// Package phase implements the online phase classification of Section 5.2
+// of the paper: a bounded in-memory table of chunk histograms against which
+// each new interval is compared. The first interval always becomes a chunk;
+// later intervals reuse ("imitate") the stored chunk with the smallest
+// sorted-histogram distance below the threshold ε, and otherwise become
+// chunks themselves. When the table is full the entry of the oldest chunk
+// is evicted (FIFO), exactly as in the paper.
+package phase
+
+import (
+	"fmt"
+
+	"atc/internal/histogram"
+)
+
+// DefaultEpsilon is the matching threshold the paper found to give high
+// compression while preserving memory locality (§5.2).
+const DefaultEpsilon = 0.1
+
+// DefaultCapacity bounds the histogram table; 256 entries of ~20 KB each
+// keeps the compressor's memory modest while remembering plenty of phases.
+const DefaultCapacity = 256
+
+// Entry associates a chunk ID with the histograms of the interval it stores.
+type Entry struct {
+	ChunkID int
+	Hist    *histogram.Set
+}
+
+// Table is the online phase table. The zero value is not usable; call New.
+type Table struct {
+	eps     float64
+	cap     int
+	entries []Entry // FIFO order: entries[0] is the oldest chunk
+	// Stats
+	lookups   int64
+	matches   int64
+	evictions int64
+}
+
+// New returns a Table with the given capacity and matching threshold.
+// Non-positive arguments select the package defaults.
+func New(capacity int, eps float64) *Table {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	return &Table{eps: eps, cap: capacity}
+}
+
+// Epsilon reports the matching threshold.
+func (t *Table) Epsilon() float64 { return t.eps }
+
+// Len reports the number of chunks currently remembered.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Match finds the stored chunk with the smallest distance to h. It returns
+// ok=false when no chunk is within the threshold. h must be finalized.
+func (t *Table) Match(h *histogram.Set) (chunkID int, dist float64, ok bool) {
+	t.lookups++
+	best := -1
+	bestDist := 0.0
+	for i := range t.entries {
+		d := histogram.Distance(t.entries[i].Hist, h)
+		if d < t.eps && (best < 0 || d < bestDist) {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	t.matches++
+	return t.entries[best].ChunkID, bestDist, true
+}
+
+// Lookup returns the stored histograms for a chunk ID, if still resident.
+func (t *Table) Lookup(chunkID int) (*histogram.Set, bool) {
+	for i := range t.entries {
+		if t.entries[i].ChunkID == chunkID {
+			return t.entries[i].Hist, true
+		}
+	}
+	return nil, false
+}
+
+// Insert records a new chunk's histograms, evicting the oldest entry when
+// the table is full. h must be finalized. Inserting a duplicate chunk ID is
+// a programming error and panics.
+func (t *Table) Insert(chunkID int, h *histogram.Set) {
+	for i := range t.entries {
+		if t.entries[i].ChunkID == chunkID {
+			panic(fmt.Sprintf("phase: duplicate chunk id %d", chunkID))
+		}
+	}
+	if len(t.entries) == t.cap {
+		copy(t.entries, t.entries[1:])
+		t.entries = t.entries[:t.cap-1]
+		t.evictions++
+	}
+	t.entries = append(t.entries, Entry{ChunkID: chunkID, Hist: h})
+}
+
+// Stats reports lookup/match/eviction counters.
+type Stats struct {
+	Lookups   int64
+	Matches   int64
+	Evictions int64
+	Resident  int
+}
+
+// Stats returns a snapshot of the table counters.
+func (t *Table) Stats() Stats {
+	return Stats{Lookups: t.lookups, Matches: t.matches, Evictions: t.evictions, Resident: len(t.entries)}
+}

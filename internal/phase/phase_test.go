@@ -1,0 +1,173 @@
+package phase
+
+import (
+	"math/rand"
+	"testing"
+
+	"atc/internal/histogram"
+)
+
+func mkHist(seed int64, base uint64) *histogram.Set {
+	rng := rand.New(rand.NewSource(seed))
+	addrs := make([]uint64, 1000)
+	for i := range addrs {
+		addrs[i] = base + uint64(rng.Intn(256))
+	}
+	return histogram.Compute(addrs)
+}
+
+func TestMatchEmptyTable(t *testing.T) {
+	tab := New(4, 0.1)
+	if _, _, ok := tab.Match(mkHist(1, 0)); ok {
+		t.Fatal("empty table matched")
+	}
+}
+
+func TestInsertAndMatchIdentical(t *testing.T) {
+	tab := New(4, 0.1)
+	h := mkHist(1, 0)
+	tab.Insert(7, h)
+	id, dist, ok := tab.Match(h)
+	if !ok || id != 7 || dist != 0 {
+		t.Fatalf("Match = %d, %v, %v", id, dist, ok)
+	}
+}
+
+func TestMatchPrefersSmallestDistance(t *testing.T) {
+	tab := New(8, 2.0) // generous threshold: everything matches
+	exact := mkHist(1, 0)
+	other := mkHist(2, 1<<40)
+	tab.Insert(1, other)
+	tab.Insert(2, exact)
+	id, _, ok := tab.Match(exact)
+	if !ok || id != 2 {
+		t.Fatalf("matched chunk %d, want 2 (the exact one)", id)
+	}
+}
+
+func TestNoMatchAboveThreshold(t *testing.T) {
+	tab := New(4, 0.01)
+	tab.Insert(1, mkHist(1, 0))
+	// Structurally different interval: uniform over a much wider range.
+	rng := rand.New(rand.NewSource(99))
+	addrs := make([]uint64, 1000)
+	for i := range addrs {
+		addrs[i] = rng.Uint64()
+	}
+	if _, _, ok := tab.Match(histogram.Compute(addrs)); ok {
+		t.Fatal("dissimilar interval matched under tight threshold")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	tab := New(2, 2.0)
+	h1, h2, h3 := mkHist(1, 0), mkHist(2, 1<<30), mkHist(3, 1<<50)
+	tab.Insert(1, h1)
+	tab.Insert(2, h2)
+	tab.Insert(3, h3) // must evict chunk 1
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if _, ok := tab.Lookup(1); ok {
+		t.Fatal("oldest chunk not evicted")
+	}
+	if _, ok := tab.Lookup(2); !ok {
+		t.Fatal("chunk 2 wrongly evicted")
+	}
+	if _, ok := tab.Lookup(3); !ok {
+		t.Fatal("chunk 3 missing")
+	}
+	if s := tab.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert did not panic")
+		}
+	}()
+	tab := New(4, 0.1)
+	h := mkHist(1, 0)
+	tab.Insert(1, h)
+	tab.Insert(1, h)
+}
+
+func TestDefaults(t *testing.T) {
+	tab := New(0, 0)
+	if tab.Epsilon() != DefaultEpsilon {
+		t.Fatalf("eps = %v", tab.Epsilon())
+	}
+	// Fill past DefaultCapacity to confirm the default bound.
+	for i := 0; i < DefaultCapacity+10; i++ {
+		tab.Insert(i, mkHist(int64(i), uint64(i)<<32))
+	}
+	if tab.Len() != DefaultCapacity {
+		t.Fatalf("Len = %d, want %d", tab.Len(), DefaultCapacity)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tab := New(4, 2.0)
+	h := mkHist(1, 0)
+	tab.Insert(1, h)
+	tab.Match(h)
+	tab.Match(h)
+	s := tab.Stats()
+	if s.Lookups != 2 || s.Matches != 2 || s.Resident != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOffsetPhasesMatchViaSortedHistograms(t *testing.T) {
+	// Two phases that differ only by a base-address offset have identical
+	// *sorted* histograms, so the second must match the first — this is
+	// exactly the paper's myopic-interval defence: reuse + translation.
+	tab := New(16, 0.1)
+	a := mkHist(42, 0)
+	tab.Insert(1, a)
+	b := mkHist(42, 1<<40) // same structure, different region
+	if _, _, ok := tab.Match(b); !ok {
+		t.Fatal("offset-shifted phase did not match; sorted histograms should be invariant to region")
+	}
+}
+
+func TestPhaseReuseScenario(t *testing.T) {
+	// A program alternating between two structurally different phases:
+	// after both have been seen once, every later interval should match.
+	uniform := func() *histogram.Set {
+		rng := rand.New(rand.NewSource(42))
+		addrs := make([]uint64, 1000)
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(256)) // flat byte-0 histogram
+		}
+		return histogram.Compute(addrs)
+	}
+	skewed := func() *histogram.Set {
+		addrs := make([]uint64, 1000)
+		for i := range addrs {
+			addrs[i] = 7 // single hot address: maximally skewed histogram
+		}
+		return histogram.Compute(addrs)
+	}
+	tab := New(16, 0.1)
+	nextChunk := 1
+	chunksCreated := 0
+	for i := 0; i < 20; i++ {
+		var h *histogram.Set
+		if i%2 == 0 {
+			h = uniform()
+		} else {
+			h = skewed()
+		}
+		if _, _, ok := tab.Match(h); !ok {
+			tab.Insert(nextChunk, h)
+			nextChunk++
+			chunksCreated++
+		}
+	}
+	if chunksCreated != 2 {
+		t.Fatalf("created %d chunks for a 2-phase trace, want 2", chunksCreated)
+	}
+}

@@ -1,0 +1,163 @@
+// Package signature implements working-set signatures, the classic online
+// phase-detection mechanism of Dhodapkar & Smith ("Managing multi-
+// configuration hardware via dynamic working set analysis") that the paper
+// cites among prior online phase-analysis methods [19, 27]. A signature is
+// a lossy bit-vector summary of the blocks touched in an interval; the
+// relative signature distance detects phase changes.
+//
+// The package exists for the ablation in internal/experiment: comparing
+// working-set signatures against the paper's sorted byte-histograms as the
+// interval-matching criterion. Signatures detect *which blocks* are
+// touched, so two intervals with the same temporal structure in different
+// regions look maximally different — precisely the case the paper's
+// region-invariant sorted histograms (plus byte translation) are designed
+// to catch.
+package signature
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Signature is a working-set bit vector. Create one with New.
+type Signature struct {
+	bits []uint64
+	n    int // number of bits
+	pop  int // set-bit count (cached)
+}
+
+// New returns an empty signature of n bits (rounded up to a multiple of
+// 64; n must be positive).
+func New(n int) (*Signature, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("signature: nonpositive size %d", n)
+	}
+	words := (n + 63) / 64
+	return &Signature{bits: make([]uint64, words), n: words * 64}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(n int) *Signature {
+	s, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bits reports the signature size in bits.
+func (s *Signature) Bits() int { return s.n }
+
+// Add hashes a block address into the signature.
+func (s *Signature) Add(block uint64) {
+	// splitmix64 finalizer: full avalanche, so blocks differing only in
+	// their high bytes (different memory regions) hash to different bits.
+	h := block
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	bit := int(h % uint64(s.n))
+	w, m := bit/64, uint64(1)<<(uint(bit)%64)
+	if s.bits[w]&m == 0 {
+		s.bits[w] |= m
+		s.pop++
+	}
+}
+
+// AddSlice hashes many blocks.
+func (s *Signature) AddSlice(blocks []uint64) {
+	for _, b := range blocks {
+		s.Add(b)
+	}
+}
+
+// Reset clears the signature for the next interval.
+func (s *Signature) Reset() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	s.pop = 0
+}
+
+// PopCount reports the number of set bits.
+func (s *Signature) PopCount() int { return s.pop }
+
+// Clone returns an independent copy.
+func (s *Signature) Clone() *Signature {
+	c := &Signature{bits: append([]uint64(nil), s.bits...), n: s.n, pop: s.pop}
+	return c
+}
+
+// Distance computes the relative working-set distance
+// |A xor B| / |A or B| ∈ [0,1] (0 = identical working sets, 1 = disjoint).
+// Both signatures must have the same size.
+func Distance(a, b *Signature) float64 {
+	if a.n != b.n {
+		panic("signature: size mismatch")
+	}
+	var xor, or int
+	for i := range a.bits {
+		xor += bits.OnesCount64(a.bits[i] ^ b.bits[i])
+		or += bits.OnesCount64(a.bits[i] | b.bits[i])
+	}
+	if or == 0 {
+		return 0
+	}
+	return float64(xor) / float64(or)
+}
+
+// Entry pairs a chunk ID with its signature, mirroring phase.Entry.
+type Entry struct {
+	ChunkID int
+	Sig     *Signature
+}
+
+// Table is an online phase table keyed by working-set signatures, the
+// drop-in alternative to the paper's histogram table for the detector
+// ablation. Eviction is FIFO, like the paper's.
+type Table struct {
+	threshold float64
+	cap       int
+	entries   []Entry
+}
+
+// NewTable returns a Table matching signatures at the given relative
+// distance threshold (Dhodapkar & Smith use ~0.5).
+func NewTable(capacity int, threshold float64) *Table {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	return &Table{threshold: threshold, cap: capacity}
+}
+
+// Match returns the stored chunk with the smallest signature distance
+// below the threshold.
+func (t *Table) Match(sig *Signature) (chunkID int, dist float64, ok bool) {
+	best := -1
+	bestDist := 0.0
+	for i := range t.entries {
+		d := Distance(t.entries[i].Sig, sig)
+		if d < t.threshold && (best < 0 || d < bestDist) {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return t.entries[best].ChunkID, bestDist, true
+}
+
+// Insert records a new chunk's signature, evicting the oldest when full.
+func (t *Table) Insert(chunkID int, sig *Signature) {
+	if len(t.entries) == t.cap {
+		copy(t.entries, t.entries[1:])
+		t.entries = t.entries[:t.cap-1]
+	}
+	t.entries = append(t.entries, Entry{ChunkID: chunkID, Sig: sig.Clone()})
+}
+
+// Len reports the number of resident signatures.
+func (t *Table) Len() int { return len(t.entries) }

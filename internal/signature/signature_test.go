@@ -1,0 +1,168 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	s := MustNew(100)
+	if s.Bits() != 128 {
+		t.Fatalf("bits = %d, want rounded to 128", s.Bits())
+	}
+}
+
+func TestAddAndPopCount(t *testing.T) {
+	s := MustNew(1024)
+	s.Add(42)
+	s.Add(42) // duplicate: popcount unchanged
+	if s.PopCount() != 1 {
+		t.Fatalf("popcount = %d", s.PopCount())
+	}
+	s.Add(43)
+	if s.PopCount() > 2 || s.PopCount() < 1 {
+		t.Fatalf("popcount = %d", s.PopCount())
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	a, b := MustNew(1024), MustNew(1024)
+	blocks := []uint64{1, 5, 9, 1000, 77}
+	a.AddSlice(blocks)
+	b.AddSlice(blocks)
+	if Distance(a, b) != 0 {
+		t.Fatalf("identical sets distance = %v", Distance(a, b))
+	}
+}
+
+func TestDistanceDisjoint(t *testing.T) {
+	a, b := MustNew(4096), MustNew(4096)
+	for i := uint64(0); i < 20; i++ {
+		a.Add(i)
+		b.Add(i + 1000000)
+	}
+	if d := Distance(a, b); d < 0.9 {
+		t.Fatalf("disjoint sets distance = %v, want near 1", d)
+	}
+}
+
+func TestDistanceEmpty(t *testing.T) {
+	a, b := MustNew(64), MustNew(64)
+	if Distance(a, b) != 0 {
+		t.Fatal("two empty signatures should have distance 0")
+	}
+}
+
+func TestDistanceSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	Distance(MustNew(64), MustNew(128))
+}
+
+func TestDistanceBoundsProperty(t *testing.T) {
+	f := func(seedA, seedB int64, na, nb uint8) bool {
+		a, b := MustNew(2048), MustNew(2048)
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		for i := 0; i < int(na); i++ {
+			a.Add(ra.Uint64())
+		}
+		for i := 0; i < int(nb); i++ {
+			b.Add(rb.Uint64())
+		}
+		d := Distance(a, b)
+		if d < 0 || d > 1 {
+			return false
+		}
+		// Symmetry.
+		return Distance(b, a) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetAndClone(t *testing.T) {
+	s := MustNew(256)
+	s.Add(1)
+	c := s.Clone()
+	s.Reset()
+	if s.PopCount() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if c.PopCount() != 1 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestRegionShiftLooksDifferent(t *testing.T) {
+	// The key contrast with sorted byte-histograms: the same access
+	// pattern moved to a different region is maximally distant for
+	// working-set signatures (they hash identities, not structure).
+	a, b := MustNew(4096), MustNew(4096)
+	for i := uint64(0); i < 500; i++ {
+		a.Add(i)
+		b.Add(i + (1 << 40))
+	}
+	if d := Distance(a, b); d < 0.9 {
+		t.Fatalf("region-shifted signature distance = %v; expected near-disjoint", d)
+	}
+}
+
+func TestTableMatchAndEvict(t *testing.T) {
+	tab := NewTable(2, 0.5)
+	s1, s2, s3 := MustNew(1024), MustNew(1024), MustNew(1024)
+	for i := uint64(0); i < 100; i++ {
+		s1.Add(i)
+		s2.Add(i + 200)
+		s3.Add(i + 400)
+	}
+	tab.Insert(1, s1)
+	tab.Insert(2, s2)
+	if id, d, ok := tab.Match(s1); !ok || id != 1 || d != 0 {
+		t.Fatalf("match = %d, %v, %v", id, d, ok)
+	}
+	tab.Insert(3, s3) // evicts 1
+	if _, _, ok := tab.Match(s1); ok {
+		t.Fatal("evicted signature still matches")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestTableMatchPrefersClosest(t *testing.T) {
+	tab := NewTable(8, 1.1) // threshold above everything
+	near, far, probe := MustNew(1024), MustNew(1024), MustNew(1024)
+	for i := uint64(0); i < 100; i++ {
+		probe.Add(i)
+		near.Add(i + uint64(i%10)*1000) // overlaps probe heavily
+		far.Add(i + 1<<30)
+	}
+	tab.Insert(1, far)
+	tab.Insert(2, near)
+	id, _, ok := tab.Match(probe)
+	if !ok || id != 2 {
+		t.Fatalf("matched %d, want the closer signature 2", id)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	tab := NewTable(0, 0)
+	if tab.Len() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	// Defaults applied: no panic on insert/match.
+	s := MustNew(64)
+	tab.Insert(1, s)
+	if _, _, ok := tab.Match(s); !ok {
+		t.Fatal("self match failed with default threshold")
+	}
+}

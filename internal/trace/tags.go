@@ -1,0 +1,37 @@
+package trace
+
+// The paper notes that cache-filtered block addresses leave the 6 most
+// significant bits of each 64-bit record null, and that "these bits may be
+// used to store some extra information, e.g., whether the address
+// corresponds to a demand miss or a write-back". These helpers implement
+// exactly that tagging scheme.
+
+// Tag identifies the event type carried in a trace record's top 6 bits.
+type Tag uint8
+
+const (
+	// TagDemandMiss marks a demand miss (tag value 0, so untagged traces
+	// read back as all-demand-miss traces).
+	TagDemandMiss Tag = 0
+	// TagWriteBack marks a write-back of a dirty block.
+	TagWriteBack Tag = 1
+
+	// TagBits is the width of the tag field.
+	TagBits = 6
+	// tagShift positions the tag in the top bits of a record.
+	tagShift = 64 - TagBits
+)
+
+// addrMask extracts the block address from a tagged record.
+const addrMask = (uint64(1) << tagShift) - 1
+
+// WithTag attaches a tag to a block address. The address must fit in the
+// low 58 bits, which cache-filtered block addresses always do.
+func WithTag(block uint64, tag Tag) uint64 {
+	return (block & addrMask) | uint64(tag)<<tagShift
+}
+
+// SplitTag separates a tagged record into its block address and tag.
+func SplitTag(record uint64) (block uint64, tag Tag) {
+	return record & addrMask, Tag(record >> tagShift)
+}

@@ -1,0 +1,202 @@
+// Package trace provides I/O and statistics for raw address traces.
+//
+// A raw trace has the simplest format an address trace can have, exactly as
+// in the paper: a sequence of 64-bit values, stored little endian. For
+// cache-filtered traces each value is a cache-block address whose 6 most
+// significant bits are zero (the paper reserves them for tags such as
+// demand-miss vs write-back).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WordSize is the size in bytes of one trace record.
+const WordSize = 8
+
+// Writer emits 64-bit trace records to an underlying stream.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one address to the trace.
+func (w *Writer) Write(addr uint64) error {
+	if w.err != nil {
+		return w.err
+	}
+	var b [WordSize]byte
+	binary.LittleEndian.PutUint64(b[:], addr)
+	if _, err := w.w.Write(b[:]); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// WriteSlice appends many addresses.
+func (w *Writer) WriteSlice(addrs []uint64) error {
+	for _, a := range addrs {
+		if err := w.Write(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count reports the number of addresses written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Reader reads 64-bit trace records from an underlying stream.
+type Reader struct {
+	r   *bufio.Reader
+	n   int64
+	err error
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next address. At the end of the trace it returns io.EOF;
+// a trailing partial record yields io.ErrUnexpectedEOF.
+func (r *Reader) Read() (uint64, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	var b [WordSize]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			r.err = io.ErrUnexpectedEOF
+		} else {
+			r.err = io.EOF
+		}
+		return 0, r.err
+	}
+	r.n++
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Count reports the number of addresses read so far.
+func (r *Reader) Count() int64 { return r.n }
+
+// ReadAll slurps an entire trace stream into memory.
+func ReadAll(r io.Reader) ([]uint64, error) {
+	tr := NewReader(r)
+	var out []uint64
+	for {
+		a, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+}
+
+// WriteAll writes an entire in-memory trace to w.
+func WriteAll(w io.Writer, addrs []uint64) error {
+	tw := NewWriter(w)
+	if err := tw.WriteSlice(addrs); err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+// WriteFile stores a trace to a file.
+func WriteFile(path string, addrs []uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAll(f, addrs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a trace from a file.
+func ReadFile(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Count    int64   // number of addresses
+	Distinct int64   // number of distinct addresses (the footprint)
+	Min, Max uint64  // address range
+	Entropy0 float64 // zeroth-order byte entropy of the raw encoding, bits/byte
+}
+
+// ComputeStats scans a trace and returns summary statistics.
+func ComputeStats(addrs []uint64) Stats {
+	s := Stats{}
+	if len(addrs) == 0 {
+		return s
+	}
+	s.Count = int64(len(addrs))
+	s.Min, s.Max = addrs[0], addrs[0]
+	seen := make(map[uint64]struct{}, len(addrs)/4+16)
+	var byteHist [256]int64
+	for _, a := range addrs {
+		if a < s.Min {
+			s.Min = a
+		}
+		if a > s.Max {
+			s.Max = a
+		}
+		seen[a] = struct{}{}
+		for k := 0; k < 8; k++ {
+			byteHist[byte(a>>(8*uint(k)))]++
+		}
+	}
+	s.Distinct = int64(len(seen))
+	total := float64(s.Count * 8)
+	for _, c := range byteHist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		s.Entropy0 -= p * math.Log2(p)
+	}
+	return s
+}
+
+// String renders the stats in a compact human-readable form.
+func (s Stats) String() string {
+	return fmt.Sprintf("count=%d distinct=%d range=[%#x,%#x] H0=%.3f bits/byte",
+		s.Count, s.Distinct, s.Min, s.Max, s.Entropy0)
+}

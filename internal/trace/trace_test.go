@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	addrs := []uint64{0, 1, 0xDEADBEEF, 1 << 57, math.MaxUint64}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, addrs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(addrs)*WordSize {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), len(addrs)*WordSize)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(addrs) {
+		t.Fatalf("read %d addrs, want %d", len(got), len(addrs))
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("addr %d = %#x, want %#x", i, got[i], addrs[i])
+		}
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("layout = %v, want %v", buf.Bytes(), want)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("empty read err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderPartialRecord(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3}))
+	if _, err := r.Read(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("partial record err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.Write(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 10 {
+		t.Fatalf("writer count = %d", w.Count())
+	}
+	_ = w.Flush()
+	r := NewReader(&buf)
+	for {
+		if _, err := r.Read(); err != nil {
+			break
+		}
+	}
+	if r.Count() != 10 {
+		t.Fatalf("reader count = %d", r.Count())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	addrs := []uint64{5, 4, 3, 2, 1}
+	if err := WriteFile(path, addrs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(addrs) {
+		t.Fatalf("read %d addrs", len(got))
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("addr %d mismatch", i)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	s := ComputeStats([]uint64{10, 20, 10, 30})
+	if s.Count != 4 || s.Distinct != 3 || s.Min != 10 || s.Max != 30 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := ComputeStats(nil)
+	if s.Count != 0 || s.Distinct != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestStatsEntropyBounds(t *testing.T) {
+	// All-identical addresses: low entropy. Varied addresses: higher.
+	same := make([]uint64, 1000)
+	varied := make([]uint64, 1000)
+	for i := range varied {
+		varied[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	sLow := ComputeStats(same)
+	sHigh := ComputeStats(varied)
+	if sLow.Entropy0 != 0 {
+		t.Fatalf("identical addresses entropy = %f, want 0", sLow.Entropy0)
+	}
+	if sHigh.Entropy0 <= 6 || sHigh.Entropy0 > 8 {
+		t.Fatalf("varied addresses entropy = %f, want (6,8]", sHigh.Entropy0)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	got := ComputeStats([]uint64{1}).String()
+	if got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, addrs); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(addrs) {
+			return false
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

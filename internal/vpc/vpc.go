@@ -1,0 +1,356 @@
+// Package vpc implements a VPC/TCgen-style predictor-based trace compressor,
+// the lossless baseline the paper compares bytesort against (Table 1).
+//
+// The compressor follows Shannon's predictor-coding scheme as used by the
+// VPC family (Burtscher et al.) and the TCgen generator: encoder and
+// decoder run identical banks of value predictors; when some predictor
+// slot predicts the incoming value, only that slot's one-byte identifier is
+// emitted, otherwise an escape code plus the 8-byte literal. The two
+// resulting streams (codes and literals) are separately compressed with a
+// byte-level back end, exactly like TCgen pipes its streams through bzip2.
+//
+// The predictor bank reproduces the paper's TCgen specification
+// "DFCM3[2], FCM3[3], FCM2[3], FCM1[3]": a differential finite-context-
+// method predictor of order 3 holding 2 deltas per line, and finite-
+// context-method predictors of orders 3, 2, 1 holding 3 values per line,
+// all with 2^TableBits lines (the paper's L2 = 1048576 = 2^20).
+package vpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"atc/internal/xcompress"
+)
+
+// Config parameterises the compressor.
+type Config struct {
+	// TableBits is log2 of the per-predictor table size. The paper's
+	// configuration uses 20 (1 Mi lines). Default 20.
+	TableBits int
+	// Backend names the byte-level compressor for the code and literal
+	// streams. Default "bsc".
+	Backend string
+}
+
+func (c *Config) fillDefaults() {
+	if c.TableBits <= 0 {
+		c.TableBits = 20
+	}
+	if c.Backend == "" {
+		c.Backend = "bsc"
+	}
+}
+
+// MemoryBytes estimates the predictor state memory for a configuration,
+// mirroring the paper's "232 Mbytes of memory" accounting for TCgen.
+func MemoryBytes(cfg Config) int64 {
+	cfg.fillDefaults()
+	lines := int64(1) << uint(cfg.TableBits)
+	// FCM1,2,3: 3 values/line; DFCM3: 2 deltas/line; 8 bytes each.
+	return lines*3*8*3 + lines*2*8
+}
+
+const (
+	magic      = "VPC1"
+	version    = 1
+	escapeCode = 0xFF
+
+	dfcmSlots = 2
+	fcmSlots  = 3
+	numCodes  = dfcmSlots + 3*fcmSlots // 11 predictor slots
+)
+
+// ErrCorrupt reports a malformed compressed stream.
+var ErrCorrupt = errors.New("vpc: corrupt stream")
+
+// predictorState is the shared encoder/decoder machine. All updates are
+// deterministic functions of the value stream, so both sides stay in sync.
+type predictorState struct {
+	mask uint64
+	// Value history (v1 most recent) and delta history (d1 most recent).
+	v1, v2, v3 uint64
+	d1, d2, d3 uint64
+	warm       int // number of values seen, for history validity
+	fcm1       [][fcmSlots]uint64
+	fcm2       [][fcmSlots]uint64
+	fcm3       [][fcmSlots]uint64
+	dfcm3      [][dfcmSlots]uint64
+}
+
+func newPredictorState(tableBits int) *predictorState {
+	lines := 1 << uint(tableBits)
+	return &predictorState{
+		mask:  uint64(lines - 1),
+		fcm1:  make([][fcmSlots]uint64, lines),
+		fcm2:  make([][fcmSlots]uint64, lines),
+		fcm3:  make([][fcmSlots]uint64, lines),
+		dfcm3: make([][dfcmSlots]uint64, lines),
+	}
+}
+
+func (p *predictorState) hash1() uint64 {
+	return (p.v1 * 0x9E3779B97F4A7C15) >> 16 & p.mask
+}
+
+func (p *predictorState) hash2() uint64 {
+	return ((p.v1*0x9E3779B97F4A7C15 + p.v2*0xC2B2AE3D27D4EB4F) >> 16) & p.mask
+}
+
+func (p *predictorState) hash3() uint64 {
+	return ((p.v1*0x9E3779B97F4A7C15 + p.v2*0xC2B2AE3D27D4EB4F + p.v3*0x165667B19E3779F9) >> 16) & p.mask
+}
+
+func (p *predictorState) hashD() uint64 {
+	return ((p.d1*0x9E3779B97F4A7C15 + p.d2*0xC2B2AE3D27D4EB4F + p.d3*0x165667B19E3779F9) >> 16) & p.mask
+}
+
+// predictions fills out with the current slot predictions, in code order:
+// DFCM3[0..1], FCM3[0..2], FCM2[0..2], FCM1[0..2].
+func (p *predictorState) predictions(out *[numCodes]uint64) {
+	d := &p.dfcm3[p.hashD()]
+	out[0] = p.v1 + d[0]
+	out[1] = p.v1 + d[1]
+	f3 := &p.fcm3[p.hash3()]
+	out[2], out[3], out[4] = f3[0], f3[1], f3[2]
+	f2 := &p.fcm2[p.hash2()]
+	out[5], out[6], out[7] = f2[0], f2[1], f2[2]
+	f1 := &p.fcm1[p.hash1()]
+	out[8], out[9], out[10] = f1[0], f1[1], f1[2]
+}
+
+// update trains every predictor with the actual value and advances the
+// histories. It must be called with the same sequence of values on the
+// encoding and decoding sides.
+func (p *predictorState) update(x uint64) {
+	delta := x - p.v1
+	mruInsertD(&p.dfcm3[p.hashD()], delta)
+	mruInsert(&p.fcm3[p.hash3()], x)
+	mruInsert(&p.fcm2[p.hash2()], x)
+	mruInsert(&p.fcm1[p.hash1()], x)
+	p.v3, p.v2, p.v1 = p.v2, p.v1, x
+	p.d3, p.d2, p.d1 = p.d2, p.d1, delta
+	p.warm++
+}
+
+func mruInsert(line *[fcmSlots]uint64, x uint64) {
+	if line[0] == x {
+		return
+	}
+	if line[1] == x {
+		line[0], line[1] = x, line[0]
+		return
+	}
+	line[2] = line[1]
+	line[1] = line[0]
+	line[0] = x
+}
+
+func mruInsertD(line *[dfcmSlots]uint64, d uint64) {
+	if line[0] == d {
+		return
+	}
+	line[1] = line[0]
+	line[0] = d
+}
+
+// Compress encodes a trace of 64-bit values.
+func Compress(addrs []uint64, cfg Config) ([]byte, error) {
+	cfg.fillDefaults()
+	if _, err := xcompress.Lookup(cfg.Backend); err != nil {
+		return nil, err
+	}
+	ps := newPredictorState(cfg.TableBits)
+	codes := make([]byte, 0, len(addrs))
+	lits := make([]byte, 0, len(addrs)/4*8+16)
+	var preds [numCodes]uint64
+	for _, x := range addrs {
+		ps.predictions(&preds)
+		code := byte(escapeCode)
+		for i := 0; i < numCodes; i++ {
+			if preds[i] == x {
+				code = byte(i)
+				break
+			}
+		}
+		codes = append(codes, code)
+		if code == escapeCode {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], x)
+			lits = append(lits, b[:]...)
+		}
+		ps.update(x)
+	}
+	codesC, err := xcompress.CompressAll(cfg.Backend, codes)
+	if err != nil {
+		return nil, err
+	}
+	litsC, err := xcompress.CompressAll(cfg.Backend, lits)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.WriteString(magic)
+	out.WriteByte(version)
+	out.WriteByte(byte(cfg.TableBits))
+	writeString(&out, cfg.Backend)
+	writeUvarint(&out, uint64(len(addrs)))
+	writeUvarint(&out, uint64(len(codesC)))
+	out.Write(codesC)
+	writeUvarint(&out, uint64(len(litsC)))
+	out.Write(litsC)
+	return out.Bytes(), nil
+}
+
+// DecompressStreams runs only the back-end decompression stage, returning
+// the raw code and literal streams. It exists so experiments can attribute
+// decompression time between the back end and the predictor replay, the
+// way the paper's Table 2 reports bzip2's contribution.
+func DecompressStreams(data []byte) (codes, lits []byte, err error) {
+	r := bytes.NewReader(data)
+	var m [4]byte
+	if _, err := r.Read(m[:]); err != nil || string(m[:]) != magic {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if _, err := r.ReadByte(); err != nil { // version
+		return nil, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if _, err := r.ReadByte(); err != nil { // table bits
+		return nil, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	backend, err := readString(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: bad backend name", ErrCorrupt)
+	}
+	if _, err := binary.ReadUvarint(r); err != nil { // count
+		return nil, nil, fmt.Errorf("%w: short count", ErrCorrupt)
+	}
+	codesC, err := readBlock(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	litsC, err := readBlock(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	codes, err = xcompress.DecompressAll(backend, codesC)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: code stream: %v", ErrCorrupt, err)
+	}
+	lits, err = xcompress.DecompressAll(backend, litsC)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: literal stream: %v", ErrCorrupt, err)
+	}
+	return codes, lits, nil
+}
+
+// Decompress decodes a compressed trace.
+func Decompress(data []byte) ([]uint64, error) {
+	r := bytes.NewReader(data)
+	var m [4]byte
+	if _, err := r.Read(m[:]); err != nil || string(m[:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	ver, err := r.ReadByte()
+	if err != nil || ver != version {
+		return nil, fmt.Errorf("%w: unsupported version", ErrCorrupt)
+	}
+	tb, err := r.ReadByte()
+	if err != nil || tb == 0 || tb > 30 {
+		return nil, fmt.Errorf("%w: bad table bits", ErrCorrupt)
+	}
+	backend, err := readString(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad backend name", ErrCorrupt)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: short count", ErrCorrupt)
+	}
+	codesC, err := readBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	litsC, err := readBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	codes, err := xcompress.DecompressAll(backend, codesC)
+	if err != nil {
+		return nil, fmt.Errorf("%w: code stream: %v", ErrCorrupt, err)
+	}
+	lits, err := xcompress.DecompressAll(backend, litsC)
+	if err != nil {
+		return nil, fmt.Errorf("%w: literal stream: %v", ErrCorrupt, err)
+	}
+	if uint64(len(codes)) != count {
+		return nil, fmt.Errorf("%w: code count %d != %d", ErrCorrupt, len(codes), count)
+	}
+	ps := newPredictorState(int(tb))
+	out := make([]uint64, 0, count)
+	var preds [numCodes]uint64
+	li := 0
+	for _, code := range codes {
+		var x uint64
+		if code == escapeCode {
+			if li+8 > len(lits) {
+				return nil, fmt.Errorf("%w: literal stream exhausted", ErrCorrupt)
+			}
+			x = binary.LittleEndian.Uint64(lits[li:])
+			li += 8
+		} else {
+			if code >= numCodes {
+				return nil, fmt.Errorf("%w: bad code %d", ErrCorrupt, code)
+			}
+			ps.predictions(&preds)
+			x = preds[code]
+		}
+		ps.update(x)
+		out = append(out, x)
+	}
+	if li != len(lits) {
+		return nil, fmt.Errorf("%w: %d unused literal bytes", ErrCorrupt, len(lits)-li)
+	}
+	return out, nil
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	b.Write(buf[:n])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	b.WriteByte(byte(len(s)))
+	b.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := r.ReadByte()
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readBlock(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: short block length", ErrCorrupt)
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("%w: block length %d exceeds remaining %d", ErrCorrupt, n, r.Len())
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: short block", ErrCorrupt)
+	}
+	return buf, nil
+}

@@ -1,0 +1,217 @@
+package vpc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testCfg() Config { return Config{TableBits: 14, Backend: "bsc"} }
+
+func roundTrip(t *testing.T, addrs []uint64, cfg Config) []byte {
+	t.Helper()
+	c, err := Compress(addrs, cfg)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	got, err := Decompress(c)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(got) != len(addrs) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(addrs))
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("value %d = %#x, want %#x", i, got[i], addrs[i])
+		}
+	}
+	return c
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	roundTrip(t, nil, testCfg())
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	roundTrip(t, []uint64{1, 2, 3, 42, 42, 42, 1 << 50}, testCfg())
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 50_000)
+	for i := range addrs {
+		addrs[i] = rng.Uint64()
+	}
+	roundTrip(t, addrs, testCfg())
+}
+
+func TestStridedTraceCompressesWell(t *testing.T) {
+	// A constant-stride trace is perfectly predicted by DFCM after warm-up:
+	// nearly all codes identical -> tiny output.
+	addrs := make([]uint64, 100_000)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+	}
+	c := roundTrip(t, addrs, testCfg())
+	bpa := float64(len(c)*8) / float64(len(addrs))
+	if bpa > 0.5 {
+		t.Fatalf("strided trace BPA = %.3f, want < 0.5", bpa)
+	}
+}
+
+func TestRepeatingPatternUsesFCM(t *testing.T) {
+	// A repeating non-strided pattern defeats DFCM's single delta but is
+	// captured by the FCM context predictors.
+	pattern := []uint64{100, 7000, 42, 950, 13, 100000, 77, 3}
+	addrs := make([]uint64, 80_000)
+	for i := range addrs {
+		addrs[i] = pattern[i%len(pattern)]
+	}
+	c := roundTrip(t, addrs, testCfg())
+	bpa := float64(len(c)*8) / float64(len(addrs))
+	if bpa > 0.5 {
+		t.Fatalf("periodic trace BPA = %.3f, want < 0.5", bpa)
+	}
+}
+
+func TestIncompressibleTraceFallsBackToLiterals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 20_000)
+	for i := range addrs {
+		addrs[i] = rng.Uint64()
+	}
+	c, err := Compress(addrs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random values: ~9 bytes/value (escape + literal), compression can't
+	// help much but must not explode.
+	if len(c) > len(addrs)*10 {
+		t.Fatalf("random trace blew up: %d bytes for %d values", len(c), len(addrs))
+	}
+}
+
+func TestBackendVariants(t *testing.T) {
+	addrs := make([]uint64, 10_000)
+	for i := range addrs {
+		addrs[i] = uint64(i % 97)
+	}
+	for _, backend := range []string{"bsc", "flate", "store"} {
+		cfg := Config{TableBits: 12, Backend: backend}
+		roundTrip(t, addrs, cfg)
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	addrs := []uint64{1, 2, 3, 4, 5}
+	c, err := Compress(addrs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(c[:3]); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	bad := append([]byte(nil), c...)
+	bad[0] = 'X'
+	if _, err := Decompress(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Decompress(c[:len(c)-2]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestMemoryBytesMatchesPaperScale(t *testing.T) {
+	// Paper: the TCgen configuration uses 232 MB. Our accounting for
+	// TableBits=20: (3*3 + 2) * 8B * 1Mi = 88 MiB of table payload —
+	// same order; the paper's figure includes allocator overhead and
+	// auxiliary state. What matters is the knob scales 2x per bit.
+	m20 := MemoryBytes(Config{TableBits: 20})
+	m21 := MemoryBytes(Config{TableBits: 21})
+	if m21 != 2*m20 {
+		t.Fatalf("memory scaling: %d -> %d", m20, m21)
+	}
+	if m20 != (9+2)*8<<20 {
+		t.Fatalf("m20 = %d", m20)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	addrs := make([]uint64, 5000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1000)) * 64
+	}
+	c1, err := Compress(addrs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compress(addrs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) != string(c2) {
+		t.Fatal("compression not deterministic")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		cfg := Config{TableBits: 10, Backend: "flate"}
+		c, err := Compress(addrs, cfg)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(c)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(addrs) {
+			return false
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+	}
+	cfg := testCfg()
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(addrs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+	}
+	cfg := testCfg()
+	c, err := Compress(addrs, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"atc/internal/cachefilter"
+)
+
+// Model is a named synthetic workload standing in for one of the paper's
+// SPEC CPU2006 benchmarks.
+type Model struct {
+	// Name is the SPEC-style identifier, e.g. "429.mcf".
+	Name string
+	// Description summarises the memory behaviour being modelled.
+	Description string
+	// Build constructs the raw access stream for a seed.
+	Build func(seed uint64) cachefilter.Source
+}
+
+// Models returns the 22 workload models in the paper's Table 1 order.
+func Models() []Model { return models }
+
+// ByName finds a model by full name ("429.mcf") or numeric prefix ("429").
+func ByName(name string) (Model, bool) {
+	for _, m := range models {
+		if m.Name == name || strings.SplitN(m.Name, ".", 2)[0] == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// GenerateFiltered builds the named model and runs it through the paper's
+// L1 filter (32 KB 4-way LRU I and D caches, 64-byte blocks) until n
+// filtered block addresses have been produced.
+func GenerateFiltered(name string, n int, seed uint64) ([]uint64, error) {
+	m, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown model %q", name)
+	}
+	src := m.Build(seed)
+	return cachefilter.Collect(cachefilter.NewL1(), src, n), nil
+}
+
+const mb = 1 << 20
+
+// seedFor decorrelates the per-model streams derived from one user seed.
+func seedFor(seed uint64, salt uint64) uint64 {
+	return seed*0x9E3779B97F4A7C15 + salt*0xC2B2AE3D27D4EB4F + 1
+}
+
+var models = []Model{
+	{
+		Name:        "400.perlbench",
+		Description: "interpreter: hot opcode dispatch code, hash tables, string buffers",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 400))
+			code := newCodeStream(newPRNG(seedFor(seed, 4001)), codeBase, 400, 8192, 2.5)
+			hash := newZipf(newPRNG(seedFor(seed, 4002)), heapBase, 4*mb/64, 1.6, cachefilter.Load)
+			strbuf := newSequential(heap2Base, 2*mb, 8, cachefilter.Store)
+			chase := newPointerChase(newPRNG(seedFor(seed, 4003)), mmapBase, 30_000, 64)
+			data := newMix(r, []cachefilter.Source{hash, strbuf, chase}, []int{4, 3, 3})
+			return newWithCode(code, data, 2)
+		},
+	},
+	{
+		Name:        "401.bzip2",
+		Description: "block compression: sequential input, random access inside work block",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 401))
+			code := newCodeStream(newPRNG(seedFor(seed, 4011)), codeBase, 60, 8192, 2.0)
+			input := newSequential(heapBase, 128*mb, 8, cachefilter.Load)
+			// Sorting workspace: random probes across a multi-MB block.
+			work := newRandomUniform(newPRNG(seedFor(seed, 4012)), heap2Base, mb, 8, cachefilter.Load)
+			out := newSequential(mmapBase, 64*mb, 8, cachefilter.Store)
+			data := newMix(r, []cachefilter.Source{input, work, out}, []int{2, 6, 2})
+			return newWithCode(code, data, 2)
+		},
+	},
+	{
+		Name:        "403.gcc",
+		Description: "compiler: unstable, every phase touches fresh IR in new regions",
+		Build: func(seed uint64) cachefilter.Source {
+			// A long, non-repeating schedule of distinct working sets models
+			// gcc's pass-by-pass instability: lossy compression should find
+			// few reusable phases (paper: low lossy gain on 403).
+			var schedule []phaseSpec
+			for p := uint64(0); p < 48; p++ {
+				rp := newPRNG(seedFor(seed, 40300+p))
+				base := heapBase + p*48*mb
+				// Sizes and stream weights vary per pass, so the sorted
+				// byte-histograms of successive phases genuinely differ —
+				// lossy compression should find few reusable phases here.
+				randMB := uint64(1 + p%8)
+				seqMB := uint64(4 + p%7)
+				nodes := 8_000 + int(p%11)*5_000
+				work := newMix(rp, []cachefilter.Source{
+					newRandomUniform(newPRNG(seedFor(seed, 40400+p)), base, randMB*mb, 8, cachefilter.Load),
+					newSequential(base+24*mb, seqMB*mb, 8, cachefilter.Load),
+					newPointerChase(newPRNG(seedFor(seed, 40500+p)), base+36*mb, nodes, 64),
+				}, []int{int(2 + p%6), int(2 + p%4), int(1 + p%5)})
+				code := newCodeStream(newPRNG(seedFor(seed, 40600+p)), codeBase+p*4*mb, 100+int(p%7)*80, 8192, 1.8)
+				schedule = append(schedule, phaseSpec{src: newWithCode(code, work, 2), steps: 400_000})
+			}
+			return newPhased(schedule)
+		},
+	},
+	{
+		Name:        "410.bwaves",
+		Description: "blast-wave solver: lockstep sweeps over large dense arrays",
+		Build: func(seed uint64) cachefilter.Source {
+			code := newCodeStream(newPRNG(seedFor(seed, 4101)), codeBase, 12, 4096, 2.0)
+			arrays := []uint64{heapBase, heapBase + 256*mb, heapBase + 512*mb, heapBase + 768*mb, heap2Base}
+			data := newLoopNest(arrays, 8*mb, 8)
+			return newWithCode(code, data, 1)
+		},
+	},
+	{
+		Name:        "429.mcf",
+		Description: "network simplex: pointer chasing over a huge arc/node graph",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 429))
+			code := newCodeStream(newPRNG(seedFor(seed, 4291)), codeBase, 25, 4096, 2.2)
+			nodes := newPointerChase(newPRNG(seedFor(seed, 4292)), heapBase, 50_000, 64)
+			arcs := newPointerChase(newPRNG(seedFor(seed, 4293)), mmapBase, 80_000, 64)
+			scan := newSequential(heap2Base, 24*mb, 64, cachefilter.Load)
+			data := newMix(r, []cachefilter.Source{nodes, arcs, scan}, []int{4, 4, 2})
+			return newWithCode(code, data, 1)
+		},
+	},
+	{
+		Name:        "433.milc",
+		Description: "lattice QCD: regular strided sweeps over large lattices",
+		Build: func(seed uint64) cachefilter.Source {
+			code := newCodeStream(newPRNG(seedFor(seed, 4331)), codeBase, 20, 4096, 2.0)
+			arrays := []uint64{heapBase, heapBase + 384*mb, heap2Base, heap2Base + 384*mb}
+			data := newLoopNest(arrays, 12*mb, 8)
+			return newWithCode(code, data, 1)
+		},
+	},
+	{
+		Name:        "434.zeusmp",
+		Description: "astrophysics CFD: 3-D stencil sweeps over structured grids",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 434))
+			code := newCodeStream(newPRNG(seedFor(seed, 4341)), codeBase, 30, 8192, 2.0)
+			g1 := newStencil3D(heapBase, 256, 256, 64, 8)
+			g2 := newStencil3D(heap2Base, 256, 256, 64, 8)
+			data := newMix(r, []cachefilter.Source{g1, g2}, []int{6, 4})
+			return newWithCode(code, data, 1)
+		},
+	},
+	{
+		Name:        "435.gromacs",
+		Description: "molecular dynamics: neighbour-list gathers with partial locality",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 435))
+			code := newCodeStream(newPRNG(seedFor(seed, 4351)), codeBase, 45, 8192, 2.2)
+			positions := newZipf(newPRNG(seedFor(seed, 4352)), heapBase, 4*mb/64, 1.2, cachefilter.Load)
+			forces := newSequential(heap2Base, 24*mb, 8, cachefilter.Store)
+			neigh := newRandomUniform(newPRNG(seedFor(seed, 4353)), mmapBase, 4*mb, 8, cachefilter.Load)
+			data := newMix(r, []cachefilter.Source{positions, forces, neigh}, []int{4, 2, 4})
+			return newWithCode(code, data, 2)
+		},
+	},
+	{
+		Name:        "444.namd",
+		Description: "molecular dynamics: blocked pair lists, tiled force loops",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 444))
+			code := newCodeStream(newPRNG(seedFor(seed, 4441)), codeBase, 35, 8192, 2.0)
+			// Tiled access: sequential runs inside random tiles.
+			tiles := newZipf(newPRNG(seedFor(seed, 4442)), heapBase, 8*mb/64, 1.1, cachefilter.Load)
+			sweep := newSequential(heap2Base, 48*mb, 8, cachefilter.Load)
+			data := newMix(r, []cachefilter.Source{tiles, sweep}, []int{5, 5})
+			return newWithCode(code, data, 2)
+		},
+	},
+	{
+		Name:        "445.gobmk",
+		Description: "game tree search: heavy irregular code, pattern hash probes",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 445))
+			code := newCodeStream(newPRNG(seedFor(seed, 4451)), codeBase, 700, 8192, 1.9)
+			hash := newRandomUniform(newPRNG(seedFor(seed, 4452)), heapBase, 2*mb, 8, cachefilter.Load)
+			board := newZipf(newPRNG(seedFor(seed, 4453)), heap2Base, 4*mb/64, 2.0, cachefilter.Load)
+			stack := newSequential(stackBase, 512*1024, 16, cachefilter.Store)
+			data := newMix(r, []cachefilter.Source{hash, board, stack}, []int{4, 4, 2})
+			return newWithCode(code, data, 3)
+		},
+	},
+	{
+		Name:        "447.dealII",
+		Description: "adaptive FEM: mesh refinement keeps shifting the working set",
+		Build: func(seed uint64) cachefilter.Source {
+			var schedule []phaseSpec
+			for p := uint64(0); p < 40; p++ {
+				base := heapBase + p*64*mb
+				rp := newPRNG(seedFor(seed, 44700+p))
+				// The refined mesh grows and the solver mix shifts every
+				// refinement step: distinct histogram structure per phase.
+				work := newMix(rp, []cachefilter.Source{
+					newPointerChase(newPRNG(seedFor(seed, 44800+p)), base, 10_000+int(p)*4_000, 64),
+					newSequential(base+32*mb, uint64(2+p%9)*mb, 8, cachefilter.Load),
+				}, []int{int(3 + p%6), int(2 + p%5)})
+				code := newCodeStream(newPRNG(seedFor(seed, 44900+p)), codeBase, 120, 8192, 2.0)
+				schedule = append(schedule, phaseSpec{src: newWithCode(code, work, 2), steps: 500_000})
+			}
+			return newPhased(schedule)
+		},
+	},
+	{
+		Name:        "450.soplex",
+		Description: "simplex LP: sparse matrix column walks, price scans",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 450))
+			code := newCodeStream(newPRNG(seedFor(seed, 4501)), codeBase, 60, 8192, 2.0)
+			cols := newZipf(newPRNG(seedFor(seed, 4502)), heapBase, 8*mb/64, 1.3, cachefilter.Load)
+			price := newSequential(heap2Base, 64*mb, 8, cachefilter.Load)
+			update := newSequential(mmapBase, 32*mb, 8, cachefilter.Store)
+			data := newMix(r, []cachefilter.Source{cols, price, update}, []int{5, 3, 2})
+			return newWithCode(code, data, 2)
+		},
+	},
+	{
+		Name:        "453.povray",
+		Description: "ray tracer: tiny hot working set, almost everything hits L1",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 453))
+			code := newCodeStream(newPRNG(seedFor(seed, 4531)), codeBase, 16, 4096, 3.0)
+			// Misses come from a slightly-over-L1 periodic sweep, so the
+			// filtered trace is almost perfectly repetitive, plus a thin
+			// tail of skewed scene lookups.
+			sweep := newSequential(heapBase, 96<<10, 64, cachefilter.Load)
+			scene := newZipf(newPRNG(seedFor(seed, 4532)), heap2Base, (64<<10)/64, 2.5, cachefilter.Load)
+			data := newMix(r, []cachefilter.Source{sweep, scene}, []int{9, 1})
+			return newWithCode(code, data, 3)
+		},
+	},
+	{
+		Name:        "456.hmmer",
+		Description: "profile HMM search: small tables swept with regular strides",
+		Build: func(seed uint64) cachefilter.Source {
+			code := newCodeStream(newPRNG(seedFor(seed, 4561)), codeBase, 10, 4096, 2.5)
+			dp := newLoopNest([]uint64{heapBase, heapBase + 16*mb, heapBase + 32*mb}, 2*mb, 8)
+			return newWithCode(code, dp, 1)
+		},
+	},
+	{
+		Name:        "458.sjeng",
+		Description: "chess search: transposition-table probes all over a big table",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 458))
+			code := newCodeStream(newPRNG(seedFor(seed, 4581)), codeBase, 220, 8192, 1.8)
+			tt := newRandomUniform(newPRNG(seedFor(seed, 4582)), heapBase, 4*mb, 16, cachefilter.Load)
+			board := newZipf(newPRNG(seedFor(seed, 4583)), heap2Base, mb/64, 2.0, cachefilter.Load)
+			data := newMix(r, []cachefilter.Source{tt, board}, []int{7, 3})
+			return newWithCode(code, data, 2)
+		},
+	},
+	{
+		Name:        "462.libquantum",
+		Description: "quantum simulation: pure streaming over one huge vector",
+		Build: func(seed uint64) cachefilter.Source {
+			code := newCodeStream(newPRNG(seedFor(seed, 4621)), codeBase, 4, 2048, 3.0)
+			data := newSequential(heapBase, 512*mb, 16, cachefilter.Load)
+			return newWithCode(code, data, 1)
+		},
+	},
+	{
+		Name:        "464.h264ref",
+		Description: "video encoder: motion search in local 2-D windows, frame sweeps",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 464))
+			code := newCodeStream(newPRNG(seedFor(seed, 4641)), codeBase, 90, 8192, 2.0)
+			frame := newSequential(heapBase, 48*mb, 8, cachefilter.Load)
+			window := newRandomUniform(newPRNG(seedFor(seed, 4642)), heap2Base, mb, 8, cachefilter.Load)
+			recon := newSequential(mmapBase, 48*mb, 8, cachefilter.Store)
+			data := newMix(r, []cachefilter.Source{frame, window, recon}, []int{3, 5, 2})
+			return newWithCode(code, data, 2)
+		},
+	},
+	{
+		Name:        "470.lbm",
+		Description: "lattice Boltzmann: streaming stencil over parallel distributions",
+		Build: func(seed uint64) cachefilter.Source {
+			code := newCodeStream(newPRNG(seedFor(seed, 4701)), codeBase, 6, 4096, 3.0)
+			// Two lattices (source/destination) plus obstacle flags.
+			arrays := []uint64{heapBase, heapBase + 512*mb, heap2Base}
+			data := newLoopNest(arrays, 16*mb, 8)
+			return newWithCode(code, data, 1)
+		},
+	},
+	{
+		Name:        "471.omnetpp",
+		Description: "discrete event simulation: heap-allocated event objects, queue churn",
+		Build: func(seed uint64) cachefilter.Source {
+			// Alternating event-processing phases over two module sets gives
+			// the trace visible phase structure.
+			mkPhase := func(salt uint64, base uint64) cachefilter.Source {
+				rp := newPRNG(seedFor(seed, salt))
+				code := newCodeStream(newPRNG(seedFor(seed, salt+1)), codeBase, 300, 8192, 1.9)
+				events := newPointerChase(newPRNG(seedFor(seed, salt+2)), base, 60_000, 128)
+				queue := newZipf(newPRNG(seedFor(seed, salt+3)), base+128*mb, 2*mb/64, 1.5, cachefilter.Load)
+				data := newMix(rp, []cachefilter.Source{events, queue}, []int{6, 4})
+				return newWithCode(code, data, 2)
+			}
+			return newPhased([]phaseSpec{
+				{src: mkPhase(47100, heapBase), steps: 800_000},
+				{src: mkPhase(47200, mmapBase), steps: 800_000},
+			})
+		},
+	},
+	{
+		Name:        "473.astar",
+		Description: "path finding: open-list updates and random map probes",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 473))
+			code := newCodeStream(newPRNG(seedFor(seed, 4731)), codeBase, 40, 8192, 2.1)
+			grid := newRandomUniform(newPRNG(seedFor(seed, 4732)), heapBase, 6*mb, 8, cachefilter.Load)
+			open := newPointerChase(newPRNG(seedFor(seed, 4733)), heap2Base, 60_000, 64)
+			data := newMix(r, []cachefilter.Source{grid, open}, []int{5, 5})
+			return newWithCode(code, data, 1)
+		},
+	},
+	{
+		Name:        "482.sphinx3",
+		Description: "speech recognition: acoustic model streaming plus hash lookups",
+		Build: func(seed uint64) cachefilter.Source {
+			// Alternates between scoring (streaming) and search (random)
+			// phases.
+			rA := newPRNG(seedFor(seed, 48201))
+			codeA := newCodeStream(newPRNG(seedFor(seed, 48202)), codeBase, 30, 8192, 2.0)
+			score := newMix(rA, []cachefilter.Source{
+				newSequential(heapBase, 256*mb, 8, cachefilter.Load),
+				newSequential(heapBase+256*mb, 64*mb, 8, cachefilter.Load),
+			}, []int{7, 3})
+			phaseA := newWithCode(codeA, score, 1)
+
+			rB := newPRNG(seedFor(seed, 48203))
+			codeB := newCodeStream(newPRNG(seedFor(seed, 48204)), codeBase+16*mb, 80, 8192, 2.0)
+			search := newMix(rB, []cachefilter.Source{
+				newRandomUniform(newPRNG(seedFor(seed, 48205)), heap2Base, 3*mb, 8, cachefilter.Load),
+				newZipf(newPRNG(seedFor(seed, 48206)), mmapBase, 2*mb/64, 1.5, cachefilter.Load),
+			}, []int{6, 4})
+			phaseB := newWithCode(codeB, search, 2)
+
+			return newPhased([]phaseSpec{
+				{src: phaseA, steps: 1_200_000},
+				{src: phaseB, steps: 600_000},
+			})
+		},
+	},
+	{
+		Name:        "483.xalancbmk",
+		Description: "XSLT processor: DOM pointer chasing, string tables, hot dispatch",
+		Build: func(seed uint64) cachefilter.Source {
+			r := newPRNG(seedFor(seed, 483))
+			code := newCodeStream(newPRNG(seedFor(seed, 4831)), codeBase, 500, 8192, 1.9)
+			dom := newPointerChase(newPRNG(seedFor(seed, 4832)), heapBase, 70_000, 128)
+			strings := newZipf(newPRNG(seedFor(seed, 4833)), heap2Base, 4*mb/64, 1.4, cachefilter.Load)
+			out := newSequential(mmapBase, 32*mb, 8, cachefilter.Store)
+			data := newMix(r, []cachefilter.Source{dom, strings, out}, []int{5, 3, 2})
+			return newWithCode(code, data, 2)
+		},
+	},
+}

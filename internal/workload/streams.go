@@ -1,0 +1,383 @@
+// Package workload provides deterministic synthetic workload models that
+// stand in for the paper's Pin-collected SPEC CPU2006 traces (§4.2), which
+// cannot be regenerated offline. Each model emits an unbounded stream of
+// raw memory accesses (instruction fetches, loads and stores over a
+// realistic 48-bit address-space layout); feeding the stream through the
+// L1 cache filter of internal/cachefilter yields cache-filtered block
+// address traces with the qualitative properties the paper's evaluation
+// spans: streaming, loop nests, pointer chasing, hash probing, tiny
+// working sets and unstable multi-phase behaviour.
+package workload
+
+import (
+	"atc/internal/cachefilter"
+)
+
+// Address-space layout used by all models: distinct high-order bytes per
+// region, as in real processes, which is precisely the structure the
+// bytesort transformation exploits.
+const (
+	codeBase  = 0x0000_4000_0000
+	heapBase  = 0x0000_7000_0000
+	heap2Base = 0x0001_2000_0000
+	mmapBase  = 0x00C0_0000_0000
+	stackBase = 0x7FFF_8000_0000
+)
+
+// sequential walks [base, base+size) with the given stride, wrapping, and
+// emits accesses of the given kind.
+type sequential struct {
+	base, size, stride uint64
+	pos                uint64
+	kind               cachefilter.Kind
+}
+
+func newSequential(base, size, stride uint64, kind cachefilter.Kind) *sequential {
+	if stride == 0 {
+		stride = 8
+	}
+	return &sequential{base: base, size: size, stride: stride, kind: kind}
+}
+
+func (s *sequential) Next() cachefilter.Access {
+	a := cachefilter.Access{Addr: s.base + s.pos, Kind: s.kind}
+	s.pos += s.stride
+	if s.pos >= s.size {
+		s.pos = 0
+	}
+	return a
+}
+
+// randomUniform emits uniformly random aligned accesses within a region.
+type randomUniform struct {
+	base, size uint64
+	align      uint64
+	kind       cachefilter.Kind
+	rng        *prng
+}
+
+func newRandomUniform(rng *prng, base, size, align uint64, kind cachefilter.Kind) *randomUniform {
+	if align == 0 {
+		align = 8
+	}
+	return &randomUniform{base: base, size: size, align: align, kind: kind, rng: rng}
+}
+
+func (r *randomUniform) Next() cachefilter.Access {
+	off := r.rng.uint64n(r.size/r.align) * r.align
+	return cachefilter.Access{Addr: r.base + off, Kind: r.kind}
+}
+
+// zipfStream emits skewed accesses: a few hot blocks, a long cold tail.
+type zipfStream struct {
+	base  uint64
+	n     int // number of 64-byte blocks in the region
+	skew  float64
+	kind  cachefilter.Kind
+	rng   *prng
+	remap []int32 // shuffles block indices so hot blocks scatter in space
+}
+
+func newZipf(rng *prng, base uint64, blocks int, skew float64, kind cachefilter.Kind) *zipfStream {
+	return &zipfStream{base: base, n: blocks, skew: skew, kind: kind, rng: rng, remap: rng.perm(blocks)}
+}
+
+func (z *zipfStream) Next() cachefilter.Access {
+	idx := z.remap[z.rng.zipfIndex(z.n, z.skew)]
+	off := uint64(idx)*64 + z.rng.uint64n(8)*8
+	return cachefilter.Access{Addr: z.base + off, Kind: z.kind}
+}
+
+// pointerChase walks a random permutation cycle over n nodes; each step
+// reads one node, modelling linked-list / graph traversal.
+type pointerChase struct {
+	base     uint64
+	nodeSize uint64
+	next     []int32
+	cur      int32
+	kind     cachefilter.Kind
+}
+
+func newPointerChase(rng *prng, base uint64, nodes int, nodeSize uint64) *pointerChase {
+	if nodeSize == 0 {
+		nodeSize = 64
+	}
+	// Build a single cycle from a permutation (cycle through a shuffled
+	// order) so the walk visits every node before repeating.
+	order := rng.perm(nodes)
+	next := make([]int32, nodes)
+	for i := 0; i < nodes; i++ {
+		next[order[i]] = order[(i+1)%nodes]
+	}
+	return &pointerChase{base: base, nodeSize: nodeSize, next: next, kind: cachefilter.Load}
+}
+
+func (p *pointerChase) Next() cachefilter.Access {
+	a := cachefilter.Access{Addr: p.base + uint64(p.cur)*p.nodeSize, Kind: p.kind}
+	p.cur = p.next[p.cur]
+	return a
+}
+
+// loopNest models numeric kernels: it sweeps several arrays in lockstep
+// (A[i], B[i], C[i], ...), re-running the sweep forever, with a write to
+// the last array.
+type loopNest struct {
+	bases  []uint64
+	length uint64 // elements per array
+	elem   uint64 // element size
+	i      uint64
+	arr    int
+}
+
+func newLoopNest(bases []uint64, length, elem uint64) *loopNest {
+	if elem == 0 {
+		elem = 8
+	}
+	return &loopNest{bases: bases, length: length, elem: elem}
+}
+
+func (l *loopNest) Next() cachefilter.Access {
+	kind := cachefilter.Load
+	if l.arr == len(l.bases)-1 {
+		kind = cachefilter.Store
+	}
+	a := cachefilter.Access{Addr: l.bases[l.arr] + l.i*l.elem, Kind: kind}
+	l.arr++
+	if l.arr == len(l.bases) {
+		l.arr = 0
+		l.i++
+		if l.i == l.length {
+			l.i = 0
+		}
+	}
+	return a
+}
+
+// stencil3D sweeps a 3-D grid accessing the 6 neighbours of each cell plus
+// the cell itself, modelling structured-grid solvers (zeusmp, lbm-like).
+type stencil3D struct {
+	base    uint64
+	nx, ny  uint64
+	nz      uint64
+	elem    uint64
+	x, y, z uint64
+	phase   int
+}
+
+func newStencil3D(base uint64, nx, ny, nz, elem uint64) *stencil3D {
+	if elem == 0 {
+		elem = 8
+	}
+	return &stencil3D{base: base, nx: nx, ny: ny, nz: nz, elem: elem}
+}
+
+func (s *stencil3D) addrOf(x, y, z uint64) uint64 {
+	return s.base + ((z*s.ny+y)*s.nx+x)*s.elem
+}
+
+func (s *stencil3D) Next() cachefilter.Access {
+	var a uint64
+	kind := cachefilter.Load
+	switch s.phase {
+	case 0:
+		a = s.addrOf(s.x, s.y, s.z)
+	case 1:
+		a = s.addrOf((s.x+1)%s.nx, s.y, s.z)
+	case 2:
+		a = s.addrOf((s.x+s.nx-1)%s.nx, s.y, s.z)
+	case 3:
+		a = s.addrOf(s.x, (s.y+1)%s.ny, s.z)
+	case 4:
+		a = s.addrOf(s.x, s.y, (s.z+1)%s.nz)
+	case 5:
+		a = s.addrOf(s.x, s.y, s.z)
+		kind = cachefilter.Store
+	}
+	s.phase++
+	if s.phase == 6 {
+		s.phase = 0
+		s.x++
+		if s.x == s.nx {
+			s.x = 0
+			s.y++
+			if s.y == s.ny {
+				s.y = 0
+				s.z++
+				if s.z == s.nz {
+					s.z = 0
+				}
+			}
+		}
+	}
+	return cachefilter.Access{Addr: a, Kind: kind}
+}
+
+// codeStream models instruction fetch: hot loops of sequential fetches
+// with occasional calls to other functions picked from a working set with
+// Zipf-ish popularity.
+type codeStream struct {
+	base      uint64
+	functions int    // number of functions
+	funcSize  uint64 // bytes per function
+	rng       *prng
+	curFunc   int
+	pos       uint64
+	loopStart uint64
+	loopEnd   uint64
+	loopsLeft int
+	skew      float64
+}
+
+func newCodeStream(rng *prng, base uint64, functions int, funcSize uint64, skew float64) *codeStream {
+	cs := &codeStream{base: base, functions: functions, funcSize: funcSize, rng: rng, skew: skew}
+	cs.enterFunction()
+	return cs
+}
+
+func (c *codeStream) enterFunction() {
+	c.curFunc = c.rng.zipfIndex(c.functions, c.skew)
+	c.pos = 0
+	// Pick a loop body inside the function.
+	bodyLen := uint64(64 + c.rng.intn(512))
+	if bodyLen > c.funcSize/2 {
+		bodyLen = c.funcSize / 2
+	}
+	maxStart := c.funcSize - 2*bodyLen
+	if maxStart == 0 {
+		maxStart = 1
+	}
+	c.loopStart = c.rng.uint64n(maxStart)
+	c.loopEnd = c.loopStart + bodyLen
+	c.loopsLeft = 4 + c.rng.intn(60)
+}
+
+func (c *codeStream) Next() cachefilter.Access {
+	a := cachefilter.Access{
+		Addr: c.base + uint64(c.curFunc)*c.funcSize + c.pos,
+		Kind: cachefilter.Instr,
+	}
+	c.pos += 4 // one instruction
+	if c.pos >= c.loopEnd {
+		c.loopsLeft--
+		if c.loopsLeft > 0 {
+			c.pos = c.loopStart
+		} else if c.pos >= c.funcSize || c.rng.intn(8) == 0 {
+			c.enterFunction()
+		} else {
+			// Fall through to straight-line code, then a fresh loop.
+			c.loopStart = c.pos
+			c.loopEnd = c.pos + uint64(64+c.rng.intn(256))
+			if c.loopEnd > c.funcSize {
+				c.enterFunction()
+			} else {
+				c.loopsLeft = 1 + c.rng.intn(30)
+			}
+		}
+	}
+	return a
+}
+
+// mix interleaves several streams with fixed weights, in deterministic
+// bursts. Real programs interleave their access streams in program order
+// (an inner loop does one thing many times before the next), so the
+// schedule is a fixed weighted round-robin of bursts with small
+// deterministic length jitter — not a per-access coin flip, which would
+// destroy the repetition that makes real traces compressible and
+// predictable. The PRNG is only used once, to derive the jitter pattern.
+type mix struct {
+	streams  []cachefilter.Source
+	schedule []uint8 // stream index per burst slot, repeating
+	burst    []int16 // burst length per slot
+	slot     int
+	left     int
+}
+
+const mixBurstLen = 24 // raw accesses per burst before switching streams
+
+func newMix(rng *prng, streams []cachefilter.Source, weights []int) *mix {
+	m := &mix{streams: streams}
+	// Spread each stream's weight evenly across the schedule (error
+	// diffusion), so slot order is deterministic and well mixed.
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	credit := make([]int, len(weights))
+	for s := 0; s < total; s++ {
+		best, bestCredit := 0, -1<<30
+		for i := range weights {
+			credit[i] += weights[i]
+			if credit[i] > bestCredit {
+				best, bestCredit = i, credit[i]
+			}
+		}
+		credit[best] -= total
+		m.schedule = append(m.schedule, uint8(best))
+		// Deterministic per-slot jitter keeps bursts from perfect lockstep.
+		m.burst = append(m.burst, int16(mixBurstLen+rng.intn(mixBurstLen/2+1)))
+	}
+	m.left = int(m.burst[0])
+	return m
+}
+
+func (m *mix) Next() cachefilter.Access {
+	if m.left <= 0 {
+		m.slot = (m.slot + 1) % len(m.schedule)
+		m.left = int(m.burst[m.slot])
+	}
+	m.left--
+	return m.streams[m.schedule[m.slot]].Next()
+}
+
+// phased cycles through a schedule of sub-streams, switching after a fixed
+// number of raw accesses; this is what gives traces their repeating-phase
+// structure (or, with a non-repeating schedule, their instability).
+type phased struct {
+	schedule []phaseSpec
+	idx      int
+	left     int64
+}
+
+type phaseSpec struct {
+	src   cachefilter.Source
+	steps int64
+}
+
+func newPhased(schedule []phaseSpec) *phased {
+	p := &phased{schedule: schedule}
+	p.left = schedule[0].steps
+	return p
+}
+
+func (p *phased) Next() cachefilter.Access {
+	if p.left <= 0 {
+		p.idx = (p.idx + 1) % len(p.schedule)
+		p.left = p.schedule[p.idx].steps
+	}
+	p.left--
+	return p.schedule[p.idx].src.Next()
+}
+
+// withCode adds an instruction stream to a data stream with the typical
+// ~3:1 fetch:data ratio of real programs.
+type withCode struct {
+	code cachefilter.Source
+	data cachefilter.Source
+	step int
+	per  int // code fetches per data access
+}
+
+func newWithCode(code, data cachefilter.Source, per int) *withCode {
+	if per <= 0 {
+		per = 3
+	}
+	return &withCode{code: code, data: data, per: per}
+}
+
+func (w *withCode) Next() cachefilter.Access {
+	w.step++
+	if w.step%(w.per+1) == 0 {
+		return w.data.Next()
+	}
+	return w.code.Next()
+}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"atc/internal/cachefilter"
+	"atc/internal/trace"
+)
+
+func TestModelsCount(t *testing.T) {
+	if len(Models()) != 22 {
+		t.Fatalf("have %d models, want 22 (the paper's SPEC subset)", len(Models()))
+	}
+}
+
+func TestModelNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Models() {
+		if seen[m.Name] {
+			t.Fatalf("duplicate model %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Description == "" {
+			t.Errorf("model %q lacks a description", m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("429.mcf"); !ok {
+		t.Fatal("full-name lookup failed")
+	}
+	if m, ok := ByName("429"); !ok || m.Name != "429.mcf" {
+		t.Fatal("prefix lookup failed")
+	}
+	if _, ok := ByName("999.nothing"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := GenerateFiltered("462.libquantum", 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFiltered("462.libquantum", 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	c, err := GenerateFiltered("462.libquantum", 5000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestAllModelsProduceTraces(t *testing.T) {
+	const n = 3000
+	for _, m := range Models() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			addrs, err := GenerateFiltered(m.Name, n, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(addrs) != n {
+				t.Fatalf("got %d filtered addresses", len(addrs))
+			}
+			s := trace.ComputeStats(addrs)
+			// Cache-filtered block addresses must have top 6 bits clear.
+			if s.Max>>58 != 0 {
+				t.Fatalf("max block address %#x has nonzero top bits", s.Max)
+			}
+			if s.Distinct < 2 {
+				t.Fatalf("trace is degenerate: %d distinct blocks", s.Distinct)
+			}
+		})
+	}
+}
+
+func TestStreamingModelsAreRegular(t *testing.T) {
+	// Streaming models interleave sweeps over a few arrays, so consecutive
+	// misses follow a small set of recurring deltas (the property that
+	// makes them trivially compressible). Require the 8 most common deltas
+	// to cover the bulk of all steps.
+	for _, name := range []string{"462.libquantum", "470.lbm", "410.bwaves"} {
+		addrs, err := GenerateFiltered(name, 20_000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas := map[int64]int{}
+		for i := 1; i < len(addrs); i++ {
+			deltas[int64(addrs[i])-int64(addrs[i-1])]++
+		}
+		counts := make([]int, 0, len(deltas))
+		for _, c := range deltas {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		top := 0
+		for i := 0; i < len(counts) && i < 8; i++ {
+			top += counts[i]
+		}
+		frac := float64(top) / float64(len(addrs)-1)
+		if frac < 0.8 {
+			t.Errorf("%s: top-8 deltas cover only %.2f of steps; expected streaming regularity", name, frac)
+		}
+	}
+}
+
+func TestRandomModelsAreIrregular(t *testing.T) {
+	// Hash/pointer-dominated models must have a large footprint relative
+	// to the trace length.
+	for _, name := range []string{"429.mcf", "458.sjeng", "473.astar"} {
+		addrs, err := GenerateFiltered(name, 20_000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := trace.ComputeStats(addrs)
+		if float64(s.Distinct) < 0.5*float64(s.Count) {
+			t.Errorf("%s: %d distinct of %d; expected an irregular, high-footprint trace",
+				name, s.Distinct, s.Count)
+		}
+	}
+}
+
+func TestPovrayTinyFootprint(t *testing.T) {
+	addrs, err := GenerateFiltered("453.povray", 10_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.ComputeStats(addrs)
+	if s.Distinct > 4096 {
+		t.Fatalf("povray footprint = %d blocks; the model should stay tiny", s.Distinct)
+	}
+}
+
+func TestMixEmitsAllKinds(t *testing.T) {
+	m, _ := ByName("400.perlbench")
+	src := m.Build(1)
+	kinds := map[cachefilter.Kind]int{}
+	for i := 0; i < 100_000; i++ {
+		kinds[src.Next().Kind]++
+	}
+	if kinds[cachefilter.Instr] == 0 || kinds[cachefilter.Load] == 0 || kinds[cachefilter.Store] == 0 {
+		t.Fatalf("kind mix = %v; expected instruction, load and store traffic", kinds)
+	}
+}
+
+func TestPhasedModelsSwitchRegions(t *testing.T) {
+	// The phased models must visit clearly different regions over time.
+	m, _ := ByName("471.omnetpp")
+	src := m.Build(3)
+	f := cachefilter.NewL1()
+	first := cachefilter.Collect(f, src, 5000)
+	// Skip deep into the next phase.
+	for i := 0; i < 4_100_000; i++ {
+		src.Next()
+	}
+	second := cachefilter.Collect(f, src, 5000)
+	f1 := trace.ComputeStats(first)
+	f2 := trace.ComputeStats(second)
+	if f1.Min == f2.Min && f1.Max == f2.Max {
+		t.Fatal("phases cover identical ranges; schedule seems inert")
+	}
+}
+
+func TestPRNGUniformity(t *testing.T) {
+	r := newPRNG(1)
+	var buckets [16]int
+	for i := 0; i < 160_000; i++ {
+		buckets[r.intn(16)]++
+	}
+	for b, c := range buckets {
+		if c < 8_000 || c > 12_000 {
+			t.Fatalf("bucket %d has %d of 160000; PRNG badly skewed", b, c)
+		}
+	}
+}
+
+func TestPRNGDeterminism(t *testing.T) {
+	a, b := newPRNG(99), newPRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same-seed PRNGs diverged")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := newPRNG(5)
+	counts := make([]int, 1000)
+	for i := 0; i < 200_000; i++ {
+		counts[r.zipfIndex(1000, 2.0)]++
+	}
+	top, bottom := 0, 0
+	for i := 0; i < 100; i++ {
+		top += counts[i]
+	}
+	for i := 900; i < 1000; i++ {
+		bottom += counts[i]
+	}
+	if top < 5*bottom {
+		t.Fatalf("zipf skew too weak: top decile %d vs bottom %d", top, bottom)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := newPRNG(6)
+	p := r.perm(257)
+	seen := make([]bool, 257)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in perm", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPointerChaseVisitsAllNodes(t *testing.T) {
+	pc := newPointerChase(newPRNG(7), 0, 1000, 64)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[pc.Next().Addr] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("chase visited %d of 1000 nodes in one cycle", len(seen))
+	}
+}
+
+func BenchmarkGenerateFiltered(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateFiltered("429.mcf", 10_000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package xcompress provides a registry of byte-level compression back ends
+// behind a single interface. The paper's ATC tool shells out to an external
+// compressor command ("bzip2 -c", "gzip -c", …); this reproduction keeps the
+// same pluggability but in-process: "bsc" is the block-sorting (bzip2-class)
+// back end, "flate" is DEFLATE from the standard library (gzip-class), and
+// "store" performs no compression (useful for isolating transform effects
+// in ablation experiments).
+package xcompress
+
+import (
+	"compress/flate"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"atc/internal/bsc"
+)
+
+// Backend creates compressing writers and decompressing readers.
+type Backend interface {
+	// Name returns the registry key, e.g. "bsc".
+	Name() string
+	// NewWriter returns a WriteCloser compressing onto w. Closing it must
+	// flush all data but must not close w.
+	NewWriter(w io.Writer) (io.WriteCloser, error)
+	// NewReader returns a Reader decompressing from r.
+	NewReader(r io.Reader) (io.Reader, error)
+}
+
+var (
+	mu       sync.RWMutex
+	backends = map[string]Backend{}
+)
+
+// Register makes a back end available by name, replacing any previous
+// registration with the same name.
+func Register(b Backend) {
+	mu.Lock()
+	defer mu.Unlock()
+	backends[b.Name()] = b
+}
+
+// Lookup returns the named back end.
+func Lookup(name string) (Backend, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	b, ok := backends[name]
+	if !ok {
+		return nil, fmt.Errorf("xcompress: unknown backend %q (have %v)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// Names lists the registered back ends in sorted order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(backends))
+	for n := range backends {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bscBackend adapts internal/bsc.
+type bscBackend struct{ blockSize int }
+
+func (b bscBackend) Name() string { return "bsc" }
+
+func (b bscBackend) NewWriter(w io.Writer) (io.WriteCloser, error) {
+	return bsc.NewWriterSize(w, b.blockSize), nil
+}
+
+func (b bscBackend) NewReader(r io.Reader) (io.Reader, error) {
+	return bsc.NewReader(r), nil
+}
+
+// flateBackend adapts compress/flate.
+type flateBackend struct{ level int }
+
+func (f flateBackend) Name() string { return "flate" }
+
+func (f flateBackend) NewWriter(w io.Writer) (io.WriteCloser, error) {
+	return flate.NewWriter(w, f.level)
+}
+
+func (f flateBackend) NewReader(r io.Reader) (io.Reader, error) {
+	return flate.NewReader(r), nil
+}
+
+// storeBackend copies bytes verbatim with a trivial length-free framing:
+// the stream is the data itself (callers frame externally).
+type storeBackend struct{}
+
+func (storeBackend) Name() string { return "store" }
+
+func (storeBackend) NewWriter(w io.Writer) (io.WriteCloser, error) {
+	return nopWriteCloser{w}, nil
+}
+
+func (storeBackend) NewReader(r io.Reader) (io.Reader, error) { return r, nil }
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+func init() {
+	Register(bscBackend{blockSize: bsc.DefaultBlockSize})
+	Register(flateBackend{level: flate.BestCompression})
+	Register(storeBackend{})
+}
+
+// CompressAll compresses data with the named back end into a fresh buffer.
+func CompressAll(name string, data []byte) ([]byte, error) {
+	b, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	var buf growBuffer
+	w, err := b.NewWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// DecompressAll expands data with the named back end.
+func DecompressAll(name string, data []byte) ([]byte, error) {
+	b, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.NewReader(readerOf(data))
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(r)
+}
+
+type growBuffer struct{ b []byte }
+
+func (g *growBuffer) Write(p []byte) (int, error) {
+	g.b = append(g.b, p...)
+	return len(p), nil
+}
+
+type byteSliceReader struct {
+	b []byte
+	i int
+}
+
+func (s *byteSliceReader) Read(p []byte) (int, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.i:])
+	s.i += n
+	return n, nil
+}
+
+func (s *byteSliceReader) ReadByte() (byte, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	b := s.b[s.i]
+	s.i++
+	return b, nil
+}
+
+func readerOf(b []byte) io.Reader { return &byteSliceReader{b: b} }
