@@ -32,6 +32,24 @@
 // structure (miss ratios, predictability) while storing only one chunk per
 // program phase; see the package documentation of atc/internal/core for
 // the on-disk format and DESIGN.md for the reproduction notes.
+//
+// # Concurrency
+//
+// Chunk files are independent, so lossy compression runs the expensive
+// bytesort + back-end stage on a pool of WithWorkers goroutines (default
+// runtime.GOMAXPROCS(0); 1 restores fully-synchronous operation). Interval
+// classification, chunk numbering and the INFO record sequence stay on the
+// calling goroutine, so the output directory is byte-for-byte identical
+// for every worker count. A chunk-compression failure is deferred: it is
+// returned by a later Code/CodeSlice call or, at the latest, by Close —
+// callers that check every error, as the quick start does, observe it
+// either way. Writer and Reader themselves are not safe for concurrent use
+// by multiple goroutines.
+//
+// Decoding symmetrically overlaps back-end decompression with consumption
+// through a bounded readahead goroutine (WithReadahead, default 2
+// buffered batches; negative disables it). Reader.Close stops the
+// readahead goroutine, so it must be called even on early abandonment.
 package atc
 
 import (
@@ -102,6 +120,16 @@ func WithTableCapacity(n int) Option {
 	return func(o *core.Options) { o.TableCapacity = n }
 }
 
+// WithWorkers sets the number of goroutines compressing completed chunks
+// in lossy mode (default runtime.GOMAXPROCS(0)). n = 1 compresses every
+// chunk synchronously on the calling goroutine. The compressed directory
+// is byte-for-byte identical for every worker count; worker errors are
+// deferred into a later Code call or Close. Lossless mode streams into a
+// single chunk and is unaffected.
+func WithWorkers(n int) Option {
+	return func(o *core.Options) { o.Workers = n }
+}
+
 // Writer compresses a trace into a directory.
 type Writer struct {
 	c *core.Compressor
@@ -161,6 +189,14 @@ func WithChunkCache(n int) ReadOption {
 	return func(o *core.DecodeOptions) { o.ChunkCacheSize = n }
 }
 
+// WithReadahead bounds how many decoded intervals (lossy) or address
+// batches (lossless) a background goroutine decompresses ahead of Decode
+// (default 2). Negative n disables readahead and decodes synchronously on
+// the calling goroutine. The decoded stream is identical either way.
+func WithReadahead(n int) ReadOption {
+	return func(o *core.DecodeOptions) { o.Readahead = n }
+}
+
 // Reader decompresses a trace directory.
 type Reader struct {
 	d *core.Decompressor
@@ -201,6 +237,7 @@ func Compress(dir string, addrs []uint64, opts ...Option) (Stats, error) {
 		return Stats{}, err
 	}
 	if err := w.CodeSlice(addrs); err != nil {
+		w.Close() // drain the worker pool; reports the same deferred error
 		return Stats{}, err
 	}
 	if err := w.Close(); err != nil {

@@ -164,3 +164,56 @@ func TestPublicErrors(t *testing.T) {
 		t.Fatal("NewWriter over existing trace succeeded")
 	}
 }
+
+func TestPublicWorkersAndReadahead(t *testing.T) {
+	// Intervals with different footprint sizes: each becomes its own chunk,
+	// so the worker pool actually runs.
+	rng := rand.New(rand.NewSource(12))
+	var addrs []uint64
+	for p := 0; p < 8; p++ {
+		footprint := 64 << uint(p)
+		base := uint64(p) << 32
+		for i := 0; i < 1500; i++ {
+			addrs = append(addrs, base+uint64(rng.Intn(footprint)))
+		}
+	}
+	opts := func(workers int) []atc.Option {
+		return []atc.Option{
+			atc.WithMode(atc.Lossy),
+			atc.WithIntervalLen(1500),
+			atc.WithBufferAddrs(400),
+			atc.WithWorkers(workers),
+		}
+	}
+	serialDir := t.TempDir()
+	serialStats, err := atc.Compress(serialDir, addrs, opts(1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := atc.Decompress(serialDir, atc.WithReadahead(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		dir := t.TempDir()
+		stats, err := atc.Compress(dir, addrs, opts(workers)...)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stats != serialStats {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, stats, serialStats)
+		}
+		got, err := atc.Decompress(dir, atc.WithReadahead(4))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: decoded %d addrs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: decoded stream diverges at %d", workers, i)
+			}
+		}
+	}
+}

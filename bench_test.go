@@ -14,8 +14,11 @@ package atc_test
 
 import (
 	"math"
+	"math/rand"
+	"os"
 	"testing"
 
+	"atc"
 	"atc/internal/bytesort"
 	"atc/internal/experiment"
 	"atc/internal/vpc"
@@ -237,3 +240,99 @@ func BenchmarkVPCCompress(b *testing.B) {
 		}
 	}
 }
+
+// --- serial vs parallel chunk pipeline ---
+
+// chunkedBenchTrace yields intervals with distinct sorted-histogram shapes
+// so every interval becomes its own back-end-compressed chunk: the workload
+// the worker pool is built for.
+func chunkedBenchTrace(intervals, intervalLen int) []uint64 {
+	rng := rand.New(rand.NewSource(2009))
+	addrs := make([]uint64, 0, intervals*intervalLen)
+	for p := 0; p < intervals; p++ {
+		// Three distribution families (uniform, bimodal, trimodal) crossed
+		// with ten footprint sizes: 24 pairwise-distinguishable phases.
+		footprint := 64 << uint(p%10)
+		base := uint64(p) << 32
+		hot := footprint / 8
+		for i := 0; i < intervalLen; i++ {
+			v := rng.Intn(footprint)
+			if p >= 10 && i%2 == 0 {
+				v = rng.Intn(hot)
+			}
+			if p >= 20 && i%4 == 1 {
+				v = rng.Intn(4)
+			}
+			addrs = append(addrs, base+uint64(v))
+		}
+	}
+	return addrs
+}
+
+func benchmarkChunkedCompress(b *testing.B, workers int) {
+	const (
+		intervals   = 24
+		intervalLen = 10_000
+	)
+	addrs := chunkedBenchTrace(intervals, intervalLen)
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "atc-chunkbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := atc.Compress(dir, addrs,
+			atc.WithMode(atc.Lossy),
+			atc.WithIntervalLen(intervalLen),
+			atc.WithBufferAddrs(intervalLen/10),
+			atc.WithWorkers(workers),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Chunks != intervals {
+			b.Fatalf("trace not chunk-heavy: %d chunks of %d intervals", stats.Chunks, intervals)
+		}
+		os.RemoveAll(dir)
+	}
+}
+
+func BenchmarkChunkedCompressWorkers1(b *testing.B) { benchmarkChunkedCompress(b, 1) }
+func BenchmarkChunkedCompressWorkers2(b *testing.B) { benchmarkChunkedCompress(b, 2) }
+func BenchmarkChunkedCompressWorkers4(b *testing.B) { benchmarkChunkedCompress(b, 4) }
+func BenchmarkChunkedCompressWorkers8(b *testing.B) { benchmarkChunkedCompress(b, 8) }
+
+func benchmarkChunkedDecode(b *testing.B, readahead int) {
+	const (
+		intervals   = 24
+		intervalLen = 10_000
+	)
+	addrs := chunkedBenchTrace(intervals, intervalLen)
+	dir, err := os.MkdirTemp("", "atc-decbench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, err := atc.Compress(dir, addrs,
+		atc.WithMode(atc.Lossy),
+		atc.WithIntervalLen(intervalLen),
+		atc.WithBufferAddrs(intervalLen/10),
+	); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := atc.Decompress(dir, atc.WithReadahead(readahead))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(addrs) {
+			b.Fatalf("decoded %d addrs, want %d", len(got), len(addrs))
+		}
+	}
+}
+
+func BenchmarkChunkedDecodeSync(b *testing.B)      { benchmarkChunkedDecode(b, -1) }
+func BenchmarkChunkedDecodeReadahead(b *testing.B) { benchmarkChunkedDecode(b, 2) }

@@ -19,6 +19,7 @@ import (
 
 func main() {
 	noTranslate := flag.Bool("no-translation", false, "disable byte translation (the Figure 4 ablation)")
+	readahead := flag.Int("readahead", 0, "decoded batches buffered ahead of consumption (default 2; negative = synchronous)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: atc2bin [flags] <directory>\nwrites 64-bit LE values to stdout\n")
 		flag.PrintDefaults()
@@ -32,6 +33,9 @@ func main() {
 	var opts []atc.ReadOption
 	if *noTranslate {
 		opts = append(opts, atc.WithoutTranslations())
+	}
+	if *readahead != 0 {
+		opts = append(opts, atc.WithReadahead(*readahead))
 	}
 	r, err := atc.NewReader(flag.Arg(0), opts...)
 	if err != nil {

@@ -44,8 +44,10 @@ func main() {
 		seed     = flag.Uint64("seed", experiment.DefaultSeed, "workload seed")
 		modelsCS = flag.String("models", "", "comma-separated model subset (default: experiment-specific)")
 		backend  = flag.String("backend", "bsc", "byte-level back end")
+		workers  = flag.Int("workers", 0, "chunk-compression workers (default GOMAXPROCS; 1 = synchronous)")
 	)
 	flag.Parse()
+	experiment.Workers = *workers
 
 	var models []string
 	if *modelsCS != "" {

@@ -26,6 +26,7 @@ func main() {
 	intervalLen := flag.Int("interval", 0, "lossy interval length L in addresses (default 10,000,000)")
 	bufAddrs := flag.Int("buffer", 0, "bytesort buffer B in addresses (default 1,000,000)")
 	epsilon := flag.Float64("epsilon", 0, "lossy matching threshold (default 0.1)")
+	workers := flag.Int("workers", 0, "chunk-compression workers (default GOMAXPROCS; 1 = synchronous)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: bin2atc [flags] <directory>\nreads 64-bit LE values from stdin\n")
 		flag.PrintDefaults()
@@ -51,6 +52,9 @@ func main() {
 	}
 	if *epsilon > 0 {
 		opts = append(opts, atc.WithEpsilon(*epsilon))
+	}
+	if *workers > 0 {
+		opts = append(opts, atc.WithWorkers(*workers))
 	}
 
 	w, err := atc.NewWriter(dir, opts...)

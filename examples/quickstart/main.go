@@ -10,6 +10,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"atc"
 	"atc/internal/workload"
@@ -57,11 +58,14 @@ func main() {
 
 	// 3. Lossy compression (the paper's 'k' mode): stores one chunk per
 	//    program phase and replays it with byte translations elsewhere.
+	//    Chunk files are compressed on a worker pool (WithWorkers, default
+	//    one worker per CPU); the output is identical for any count.
 	lossyDir := filepath.Join(tmp, "lossy")
 	stats, err := atc.Compress(lossyDir, trace,
 		atc.WithMode(atc.Lossy),
 		atc.WithIntervalLen(n/100),
 		atc.WithBufferAddrs(n/1000),
+		atc.WithWorkers(runtime.GOMAXPROCS(0)),
 	)
 	if err != nil {
 		log.Fatal(err)

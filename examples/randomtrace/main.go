@@ -16,6 +16,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"atc"
 )
@@ -44,6 +45,7 @@ func main() {
 		atc.WithMode(atc.Lossy),
 		atc.WithIntervalLen(l),
 		atc.WithBufferAddrs(l/10),
+		atc.WithWorkers(runtime.GOMAXPROCS(0)),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -53,7 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	decoded, err := atc.Decompress(dir)
+	decoded, err := atc.Decompress(dir, atc.WithReadahead(4))
 	if err != nil {
 		log.Fatal(err)
 	}

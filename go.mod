@@ -1,0 +1,3 @@
+module atc
+
+go 1.24.0

@@ -17,6 +17,22 @@
 // imitation of a previous chunk together with the byte translations of
 // Section 5.1. The final, possibly short interval always becomes a chunk so
 // every imitation replays a full-length interval.
+//
+// # Parallel chunk pipeline
+//
+// Chunk files are independent (Figure 8), so lossy compression fans
+// completed intervals out to Options.Workers goroutines, each running the
+// bytesort + back-end pipeline for one chunk. All phase decisions — the
+// histogram, the table match, chunk numbering and the record sequence —
+// stay on the calling goroutine, so the directory produced with N workers
+// is byte-for-byte identical to the serial (Workers=1) result in both
+// modes. Worker errors are deferred: a failed chunk write surfaces from the
+// next Code/CodeSlice call or, at the latest, from Close. Lossless mode
+// streams into a single chunk and is unaffected by Workers.
+//
+// Decoding mirrors this with a bounded readahead goroutine (see
+// DecodeOptions.Readahead in decode.go) that overlaps back-end
+// decompression with consumption.
 package core
 
 import (
@@ -28,7 +44,10 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"atc/internal/bytesort"
 	"atc/internal/histogram"
@@ -101,11 +120,19 @@ type Options struct {
 	BufferAddrs int
 	// TableCapacity bounds the phase table. Default phase.DefaultCapacity.
 	TableCapacity int
+	// Workers is the number of goroutines compressing completed chunks in
+	// lossy mode. 0 selects runtime.GOMAXPROCS(0); 1 compresses every chunk
+	// synchronously on the calling goroutine (the historical behavior).
+	// Output is byte-identical for any worker count; see the package doc.
+	Workers int
 }
 
 func (o *Options) fillDefaults() {
 	if o.Backend == "" {
 		o.Backend = DefaultBackend
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.IntervalLen <= 0 {
 		o.IntervalLen = DefaultIntervalLen
@@ -155,12 +182,79 @@ type Compressor struct {
 	table    *phase.Table
 	records  []record
 
+	// Worker pool (lossy mode, Workers > 1). Phase decisions stay on the
+	// calling goroutine; only writeChunk runs on workers, so the on-disk
+	// result is deterministic. The first worker error is latched in werr
+	// and surfaced by the next Code/CodeSlice or by Close.
+	jobs       chan chunkJob
+	workerWG   sync.WaitGroup
+	werrMu     sync.Mutex
+	werr       error
+	hasWerr    atomic.Bool // cheap per-Code check; werr holds the error
+	poolClosed bool
+
+	// createChunkFile is an os.Create seam for fault-injection tests.
+	createChunkFile func(path string) (io.WriteCloser, error)
+
 	nextChunk int
 	total     int64
 	nChunks   int64
 	nImit     int64
 	closed    bool
 	err       error
+}
+
+// chunkJob is one completed interval queued for back-end compression.
+type chunkJob struct {
+	id    int
+	addrs []uint64
+}
+
+func (c *Compressor) workerErr() error {
+	c.werrMu.Lock()
+	defer c.werrMu.Unlock()
+	return c.werr
+}
+
+func (c *Compressor) setWorkerErr(err error) {
+	c.werrMu.Lock()
+	if c.werr == nil {
+		c.werr = err
+	}
+	c.werrMu.Unlock()
+	c.hasWerr.Store(true)
+}
+
+// startWorkers launches the chunk-compression pool. Jobs are buffered one
+// deep per worker so the caller can keep accumulating the next interval
+// while all workers are busy, without unbounded memory growth.
+func (c *Compressor) startWorkers(n int) {
+	c.jobs = make(chan chunkJob, n)
+	for i := 0; i < n; i++ {
+		c.workerWG.Add(1)
+		go func() {
+			defer c.workerWG.Done()
+			for job := range c.jobs {
+				if c.workerErr() != nil {
+					continue // drain the queue after a failure
+				}
+				if err := c.writeChunk(job.id, job.addrs); err != nil {
+					c.setWorkerErr(err)
+				}
+			}
+		}()
+	}
+}
+
+// shutdownWorkers closes the job queue, waits for in-flight chunks and
+// reports the first worker error. Safe to call more than once.
+func (c *Compressor) shutdownWorkers() error {
+	if c.jobs != nil && !c.poolClosed {
+		c.poolClosed = true
+		close(c.jobs)
+		c.workerWG.Wait()
+	}
+	return c.workerErr()
 }
 
 // Create starts a new compressed trace in directory dir (created if
@@ -183,6 +277,9 @@ func Create(dir string, opts Options) (*Compressor, error) {
 		backend:   backend,
 		nextChunk: 1,
 	}
+	c.createChunkFile = func(path string) (io.WriteCloser, error) {
+		return os.Create(path)
+	}
 	switch opts.Mode {
 	case Lossless:
 		if err := c.openLosslessChunk(); err != nil {
@@ -191,6 +288,9 @@ func Create(dir string, opts Options) (*Compressor, error) {
 	case Lossy:
 		c.interval = make([]uint64, 0, opts.IntervalLen)
 		c.table = phase.New(opts.TableCapacity, opts.Epsilon)
+		if opts.Workers > 1 {
+			c.startWorkers(opts.Workers)
+		}
 	default:
 		return nil, fmt.Errorf("atc: unknown mode %v", opts.Mode)
 	}
@@ -221,9 +321,15 @@ func (c *Compressor) openLosslessChunk() error {
 	return nil
 }
 
-// Code appends one 64-bit value to the trace (the paper's atc_code).
+// Code appends one 64-bit value to the trace (the paper's atc_code). With
+// Workers > 1, a chunk-compression failure from an earlier interval is
+// deferred and returned by a later Code call (or by Close).
 func (c *Compressor) Code(x uint64) error {
 	if c.err != nil {
+		return c.err
+	}
+	if c.hasWerr.Load() {
+		c.err = c.workerErr()
 		return c.err
 	}
 	if c.closed {
@@ -277,7 +383,13 @@ func (c *Compressor) endInterval(final bool) error {
 	}
 	id := c.nextChunk
 	c.nextChunk++
-	if err := c.writeChunk(id, c.interval); err != nil {
+	if c.jobs != nil {
+		// Hand the interval to the pool; the caller's buffer is reused for
+		// the next interval, so the job owns a copy.
+		addrs := make([]uint64, len(c.interval))
+		copy(addrs, c.interval)
+		c.jobs <- chunkJob{id: id, addrs: addrs}
+	} else if err := c.writeChunk(id, c.interval); err != nil {
 		c.err = err
 		return err
 	}
@@ -293,8 +405,10 @@ func (c *Compressor) endInterval(final bool) error {
 }
 
 // writeChunk stores one interval as a bytesorted, back-end-compressed file.
+// It is called concurrently by pool workers and touches only immutable
+// Compressor fields (dir, opts, backend, createChunkFile).
 func (c *Compressor) writeChunk(id int, addrs []uint64) error {
-	f, err := os.Create(c.chunkPath(id))
+	f, err := c.createChunkFile(c.chunkPath(id))
 	if err != nil {
 		return fmt.Errorf("atc: %w", err)
 	}
@@ -328,10 +442,13 @@ func (c *Compressor) writeChunk(id int, addrs []uint64) error {
 	return f.Close()
 }
 
-// Close flushes all state and writes INFO and MANIFEST (the paper's
-// atc_close). The Compressor cannot be used afterwards.
+// Close flushes all state — draining the worker pool first — and writes
+// INFO and MANIFEST (the paper's atc_close). Any deferred chunk-compression
+// error not yet surfaced by Code is returned here. The Compressor cannot be
+// used afterwards.
 func (c *Compressor) Close() error {
 	if c.err != nil {
+		c.shutdownWorkers()
 		return c.err
 	}
 	if c.closed {
@@ -356,6 +473,11 @@ func (c *Compressor) Close() error {
 		}
 	} else {
 		if err := c.endInterval(true); err != nil {
+			c.shutdownWorkers()
+			return err
+		}
+		if err := c.shutdownWorkers(); err != nil {
+			c.err = err
 			return err
 		}
 	}
@@ -405,30 +527,30 @@ func (c *Compressor) writeInfo() error {
 		f.Close()
 		return err
 	}
-	w := bufio.NewWriter(cw)
-	w.WriteString(infoMagic)
-	w.WriteByte(infoVersion)
-	w.WriteByte(byte(c.opts.Mode))
-	writeUvarint(w, uint64(c.opts.IntervalLen))
-	writeUvarint(w, uint64(c.opts.BufferAddrs))
+	w := &infoWriter{w: bufio.NewWriter(cw)}
+	w.string(infoMagic)
+	w.byte(infoVersion)
+	w.byte(byte(c.opts.Mode))
+	w.uvarint(uint64(c.opts.IntervalLen))
+	w.uvarint(uint64(c.opts.BufferAddrs))
 	var eps [8]byte
 	binary.LittleEndian.PutUint64(eps[:], math.Float64bits(c.opts.Epsilon))
-	w.Write(eps[:])
+	w.bytes(eps[:])
 	for _, r := range c.records {
-		w.WriteByte(r.tag)
-		writeUvarint(w, uint64(r.chunkID))
+		w.byte(r.tag)
+		w.uvarint(uint64(r.chunkID))
 		if r.tag == recImitate {
-			w.WriteByte(r.trans.Mask)
+			w.byte(r.trans.Mask)
 			for j := 0; j < histogram.Positions; j++ {
 				if r.trans.Mask&(1<<uint(j)) != 0 {
-					w.Write(r.trans.T[j][:])
+					w.bytes(r.trans.T[j][:])
 				}
 			}
 		}
 	}
-	w.WriteByte(recEnd)
-	writeUvarint(w, uint64(c.total))
-	if err := w.Flush(); err != nil {
+	w.byte(recEnd)
+	w.uvarint(uint64(c.total))
+	if err := w.flush(); err != nil {
 		f.Close()
 		return err
 	}
@@ -443,10 +565,44 @@ func (c *Compressor) writeInfo() error {
 	return f.Close()
 }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
+// infoWriter latches the first write error so every INFO field write is
+// checked without per-call boilerplate; flush surfaces the latched error
+// before attempting the final Flush. A full disk therefore fails Close
+// instead of silently truncating the INFO stream.
+type infoWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (iw *infoWriter) byte(b byte) {
+	if iw.err == nil {
+		iw.err = iw.w.WriteByte(b)
+	}
+}
+
+func (iw *infoWriter) bytes(p []byte) {
+	if iw.err == nil {
+		_, iw.err = iw.w.Write(p)
+	}
+}
+
+func (iw *infoWriter) string(s string) {
+	if iw.err == nil {
+		_, iw.err = iw.w.WriteString(s)
+	}
+}
+
+func (iw *infoWriter) uvarint(v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n])
+	iw.bytes(buf[:n])
+}
+
+func (iw *infoWriter) flush() error {
+	if iw.err != nil {
+		return iw.err
+	}
+	return iw.w.Flush()
 }
 
 // DirSize sums the sizes of all files in a compressed-trace directory;

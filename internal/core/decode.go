@@ -3,12 +3,14 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"atc/internal/bytesort"
 	"atc/internal/histogram"
@@ -27,6 +29,27 @@ type DecodeOptions struct {
 	// memory (default 8). Imitations of cached chunks avoid re-reading the
 	// chunk file.
 	ChunkCacheSize int
+	// Readahead bounds the number of decoded intervals (lossy) or address
+	// batches (lossless) a background goroutine decompresses ahead of
+	// Decode, overlapping back-end decompression with consumption.
+	// 0 selects the default (2); negative disables readahead and decodes
+	// synchronously on the calling goroutine (the historical behavior).
+	// The decoded stream is identical either way.
+	Readahead int
+}
+
+// DefaultReadahead is the default number of buffered readahead batches.
+const DefaultReadahead = 2
+
+// losslessBatchAddrs is how many addresses the lossless readahead
+// goroutine decodes per batch (512 KB per buffered batch).
+const losslessBatchAddrs = 1 << 16
+
+// aheadBatch is one readahead unit: a decoded interval (lossy) or address
+// batch (lossless), or the error that ended production.
+type aheadBatch struct {
+	addrs []uint64
+	err   error
 }
 
 // Decompressor streams a compressed trace back out (the paper's 'd' mode).
@@ -55,6 +78,13 @@ type Decompressor struct {
 	cache     map[int][]uint64
 	cacheFIFO []int
 
+	// Readahead pipeline. When ahead is non-nil a producer goroutine owns
+	// the decoding state (losslessDec, cache, recIdx) and streams batches
+	// into the channel; Decode only touches pending/pos/emitted.
+	ahead     chan aheadBatch
+	aheadStop chan struct{}
+	aheadWG   sync.WaitGroup
+
 	err error
 }
 
@@ -62,6 +92,9 @@ type Decompressor struct {
 func Open(dir string, opts DecodeOptions) (*Decompressor, error) {
 	if opts.ChunkCacheSize <= 0 {
 		opts.ChunkCacheSize = 8
+	}
+	if opts.Readahead == 0 {
+		opts.Readahead = DefaultReadahead
 	}
 	d := &Decompressor{dir: dir, opts: opts, cache: map[int][]uint64{}}
 	backendName := opts.Backend
@@ -85,7 +118,80 @@ func Open(dir string, opts DecodeOptions) (*Decompressor, error) {
 			return nil, err
 		}
 	}
+	if opts.Readahead > 0 {
+		d.startReadahead(opts.Readahead)
+	}
 	return d, nil
+}
+
+// startReadahead launches the producer goroutine that decompresses up to n
+// batches ahead of Decode. It takes ownership of losslessDec, the chunk
+// cache and recIdx; Decode then only consumes from the ahead channel.
+func (d *Decompressor) startReadahead(n int) {
+	d.ahead = make(chan aheadBatch, n)
+	d.aheadStop = make(chan struct{})
+	d.aheadWG.Add(1)
+	go func() {
+		defer d.aheadWG.Done()
+		defer close(d.ahead)
+		if d.mode == Lossless {
+			d.produceLossless()
+		} else {
+			d.produceLossy()
+		}
+	}()
+}
+
+// deliver sends one batch, aborting if Close stopped the pipeline. It
+// reports whether production should continue. The stop channel is polled
+// first so a Close that is draining the ahead channel cannot keep the
+// producer decoding to the end of the trace.
+func (d *Decompressor) deliver(b aheadBatch) bool {
+	select {
+	case <-d.aheadStop:
+		return false
+	default:
+	}
+	select {
+	case d.ahead <- b:
+		return b.err == nil
+	case <-d.aheadStop:
+		return false
+	}
+}
+
+func (d *Decompressor) produceLossless() {
+	for {
+		buf := make([]uint64, 0, losslessBatchAddrs)
+		var rerr error
+		for len(buf) < losslessBatchAddrs {
+			v, err := d.losslessDec.Read()
+			if err != nil {
+				rerr = err
+				break
+			}
+			buf = append(buf, v)
+		}
+		if len(buf) > 0 && !d.deliver(aheadBatch{addrs: buf}) {
+			return
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				d.deliver(aheadBatch{err: rerr})
+			}
+			return // io.EOF: closing the channel signals a clean end
+		}
+	}
+}
+
+func (d *Decompressor) produceLossy() {
+	for d.recIdx < len(d.records) {
+		addrs, err := d.materializeInterval(d.records[d.recIdx])
+		d.recIdx++
+		if !d.deliver(aheadBatch{addrs: addrs, err: err}) {
+			return
+		}
+	}
 }
 
 func readManifestBackend(path string) (string, error) {
@@ -226,10 +332,15 @@ func (d *Decompressor) Epsilon() float64 { return d.epsilon }
 func (d *Decompressor) Records() int { return len(d.records) }
 
 // Decode returns the next trace value (the paper's atc_decode); io.EOF
-// signals a complete, verified end of trace.
+// signals a complete, verified end of trace. With readahead enabled
+// (the default), decompression of upcoming batches proceeds on a
+// background goroutine while the caller consumes earlier values.
 func (d *Decompressor) Decode() (uint64, error) {
 	if d.err != nil {
 		return 0, d.err
+	}
+	if d.ahead != nil {
+		return d.decodeAhead()
 	}
 	if d.mode == Lossless {
 		v, err := d.losslessDec.Read()
@@ -272,6 +383,36 @@ func (d *Decompressor) Decode() (uint64, error) {
 	return v, nil
 }
 
+// decodeAhead consumes the readahead channel. The batch sequence is exactly
+// the serial decode order, so emitted/total verification is unchanged.
+func (d *Decompressor) decodeAhead() (uint64, error) {
+	for d.pos >= len(d.pending) {
+		batch, ok := <-d.ahead
+		if !ok {
+			if d.emitted != d.total {
+				d.err = fmt.Errorf("%w: decoded %d addresses, trailer says %d", ErrCorrupt, d.emitted, d.total)
+				return 0, d.err
+			}
+			d.err = io.EOF
+			return 0, io.EOF
+		}
+		if batch.err != nil {
+			d.err = batch.err
+			return 0, d.err
+		}
+		d.pending = batch.addrs
+		d.pos = 0
+	}
+	v := d.pending[d.pos]
+	d.pos++
+	d.emitted++
+	if d.emitted > d.total {
+		d.err = fmt.Errorf("%w: more addresses than trailer count %d", ErrCorrupt, d.total)
+		return 0, d.err
+	}
+	return v, nil
+}
+
 // DecodeAll decodes the remaining trace into memory.
 func (d *Decompressor) DecodeAll() ([]uint64, error) {
 	out := make([]uint64, 0, d.total)
@@ -290,26 +431,35 @@ func (d *Decompressor) DecodeAll() ([]uint64, error) {
 func (d *Decompressor) nextInterval() error {
 	rec := d.records[d.recIdx]
 	d.recIdx++
-	chunk, err := d.loadChunk(rec.chunkID)
+	addrs, err := d.materializeInterval(rec)
 	if err != nil {
 		return err
 	}
+	d.pending = addrs
+	d.pos = 0
+	return nil
+}
+
+// materializeInterval decodes one interval record into addresses: the
+// chunk itself, or a translated copy for imitation records.
+func (d *Decompressor) materializeInterval(rec record) ([]uint64, error) {
+	chunk, err := d.loadChunk(rec.chunkID)
+	if err != nil {
+		return nil, err
+	}
 	switch rec.tag {
 	case recChunk:
-		d.pending = chunk
-		d.pos = 0
+		return chunk, nil
 	case recImitate:
 		out := make([]uint64, len(chunk))
 		copy(out, chunk)
 		if !d.opts.IgnoreTranslations {
 			rec.trans.ApplySlice(out)
 		}
-		d.pending = out
-		d.pos = 0
+		return out, nil
 	default:
-		return fmt.Errorf("%w: bad record tag %d", ErrCorrupt, rec.tag)
+		return nil, fmt.Errorf("%w: bad record tag %d", ErrCorrupt, rec.tag)
 	}
-	return nil
 }
 
 // loadChunk returns the decoded addresses of a chunk, consulting the cache.
@@ -340,8 +490,22 @@ func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
 	return addrs, nil
 }
 
-// Close releases any open files.
+// Close stops the readahead goroutine (if any) and releases open files.
 func (d *Decompressor) Close() error {
+	if d.ahead != nil {
+		close(d.aheadStop)
+		// Unblock a producer parked on a full channel, then wait for it to
+		// exit before closing the file it may be reading.
+		for range d.ahead {
+		}
+		d.aheadWG.Wait()
+		d.ahead = nil
+		// Buffered batches were discarded above, so resuming on the
+		// synchronous path would silently skip them: fail further Decodes.
+		if d.err == nil {
+			d.err = errors.New("atc: decode after close")
+		}
+	}
 	if d.losslessFile != nil {
 		err := d.losslessFile.Close()
 		d.losslessFile = nil
@@ -367,6 +531,7 @@ func WriteTrace(dir string, addrs []uint64, opts Options) (Stats, error) {
 		return Stats{}, err
 	}
 	if err := c.CodeSlice(addrs); err != nil {
+		c.Close() // shut down the worker pool; reports the same latched error
 		return Stats{}, err
 	}
 	if err := c.Close(); err != nil {

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// phasedTrace builds a trace whose intervals have distinct sorted-histogram
+// shapes (footprints of different sizes), so every interval becomes its own
+// chunk and the worker pool is actually exercised.
+func phasedTrace(intervals, intervalLen int) []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	addrs := make([]uint64, 0, intervals*intervalLen)
+	for p := 0; p < intervals; p++ {
+		footprint := 64 << uint(p%10)
+		base := uint64(p) << 32
+		for i := 0; i < intervalLen; i++ {
+			addrs = append(addrs, base+uint64(rng.Intn(footprint)))
+		}
+	}
+	return addrs
+}
+
+// dirsEqual asserts two compressed-trace directories hold the same file
+// names with byte-identical contents.
+func dirsEqual(t *testing.T, a, b string) {
+	t.Helper()
+	ea, err := os.ReadDir(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := os.ReadDir(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("file count: %d vs %d", len(ea), len(eb))
+	}
+	for i, e := range ea {
+		if e.Name() != eb[i].Name() {
+			t.Fatalf("file %d: %s vs %s", i, e.Name(), eb[i].Name())
+		}
+		da, err := os.ReadFile(filepath.Join(a, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(filepath.Join(b, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(da) != string(db) {
+			t.Fatalf("%s differs between worker counts", e.Name())
+		}
+	}
+}
+
+func TestWorkersOutputByteIdentical(t *testing.T) {
+	for _, mode := range []Mode{Lossless, Lossy} {
+		t.Run(mode.String(), func(t *testing.T) {
+			var addrs []uint64
+			opts := Options{Mode: mode, Workers: 1}
+			if mode == Lossless {
+				rng := rand.New(rand.NewSource(5))
+				addrs = make([]uint64, 30_000)
+				for i := range addrs {
+					addrs[i] = uint64(rng.Intn(1 << 30))
+				}
+				opts.BufferAddrs = 1000
+			} else {
+				addrs = phasedTrace(12, 2000)
+				opts.IntervalLen = 2000
+				opts.BufferAddrs = 500
+			}
+			serialDir := t.TempDir()
+			serialStats, err := WriteTrace(serialDir, addrs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == Lossy && serialStats.Chunks < 8 {
+				t.Fatalf("trace not chunk-heavy enough: %d chunks", serialStats.Chunks)
+			}
+			for _, workers := range []int{2, 8} {
+				w := workers
+				t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+					dir := t.TempDir()
+					o := opts
+					o.Workers = w
+					stats, err := WriteTrace(dir, addrs, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if stats != serialStats {
+						t.Fatalf("stats diverge: %+v vs %+v", stats, serialStats)
+					}
+					dirsEqual(t, serialDir, dir)
+					got, err := ReadTrace(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := ReadTrace(serialDir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("decoded length %d vs %d", len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("decoded stream diverges at %d", i)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestWorkersLosslessRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	addrs := make([]uint64, 20_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		dir := t.TempDir()
+		if _, err := WriteTrace(dir, addrs, Options{Mode: Lossless, BufferAddrs: 700, Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := ReadTrace(dir)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				t.Fatalf("workers=%d: mismatch at %d", workers, i)
+			}
+		}
+	}
+}
+
+// failingChunkFS fails every chunk-file create after the first `allowed`.
+// Workers call create concurrently, so the counter is atomic.
+type failingChunkFS struct {
+	allowed int64
+	created atomic.Int64
+}
+
+var errInjected = errors.New("injected chunk-write failure")
+
+func (f *failingChunkFS) create(path string) (io.WriteCloser, error) {
+	if f.created.Add(1) > f.allowed {
+		return nil, errInjected
+	}
+	return os.Create(path)
+}
+
+func TestCloseSurfacesWorkerError(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		c, err := Create(t.TempDir(), Options{Mode: Lossy, IntervalLen: 1000, BufferAddrs: 300, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := &failingChunkFS{allowed: 1}
+		c.createChunkFile = fs.create
+		addrs := phasedTrace(6, 1000)
+		// The failure is asynchronous: it may surface from a CodeSlice that
+		// completes a later interval, or only from Close.
+		codeErr := c.CodeSlice(addrs)
+		closeErr := c.Close()
+		if !errors.Is(codeErr, errInjected) && !errors.Is(closeErr, errInjected) {
+			t.Fatalf("workers=%d: injected error lost (code=%v close=%v)", workers, codeErr, closeErr)
+		}
+		// The compressor stays failed: further use reports the same error.
+		if err := c.Code(1); !errors.Is(err, errInjected) {
+			t.Fatalf("workers=%d: Code after failure = %v", workers, err)
+		}
+	}
+}
+
+func TestCodeSurfacesDeferredWorkerError(t *testing.T) {
+	c, err := Create(t.TempDir(), Options{Mode: Lossy, IntervalLen: 500, BufferAddrs: 200, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &failingChunkFS{allowed: 0}
+	c.createChunkFile = fs.create
+	addrs := phasedTrace(40, 500)
+	var sawErr error
+	for _, a := range addrs {
+		if sawErr = c.Code(a); sawErr != nil {
+			break
+		}
+	}
+	if sawErr == nil {
+		sawErr = c.Close()
+	} else if err := c.Close(); !errors.Is(err, errInjected) {
+		t.Fatalf("Close after deferred error = %v", err)
+	}
+	if !errors.Is(sawErr, errInjected) {
+		t.Fatalf("deferred worker error never surfaced: %v", sawErr)
+	}
+}
+
+func TestReadaheadMatchesSynchronousDecode(t *testing.T) {
+	addrs := phasedTrace(10, 1500)
+	for _, mode := range []Mode{Lossless, Lossy} {
+		dir := t.TempDir()
+		if _, err := WriteTrace(dir, addrs, Options{Mode: mode, IntervalLen: 1500, BufferAddrs: 400}); err != nil {
+			t.Fatal(err)
+		}
+		sync, err := decodeWith(dir, -1)
+		if err != nil {
+			t.Fatalf("%v sync: %v", mode, err)
+		}
+		for _, ra := range []int{0, 1, 4} {
+			got, err := decodeWith(dir, ra)
+			if err != nil {
+				t.Fatalf("%v readahead=%d: %v", mode, ra, err)
+			}
+			if len(got) != len(sync) {
+				t.Fatalf("%v readahead=%d: length %d vs %d", mode, ra, len(got), len(sync))
+			}
+			for i := range sync {
+				if got[i] != sync[i] {
+					t.Fatalf("%v readahead=%d: diverges at %d", mode, ra, i)
+				}
+			}
+		}
+	}
+}
+
+func decodeWith(dir string, readahead int) ([]uint64, error) {
+	d, err := Open(dir, DecodeOptions{Readahead: readahead})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	return d.DecodeAll()
+}
+
+func TestReadaheadEarlyCloseStopsProducer(t *testing.T) {
+	addrs := phasedTrace(10, 2000)
+	dir := t.TempDir()
+	if _, err := WriteTrace(dir, addrs, Options{Mode: Lossy, IntervalLen: 2000, BufferAddrs: 400}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, DecodeOptions{Readahead: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume a handful of addresses, then abandon: Close must stop the
+	// producer goroutine without deadlocking (the race detector and
+	// goroutine-leak-adjacent hangs would fail this test).
+	for i := 0; i < 100; i++ {
+		if _, err := d.Decode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close discarded the buffered readahead batches, so decoding cannot
+	// resume: it must fail rather than silently skip intervals.
+	if _, err := d.Decode(); err == nil || err == io.EOF {
+		t.Fatalf("Decode after Close = %v, want error", err)
+	}
+}
+
+func TestReadaheadSurfacesCorruptChunk(t *testing.T) {
+	addrs := phasedTrace(6, 1000)
+	dir := t.TempDir()
+	if _, err := WriteTrace(dir, addrs, Options{Mode: Lossy, IntervalLen: 1000, BufferAddrs: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "3.bsc")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, DecodeOptions{Readahead: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	_, err = d.DecodeAll()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

@@ -29,6 +29,13 @@ const DefaultTraceLen = 500_000
 // DefaultSeed makes all experiments reproducible by default.
 const DefaultSeed = 2009 // ISPASS 2009
 
+// Workers is the chunk-compression worker count every experiment passes to
+// core.Options.Workers (0 = the library default, runtime.GOMAXPROCS(0);
+// 1 = synchronous). Compressed output is byte-identical for any value, so
+// it only affects wall-clock time. Set it before running experiments —
+// cmd/atcbench exposes it as -workers.
+var Workers int
+
 // TraceCache memoises generated traces so multi-column experiments
 // generate each workload once. It is safe for concurrent use.
 type TraceCache struct {

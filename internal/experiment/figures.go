@@ -21,6 +21,7 @@ func lossyRoundTrip(addrs []uint64, intervalLen, bufferAddrs int, eps float64, b
 	}
 	defer os.RemoveAll(dir)
 	stats, err = core.WriteTrace(dir, addrs, core.Options{
+		Workers:     Workers,
 		Mode:        core.Lossy,
 		Backend:     backend,
 		IntervalLen: intervalLen,
@@ -469,6 +470,7 @@ func RunFigure8(cfg Figure8Config) (*Figure8Result, error) {
 	}
 	defer os.RemoveAll(dir)
 	stats, err := core.WriteTrace(dir, addrs, core.Options{
+		Workers:     Workers,
 		Mode:        core.Lossy,
 		Backend:     cfg.Backend,
 		IntervalLen: cfg.IntervalLen,
@@ -592,6 +594,7 @@ func RunLongTrace(cfg LongTraceConfig, tc *TraceCache) (*LongTraceResult, error)
 			return nil, err
 		}
 		stats, err := core.WriteTrace(dir, addrs, core.Options{
+			Workers:     Workers,
 			Mode:        core.Lossy,
 			Backend:     cfg.Backend,
 			IntervalLen: cfg.IntervalLen,

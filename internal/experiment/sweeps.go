@@ -81,6 +81,7 @@ func RunEpsilonSweep(cfg EpsilonSweepConfig, tc *TraceCache) (*EpsilonSweepResul
 			return nil, err
 		}
 		stats, err := core.WriteTrace(dir, exact, core.Options{
+			Workers:     Workers,
 			Mode:        core.Lossy,
 			Backend:     cfg.Backend,
 			IntervalLen: cfg.IntervalLen,
@@ -202,7 +203,8 @@ func RunIntervalSweep(cfg IntervalSweepConfig, tc *TraceCache) (*IntervalSweepRe
 			return nil, err
 		}
 		if _, err := core.WriteTrace(dir, exact, core.Options{
-			Mode: core.Lossy, Backend: cfg.Backend,
+			Workers: Workers,
+			Mode:    core.Lossy, Backend: cfg.Backend,
 			IntervalLen: L, BufferAddrs: buf, Epsilon: cfg.Epsilon,
 		}); err != nil {
 			os.RemoveAll(dir)
@@ -396,6 +398,7 @@ func RunHistorySweep(cfg HistorySweepConfig, tc *TraceCache) (*HistorySweepResul
 			return nil, err
 		}
 		stats, err := core.WriteTrace(dir, exact, core.Options{
+			Workers:       Workers,
 			Mode:          core.Lossy,
 			Backend:       cfg.Backend,
 			IntervalLen:   cfg.IntervalLen,

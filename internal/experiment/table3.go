@@ -100,6 +100,7 @@ func RunTable3(cfg Table3Config, tc *TraceCache) (*Table3Result, error) {
 			return nil, err
 		}
 		stats, err := core.WriteTrace(dir, addrs, core.Options{
+			Workers:     Workers,
 			Mode:        core.Lossy,
 			Backend:     cfg.Backend,
 			IntervalLen: cfg.IntervalLen,
