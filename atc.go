@@ -35,21 +35,29 @@
 //
 // # Concurrency
 //
-// Chunk files are independent, so lossy compression runs the expensive
-// bytesort + back-end stage on a pool of WithWorkers goroutines (default
-// runtime.GOMAXPROCS(0); 1 restores fully-synchronous operation). Interval
-// classification, chunk numbering and the INFO record sequence stay on the
-// calling goroutine, so the output directory is byte-for-byte identical
-// for every worker count. A chunk-compression failure is deferred: it is
-// returned by a later Code/CodeSlice call or, at the latest, by Close —
-// callers that check every error, as the quick start does, observe it
-// either way. Writer and Reader themselves are not safe for concurrent use
-// by multiple goroutines.
+// Chunk files are independent, so the expensive bytesort + back-end stage
+// runs on a pool of WithWorkers goroutines (default runtime.GOMAXPROCS(0);
+// 1 restores fully-synchronous operation) in both modes: lossy mode hands
+// each completed interval to the pool, and lossless mode cuts the stream
+// into WithSegmentAddrs-sized segments (default 16 Mi addresses, on-disk
+// format v2) that are compressed as independent chunks the same way.
+// Interval/segment classification, chunk numbering and the INFO record
+// sequence stay on the calling goroutine, so the output directory is
+// byte-for-byte identical for every worker count at a fixed segment size.
+// A chunk-compression failure is deferred: it is returned by a later
+// Code/CodeSlice call or, at the latest, by Close — callers that check
+// every error, as the quick start does, observe it either way. Writer and
+// Reader themselves are not safe for concurrent use by multiple
+// goroutines. WithSegmentAddrs(0) selects the legacy v1 single-chunk
+// lossless layout, which streams with bounded memory but compresses and
+// decompresses on a single goroutine.
 //
 // Decoding symmetrically overlaps back-end decompression with consumption
-// through a bounded readahead goroutine (WithReadahead, default 2
-// buffered batches; negative disables it). Reader.Close stops the
-// readahead goroutine, so it must be called even on early abandonment.
+// through a bounded readahead pipeline (WithReadahead, default 2 buffered
+// batches; negative disables it); segmented lossless traces additionally
+// decompress up to WithReadahead segments concurrently and deliver them in
+// order. Reader.Close stops the readahead goroutines, so it must be called
+// even on early abandonment.
 package atc
 
 import (
@@ -69,6 +77,10 @@ const (
 
 // ErrCorrupt reports a malformed compressed trace.
 var ErrCorrupt = core.ErrCorrupt
+
+// ErrUnsupportedVersion reports a compressed trace written by a format
+// version this build does not read; it wraps ErrCorrupt.
+var ErrUnsupportedVersion = core.ErrUnsupportedVersion
 
 // Stats summarises a finished compression.
 type Stats struct {
@@ -115,17 +127,35 @@ func WithBufferAddrs(b int) Option {
 	return func(o *core.Options) { o.BufferAddrs = b }
 }
 
+// WithSegmentAddrs cuts the lossless stream into segments of n addresses,
+// each bytesort-transformed and back-end-compressed as an independent
+// chunk by the WithWorkers pool (on-disk format v2). The default is 16 Mi
+// addresses (128 MB of raw trace per segment); n <= 0 selects the legacy
+// v1 single-chunk layout, which streams with bounded memory but offers no
+// parallelism. Smaller segments parallelize better at a small
+// bits-per-address cost, because each segment restarts the bytesort and
+// back-end context. Lossy mode is unaffected.
+func WithSegmentAddrs(n int) Option {
+	return func(o *core.Options) {
+		if n <= 0 {
+			n = -1
+		}
+		o.SegmentAddrs = n
+	}
+}
+
 // WithTableCapacity bounds the phase table (default 256 chunks).
 func WithTableCapacity(n int) Option {
 	return func(o *core.Options) { o.TableCapacity = n }
 }
 
 // WithWorkers sets the number of goroutines compressing completed chunks
-// in lossy mode (default runtime.GOMAXPROCS(0)). n = 1 compresses every
-// chunk synchronously on the calling goroutine. The compressed directory
-// is byte-for-byte identical for every worker count; worker errors are
-// deferred into a later Code call or Close. Lossless mode streams into a
-// single chunk and is unaffected.
+// — lossy intervals and lossless segments (default runtime.GOMAXPROCS(0)).
+// n = 1 compresses every chunk synchronously on the calling goroutine. The
+// compressed directory is byte-for-byte identical for every worker count;
+// worker errors are deferred into a later Code call or Close. Only the
+// legacy single-chunk lossless layout (WithSegmentAddrs(0)) is unaffected
+// by workers.
 func WithWorkers(n int) Option {
 	return func(o *core.Options) { o.Workers = n }
 }
@@ -189,9 +219,11 @@ func WithChunkCache(n int) ReadOption {
 	return func(o *core.DecodeOptions) { o.ChunkCacheSize = n }
 }
 
-// WithReadahead bounds how many decoded intervals (lossy) or address
-// batches (lossless) a background goroutine decompresses ahead of Decode
-// (default 2). Negative n disables readahead and decodes synchronously on
+// WithReadahead bounds how many decoded intervals (lossy), segments
+// (segmented lossless) or address batches (legacy lossless) a background
+// pipeline decompresses ahead of Decode (default 2). For segmented
+// lossless traces it is also the number of segments decompressing
+// concurrently. Negative n disables readahead and decodes synchronously on
 // the calling goroutine. The decoded stream is identical either way.
 func WithReadahead(n int) ReadOption {
 	return func(o *core.DecodeOptions) { o.Readahead = n }
@@ -223,6 +255,14 @@ func (r *Reader) DecodeAll() ([]uint64, error) { return r.d.DecodeAll() }
 
 // Mode reports the stored trace's compression mode.
 func (r *Reader) Mode() Mode { return r.d.Mode() }
+
+// FormatVersion reports the trace's on-disk format version: 1 for legacy
+// traces, 2 for segmented lossless.
+func (r *Reader) FormatVersion() int { return r.d.FormatVersion() }
+
+// SegmentAddrs reports the stored lossless segment length in addresses
+// (0 for legacy single-chunk and lossy traces).
+func (r *Reader) SegmentAddrs() int { return r.d.SegmentAddrs() }
 
 // TotalAddrs reports the stored trace length.
 func (r *Reader) TotalAddrs() int64 { return r.d.TotalAddrs() }

@@ -195,8 +195,12 @@ func BenchmarkLongTrace(b *testing.B) {
 // --- micro-benchmarks of the core pipelines ---
 
 func benchTrace(b *testing.B, model string) []uint64 {
+	return benchTraceN(b, model, benchN)
+}
+
+func benchTraceN(b *testing.B, model string, n int) []uint64 {
 	b.Helper()
-	addrs, err := benchCache.Get(model, benchN, experiment.DefaultSeed)
+	addrs, err := benchCache.Get(model, n, experiment.DefaultSeed)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -336,3 +340,112 @@ func benchmarkChunkedDecode(b *testing.B, readahead int) {
 
 func BenchmarkChunkedDecodeSync(b *testing.B)      { benchmarkChunkedDecode(b, -1) }
 func BenchmarkChunkedDecodeReadahead(b *testing.B) { benchmarkChunkedDecode(b, 2) }
+
+// --- serial vs parallel segmented lossless (format v2) ---
+
+const (
+	segBenchSegments = 8
+	segBenchAddrs    = 30_000 // per segment; 8 segments = 240k addresses
+)
+
+func segmentedBenchTrace(b *testing.B) []uint64 {
+	return benchTraceN(b, "429.mcf", segBenchSegments*segBenchAddrs)
+}
+
+func benchmarkSegmentedCompress(b *testing.B, workers int) {
+	addrs := segmentedBenchTrace(b)
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "atc-segbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := atc.Compress(dir, addrs,
+			atc.WithMode(atc.Lossless),
+			atc.WithSegmentAddrs(segBenchAddrs),
+			atc.WithBufferAddrs(segBenchAddrs/10),
+			atc.WithWorkers(workers),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Chunks != segBenchSegments {
+			b.Fatalf("segments = %d, want %d", stats.Chunks, segBenchSegments)
+		}
+		os.RemoveAll(dir)
+	}
+}
+
+func BenchmarkSegmentedLosslessCompressWorkers1(b *testing.B) { benchmarkSegmentedCompress(b, 1) }
+func BenchmarkSegmentedLosslessCompressWorkers2(b *testing.B) { benchmarkSegmentedCompress(b, 2) }
+func BenchmarkSegmentedLosslessCompressWorkers4(b *testing.B) { benchmarkSegmentedCompress(b, 4) }
+func BenchmarkSegmentedLosslessCompressWorkers8(b *testing.B) { benchmarkSegmentedCompress(b, 8) }
+
+func benchmarkSegmentedDecode(b *testing.B, readahead int) {
+	addrs := segmentedBenchTrace(b)
+	dir, err := os.MkdirTemp("", "atc-segdecbench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, err := atc.Compress(dir, addrs,
+		atc.WithMode(atc.Lossless),
+		atc.WithSegmentAddrs(segBenchAddrs),
+		atc.WithBufferAddrs(segBenchAddrs/10),
+	); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := atc.Decompress(dir, atc.WithReadahead(readahead))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(addrs) {
+			b.Fatalf("decoded %d addrs, want %d", len(got), len(addrs))
+		}
+	}
+}
+
+func BenchmarkSegmentedLosslessDecodeSync(b *testing.B)       { benchmarkSegmentedDecode(b, -1) }
+func BenchmarkSegmentedLosslessDecodeReadahead4(b *testing.B) { benchmarkSegmentedDecode(b, 4) }
+
+// TestSegmentedBPAOverhead pins the capacity cost of lossless segmentation:
+// versus the legacy single chunk, the default segment size (which holds
+// this whole trace in one segment) must be essentially free, and even an
+// aggressive 8-way split must stay under 5% BPA overhead on a random
+// trace.
+func TestSegmentedBPAOverhead(t *testing.T) {
+	rng := rand.New(rand.NewSource(2009))
+	const n = 160_000
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 28))
+	}
+	bpaAt := func(segment int) float64 {
+		dir := t.TempDir()
+		if _, err := atc.Compress(dir, addrs,
+			atc.WithMode(atc.Lossless),
+			atc.WithBufferAddrs(n/10),
+			atc.WithSegmentAddrs(segment),
+		); err != nil {
+			t.Fatal(err)
+		}
+		bpa, err := atc.BitsPerAddress(dir, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bpa
+	}
+	single := bpaAt(0)        // legacy v1 single chunk
+	defSeg := bpaAt(16 << 20) // the default segment size, spelled out
+	eightWay := bpaAt(n / 8)
+	if defSeg > single*1.05 {
+		t.Fatalf("default segment size BPA %.4f vs single-chunk %.4f: overhead > 5%%", defSeg, single)
+	}
+	if eightWay > single*1.05 {
+		t.Fatalf("8-way segmented BPA %.4f vs single-chunk %.4f: overhead > 5%%", eightWay, single)
+	}
+}

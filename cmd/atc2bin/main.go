@@ -58,7 +58,8 @@ func main() {
 	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "atc2bin: %d addresses\n", w.Count())
+	fmt.Fprintf(os.Stderr, "atc2bin: %d addresses (%s, format v%d)\n",
+		w.Count(), r.Mode(), r.FormatVersion())
 }
 
 func fatal(err error) {

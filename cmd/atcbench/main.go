@@ -35,6 +35,7 @@ func main() {
 
 		epsSweep  = flag.Bool("epssweep", false, "extension: threshold sweep")
 		lSweep    = flag.Bool("lsweep", false, "extension: interval-length (myopic) sweep")
+		segSweep  = flag.Bool("segsweep", false, "extension: lossless segment-size sweep (BPA cost of parallelism)")
 		backends  = flag.Bool("backends", false, "extension: back-end ablation")
 		histSweep = flag.Bool("histsweep", false, "extension: phase-table capacity sweep")
 		detectors = flag.Bool("detectors", false, "extension: histogram vs working-set-signature phase detection")
@@ -45,9 +46,11 @@ func main() {
 		modelsCS = flag.String("models", "", "comma-separated model subset (default: experiment-specific)")
 		backend  = flag.String("backend", "bsc", "byte-level back end")
 		workers  = flag.Int("workers", 0, "chunk-compression workers (default GOMAXPROCS; 1 = synchronous)")
+		segment  = flag.Int("segment", 0, "lossless segment length in addresses (default 16Mi; -1 = legacy single chunk)")
 	)
 	flag.Parse()
 	experiment.Workers = *workers
+	experiment.SegmentAddrs = *segment
 
 	var models []string
 	if *modelsCS != "" {
@@ -151,6 +154,17 @@ func main() {
 		fmt.Println()
 		ran = true
 	}
+	if *all || *segSweep {
+		cfg := experiment.SegmentSweepConfig{N: *n, Seed: *seed, Backend: *backend}
+		if len(models) == 1 {
+			cfg.Model = models[0]
+		}
+		res, err := experiment.RunSegmentSweep(cfg, tc)
+		check(err)
+		res.Render(os.Stdout)
+		fmt.Println()
+		ran = true
+	}
 	if *all || *backends {
 		cfg := experiment.BackendCompareConfig{Models: models, N: *n, Seed: *seed}
 		res, err := experiment.RunBackendCompare(cfg, tc)
@@ -190,7 +204,7 @@ func main() {
 	}
 
 	if !ran {
-		fmt.Fprintln(os.Stderr, "atcbench: select an experiment (-all, -table1, -table2, -table3, -fig3, -fig4, -fig5, -fig8, -longtrace, -epssweep, -lsweep, -backends, -histsweep, -detectors, -optcompare)")
+		fmt.Fprintln(os.Stderr, "atcbench: select an experiment (-all, -table1, -table2, -table3, -fig3, -fig4, -fig5, -fig8, -longtrace, -epssweep, -lsweep, -segsweep, -backends, -histsweep, -detectors, -optcompare)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

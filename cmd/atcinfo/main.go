@@ -33,11 +33,15 @@ func main() {
 	defer d.Close()
 
 	fmt.Printf("mode:          %s\n", d.Mode())
+	fmt.Printf("format:        v%d\n", d.FormatVersion())
 	fmt.Printf("addresses:     %d\n", d.TotalAddrs())
 	if d.Mode() == core.Lossy {
 		fmt.Printf("interval (L):  %d\n", d.IntervalLen())
 		fmt.Printf("epsilon:       %g\n", d.Epsilon())
 		fmt.Printf("records:       %d\n", d.Records())
+	} else if d.SegmentAddrs() > 0 {
+		fmt.Printf("segment:       %d addresses\n", d.SegmentAddrs())
+		fmt.Printf("segments:      %d\n", d.Records())
 	}
 	size, err := core.DirSize(dir)
 	if err != nil {

@@ -25,6 +25,7 @@ func main() {
 	backend := flag.String("backend", "bsc", "byte-level back end: bsc, flate, store")
 	intervalLen := flag.Int("interval", 0, "lossy interval length L in addresses (default 10,000,000)")
 	bufAddrs := flag.Int("buffer", 0, "bytesort buffer B in addresses (default 1,000,000)")
+	segment := flag.Int("segment", 0, "lossless segment length in addresses (default 16Mi; -1 = legacy single chunk)")
 	epsilon := flag.Float64("epsilon", 0, "lossy matching threshold (default 0.1)")
 	workers := flag.Int("workers", 0, "chunk-compression workers (default GOMAXPROCS; 1 = synchronous)")
 	flag.Usage = func() {
@@ -49,6 +50,9 @@ func main() {
 	}
 	if *bufAddrs > 0 {
 		opts = append(opts, atc.WithBufferAddrs(*bufAddrs))
+	}
+	if *segment != 0 {
+		opts = append(opts, atc.WithSegmentAddrs(*segment))
 	}
 	if *epsilon > 0 {
 		opts = append(opts, atc.WithEpsilon(*epsilon))

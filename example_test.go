@@ -63,6 +63,34 @@ func ExampleNewWriter() {
 	// chunks: 1
 }
 
+// ExampleWithSegmentAddrs shows segmented lossless mode: the stream is cut
+// into fixed-size segments, each compressed as an independent chunk by the
+// worker pool (format v2), and decoded segments stream back in order.
+func ExampleWithSegmentAddrs() {
+	dir, _ := os.MkdirTemp("", "atc-example")
+	defer os.RemoveAll(dir)
+
+	trace := make([]uint64, 1000)
+	for i := range trace {
+		trace[i] = uint64(i) * 64
+	}
+	stats, err := atc.Compress(dir, trace,
+		atc.WithSegmentAddrs(250), // four segments
+		atc.WithWorkers(4),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("segments:", stats.Chunks)
+
+	back, _ := atc.Decompress(dir)
+	fmt.Println("round trip exact:", fmt.Sprint(back) == fmt.Sprint(trace))
+	// Output:
+	// segments: 4
+	// round trip exact: true
+}
+
 // ExampleNewReader shows streaming decode, mirroring atc2bin (Figure 7).
 func ExampleNewReader() {
 	dir, _ := os.MkdirTemp("", "atc-example")

@@ -8,31 +8,45 @@
 //	MANIFEST        small plain-text descriptor (version, mode, back end)
 //	INFO.<suffix>   back-end-compressed metadata: parameters and the
 //	                interval record sequence (chunk / imitate+translations)
-//	<n>.<suffix>    chunk n: one interval (lossy) or the whole trace
+//	<n>.<suffix>    chunk n: one interval (lossy) or one segment
 //	                (lossless), bytesort-transformed and back-end-compressed
 //
-// Lossless mode pipes every address through the bytesort transformation
-// into a single chunk. Lossy mode cuts the trace into intervals of L
-// addresses; each interval either becomes a new chunk or is recorded as an
-// imitation of a previous chunk together with the byte translations of
-// Section 5.1. The final, possibly short interval always becomes a chunk so
-// every imitation replays a full-length interval.
+// Two on-disk format versions exist; the MANIFEST "atc <version>" line and
+// the INFO version byte both carry it and must agree:
+//
+//   - Version 1 (legacy): lossless traces are a single chunk file holding
+//     the whole bytesort stream, described by one chunk record in INFO.
+//   - Version 2 (segmented lossless): the lossless stream is cut into
+//     segments of Options.SegmentAddrs addresses, each bytesort-transformed
+//     and back-end-compressed as its own numbered chunk file with one chunk
+//     record per segment in INFO, and INFO carries the segment length in a
+//     field after BufferAddrs. Version 2 is written only for segmented
+//     lossless traces; lossy traces and legacy single-chunk lossless traces
+//     (SegmentAddrs < 0) still write byte-identical version-1 output.
+//
+// Lossy mode cuts the trace into intervals of L addresses; each interval
+// either becomes a new chunk or is recorded as an imitation of a previous
+// chunk together with the byte translations of Section 5.1. The final,
+// possibly short interval always becomes a chunk so every imitation replays
+// a full-length interval.
 //
 // # Parallel chunk pipeline
 //
-// Chunk files are independent (Figure 8), so lossy compression fans
-// completed intervals out to Options.Workers goroutines, each running the
-// bytesort + back-end pipeline for one chunk. All phase decisions — the
-// histogram, the table match, chunk numbering and the record sequence —
-// stay on the calling goroutine, so the directory produced with N workers
-// is byte-for-byte identical to the serial (Workers=1) result in both
-// modes. Worker errors are deferred: a failed chunk write surfaces from the
-// next Code/CodeSlice call or, at the latest, from Close. Lossless mode
-// streams into a single chunk and is unaffected by Workers.
+// Chunk files are independent (Figure 8), so compression fans completed
+// intervals (lossy) and completed segments (segmented lossless) out to
+// Options.Workers goroutines, each running the bytesort + back-end pipeline
+// for one chunk. All phase decisions — the histogram, the table match,
+// chunk numbering and the record sequence — stay on the calling goroutine,
+// so the directory produced with N workers is byte-for-byte identical to
+// the serial (Workers=1) result in both modes. Worker errors are deferred:
+// a failed chunk write surfaces from the next Code/CodeSlice call or, at
+// the latest, from Close. Legacy single-chunk lossless mode (SegmentAddrs
+// < 0) streams with bounded memory and is unaffected by Workers.
 //
 // Decoding mirrors this with a bounded readahead goroutine (see
 // DecodeOptions.Readahead in decode.go) that overlaps back-end
-// decompression with consumption.
+// decompression with consumption; segmented lossless traces additionally
+// decompress up to Readahead segments concurrently.
 package core
 
 import (
@@ -87,13 +101,23 @@ const (
 	DefaultBufferAddrs = 1_000_000
 	// DefaultBackend is the byte-level back end (bzip2 in the paper).
 	DefaultBackend = "bsc"
+	// DefaultSegmentAddrs is the default lossless segment length: 16 Mi
+	// addresses (128 MB of raw trace) per independently compressed chunk.
+	DefaultSegmentAddrs = 16 << 20
 )
 
 const (
 	manifestName = "MANIFEST"
 	infoBase     = "INFO"
 	infoMagic    = "ATCI"
-	infoVersion  = 1
+
+	// infoVersion1 is the legacy layout: a lossless trace is one chunk.
+	infoVersion1 = 1
+	// infoVersion2 adds segmented lossless mode: one chunk record per
+	// segment and a SegmentAddrs field in INFO after BufferAddrs.
+	infoVersion2 = 2
+	// maxInfoVersion is the newest format this build writes and reads.
+	maxInfoVersion = infoVersion2
 
 	recChunk   = 1
 	recImitate = 2
@@ -102,6 +126,11 @@ const (
 
 // ErrCorrupt reports a malformed compressed trace.
 var ErrCorrupt = errors.New("atc: corrupt compressed trace")
+
+// ErrUnsupportedVersion reports a compressed trace whose MANIFEST or INFO
+// declares a format version this build does not read. It wraps ErrCorrupt,
+// so errors.Is(err, ErrCorrupt) continues to match.
+var ErrUnsupportedVersion = fmt.Errorf("%w: unsupported format version", ErrCorrupt)
 
 // Options configures compression.
 type Options struct {
@@ -118,12 +147,20 @@ type Options struct {
 	// BufferAddrs is the bytesort buffer size B in addresses.
 	// Default DefaultBufferAddrs.
 	BufferAddrs int
+	// SegmentAddrs cuts the lossless stream into segments of this many
+	// addresses, each compressed as an independent chunk by the worker
+	// pool (on-disk format version 2). 0 selects DefaultSegmentAddrs;
+	// a negative value selects the legacy version-1 single-chunk layout,
+	// which streams with bounded memory but compresses on one goroutine.
+	// Lossy mode ignores it.
+	SegmentAddrs int
 	// TableCapacity bounds the phase table. Default phase.DefaultCapacity.
 	TableCapacity int
-	// Workers is the number of goroutines compressing completed chunks in
-	// lossy mode. 0 selects runtime.GOMAXPROCS(0); 1 compresses every chunk
-	// synchronously on the calling goroutine (the historical behavior).
-	// Output is byte-identical for any worker count; see the package doc.
+	// Workers is the number of goroutines compressing completed chunks —
+	// lossy intervals and segmented-lossless segments. 0 selects
+	// runtime.GOMAXPROCS(0); 1 compresses every chunk synchronously on the
+	// calling goroutine (the historical behavior). Output is byte-identical
+	// for any worker count; see the package doc.
 	Workers int
 }
 
@@ -143,9 +180,28 @@ func (o *Options) fillDefaults() {
 	if o.BufferAddrs <= 0 {
 		o.BufferAddrs = DefaultBufferAddrs
 	}
+	if o.SegmentAddrs == 0 {
+		o.SegmentAddrs = DefaultSegmentAddrs
+	}
 	if o.TableCapacity <= 0 {
 		o.TableCapacity = phase.DefaultCapacity
 	}
+}
+
+// segmented reports whether this configuration writes the version-2
+// segmented lossless layout.
+func (o *Options) segmented() bool {
+	return o.Mode == Lossless && o.SegmentAddrs > 0
+}
+
+// formatVersion is the on-disk version written for this configuration.
+// Only segmented lossless needs version 2; everything else keeps writing
+// byte-identical version-1 output.
+func (o *Options) formatVersion() int {
+	if o.segmented() {
+		return infoVersion2
+	}
+	return infoVersion1
 }
 
 // record is one INFO entry describing an interval.
@@ -171,11 +227,14 @@ type Compressor struct {
 	opts    Options
 	backend xcompress.Backend
 
-	// Lossless pipeline.
-	chunkFile *os.File
+	// Legacy (version 1) lossless pipeline: one streaming chunk.
+	chunkFile io.WriteCloser
 	chunkBuf  *bufio.Writer
 	chunkCW   io.WriteCloser
 	chunkEnc  *bytesort.Encoder
+
+	// Segmented (version 2) lossless pipeline: the segment being filled.
+	segment []uint64
 
 	// Lossy pipeline.
 	interval []uint64
@@ -257,13 +316,36 @@ func (c *Compressor) shutdownWorkers() error {
 	return c.workerErr()
 }
 
+// createChunkFileHook is the default chunk-file creator; fault-injection
+// tests swap it (or the per-Compressor seam) for a failing implementation.
+var createChunkFileHook = func(path string) (io.WriteCloser, error) {
+	return os.Create(path)
+}
+
+// segmentBufCap caps the initial allocation of the segment buffer so a
+// large SegmentAddrs (128 MB at the default) is not committed up front for
+// traces that never fill a segment; append growth takes over beyond it.
+const segmentBufCap = 1 << 20
+
 // Create starts a new compressed trace in directory dir (created if
 // needed; it must be empty of ATC files).
 func Create(dir string, opts Options) (*Compressor, error) {
 	opts.fillDefaults()
+	// Validate everything that can fail cheaply before touching the
+	// filesystem: an unknown mode or back end must not leave a stray
+	// directory (or an orphan chunk file) behind.
+	switch opts.Mode {
+	case Lossless, Lossy:
+	default:
+		return nil, fmt.Errorf("atc: unknown mode %v", opts.Mode)
+	}
 	backend, err := xcompress.Lookup(opts.Backend)
 	if err != nil {
 		return nil, err
+	}
+	madeDir := false
+	if _, err := os.Stat(dir); err != nil {
+		madeDir = true
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("atc: create dir: %w", err)
@@ -272,17 +354,27 @@ func Create(dir string, opts Options) (*Compressor, error) {
 		return nil, fmt.Errorf("atc: %s already contains a compressed trace", dir)
 	}
 	c := &Compressor{
-		dir:       dir,
-		opts:      opts,
-		backend:   backend,
-		nextChunk: 1,
-	}
-	c.createChunkFile = func(path string) (io.WriteCloser, error) {
-		return os.Create(path)
+		dir:             dir,
+		opts:            opts,
+		backend:         backend,
+		nextChunk:       1,
+		createChunkFile: createChunkFileHook,
 	}
 	switch opts.Mode {
 	case Lossless:
-		if err := c.openLosslessChunk(); err != nil {
+		if opts.segmented() {
+			bufCap := opts.SegmentAddrs
+			if bufCap > segmentBufCap {
+				bufCap = segmentBufCap
+			}
+			c.segment = make([]uint64, 0, bufCap)
+			if opts.Workers > 1 {
+				c.startWorkers(opts.Workers)
+			}
+		} else if err := c.openLosslessChunk(); err != nil {
+			if madeDir {
+				os.Remove(dir) // only removes it while still empty
+			}
 			return nil, err
 		}
 	case Lossy:
@@ -291,8 +383,6 @@ func Create(dir string, opts Options) (*Compressor, error) {
 		if opts.Workers > 1 {
 			c.startWorkers(opts.Workers)
 		}
-	default:
-		return nil, fmt.Errorf("atc: unknown mode %v", opts.Mode)
 	}
 	return c, nil
 }
@@ -302,23 +392,41 @@ func (c *Compressor) chunkPath(id int) string {
 }
 
 func (c *Compressor) openLosslessChunk() error {
-	f, err := os.Create(c.chunkPath(1))
+	f, err := c.createChunkFile(c.chunkPath(1))
 	if err != nil {
 		return fmt.Errorf("atc: %w", err)
 	}
-	c.chunkFile = f
 	c.chunkBuf = bufio.NewWriterSize(f, 1<<16)
 	cw, err := c.backend.NewWriter(c.chunkBuf)
 	if err != nil {
 		f.Close()
+		os.Remove(c.chunkPath(1))
 		return err
 	}
+	c.chunkFile = f
 	c.chunkCW = cw
 	c.chunkEnc = bytesort.NewEncoder(cw, c.opts.BufferAddrs)
 	c.records = append(c.records, record{tag: recChunk, chunkID: 1})
 	c.nextChunk = 2
 	c.nChunks = 1
 	return nil
+}
+
+// closeLosslessChunk finishes the legacy single-chunk stream. The chunk
+// file is closed on every path — an encoder or back-end failure must not
+// leak the descriptor — and the first error wins.
+func (c *Compressor) closeLosslessChunk() error {
+	err := c.chunkEnc.Close()
+	if e := c.chunkCW.Close(); err == nil {
+		err = e
+	}
+	if err == nil {
+		err = c.chunkBuf.Flush()
+	}
+	if e := c.chunkFile.Close(); err == nil {
+		err = e
+	}
+	return err
 }
 
 // Code appends one 64-bit value to the trace (the paper's atc_code). With
@@ -337,9 +445,16 @@ func (c *Compressor) Code(x uint64) error {
 	}
 	c.total++
 	if c.opts.Mode == Lossless {
-		if err := c.chunkEnc.Write(x); err != nil {
-			c.err = err
-			return err
+		if !c.opts.segmented() {
+			if err := c.chunkEnc.Write(x); err != nil {
+				c.err = err
+				return err
+			}
+			return nil
+		}
+		c.segment = append(c.segment, x)
+		if len(c.segment) == c.opts.SegmentAddrs {
+			return c.endSegment()
 		}
 		return nil
 	}
@@ -347,6 +462,37 @@ func (c *Compressor) Code(x uint64) error {
 	if len(c.interval) == c.opts.IntervalLen {
 		return c.endInterval(false)
 	}
+	return nil
+}
+
+// endSegment stores the buffered lossless segment as its own chunk,
+// handing it to the worker pool when one is running. Chunk numbering and
+// the record sequence stay on the calling goroutine, so the directory is
+// byte-identical for any worker count.
+func (c *Compressor) endSegment() error {
+	if len(c.segment) == 0 {
+		return nil
+	}
+	id := c.nextChunk
+	c.nextChunk++
+	c.nChunks++
+	c.records = append(c.records, record{tag: recChunk, chunkID: id})
+	if c.jobs != nil {
+		// Hand the buffer itself to the pool and start a fresh one: no
+		// copying of up-to-128 MB segments on the hot path.
+		c.jobs <- chunkJob{id: id, addrs: c.segment}
+		bufCap := c.opts.SegmentAddrs
+		if bufCap > segmentBufCap {
+			bufCap = segmentBufCap
+		}
+		c.segment = make([]uint64, 0, bufCap)
+		return nil
+	}
+	if err := c.writeChunk(id, c.segment); err != nil {
+		c.err = err
+		return err
+	}
+	c.segment = c.segment[:0]
 	return nil
 }
 
@@ -454,24 +600,22 @@ func (c *Compressor) Close() error {
 	if c.closed {
 		return nil
 	}
-	if c.opts.Mode == Lossless {
-		if err := c.chunkEnc.Close(); err != nil {
+	switch {
+	case c.opts.Mode == Lossless && !c.opts.segmented():
+		if err := c.closeLosslessChunk(); err != nil {
 			c.err = err
 			return err
 		}
-		if err := c.chunkCW.Close(); err != nil {
+	case c.opts.Mode == Lossless:
+		if err := c.endSegment(); err != nil {
+			c.shutdownWorkers()
+			return err
+		}
+		if err := c.shutdownWorkers(); err != nil {
 			c.err = err
 			return err
 		}
-		if err := c.chunkBuf.Flush(); err != nil {
-			c.err = err
-			return err
-		}
-		if err := c.chunkFile.Close(); err != nil {
-			c.err = err
-			return err
-		}
-	} else {
+	default:
 		if err := c.endInterval(true); err != nil {
 			c.shutdownWorkers()
 			return err
@@ -510,7 +654,7 @@ func (c *Compressor) Stats() Stats {
 
 func (c *Compressor) writeManifest() error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "atc %d\n", infoVersion)
+	fmt.Fprintf(&b, "atc %d\n", c.opts.formatVersion())
 	fmt.Fprintf(&b, "mode %s\n", c.opts.Mode)
 	fmt.Fprintf(&b, "backend %s\n", c.opts.Backend)
 	return os.WriteFile(filepath.Join(c.dir, manifestName), []byte(b.String()), 0o644)
@@ -529,10 +673,13 @@ func (c *Compressor) writeInfo() error {
 	}
 	w := &infoWriter{w: bufio.NewWriter(cw)}
 	w.string(infoMagic)
-	w.byte(infoVersion)
+	w.byte(byte(c.opts.formatVersion()))
 	w.byte(byte(c.opts.Mode))
 	w.uvarint(uint64(c.opts.IntervalLen))
 	w.uvarint(uint64(c.opts.BufferAddrs))
+	if c.opts.formatVersion() >= infoVersion2 {
+		w.uvarint(uint64(c.opts.SegmentAddrs))
+	}
 	var eps [8]byte
 	binary.LittleEndian.PutUint64(eps[:], math.Float64bits(c.opts.Epsilon))
 	w.bytes(eps[:])

@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -29,9 +30,11 @@ type DecodeOptions struct {
 	// memory (default 8). Imitations of cached chunks avoid re-reading the
 	// chunk file.
 	ChunkCacheSize int
-	// Readahead bounds the number of decoded intervals (lossy) or address
-	// batches (lossless) a background goroutine decompresses ahead of
-	// Decode, overlapping back-end decompression with consumption.
+	// Readahead bounds the number of decoded intervals (lossy), segments
+	// (segmented lossless) or address batches (legacy lossless) a
+	// background pipeline decompresses ahead of Decode, overlapping
+	// back-end decompression with consumption. For segmented lossless
+	// traces it is also the number of segments decompressing concurrently.
 	// 0 selects the default (2); negative disables readahead and decodes
 	// synchronously on the calling goroutine (the historical behavior).
 	// The decoded stream is identical either way.
@@ -58,12 +61,19 @@ type Decompressor struct {
 	opts    DecodeOptions
 	backend xcompress.Backend
 
-	mode        Mode
-	intervalLen int
-	bufferAddrs int
-	epsilon     float64
-	records     []record
-	total       int64
+	version      int
+	mode         Mode
+	intervalLen  int
+	bufferAddrs  int
+	segmentAddrs int
+	epsilon      float64
+	records      []record
+	total        int64
+
+	// segmented marks a version-2 lossless trace: the stream is decoded by
+	// walking the chunk records (optionally in parallel) instead of
+	// streaming a single chunk file.
+	segmented bool
 
 	// Lossless streaming state.
 	losslessFile *os.File
@@ -97,23 +107,30 @@ func Open(dir string, opts DecodeOptions) (*Decompressor, error) {
 		opts.Readahead = DefaultReadahead
 	}
 	d := &Decompressor{dir: dir, opts: opts, cache: map[int][]uint64{}}
-	backendName := opts.Backend
-	if backendName == "" {
-		var err error
-		backendName, err = readManifestBackend(filepath.Join(dir, manifestName))
-		if err != nil {
+	mi, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		// A Backend override exists precisely to recover traces with a
+		// damaged or missing MANIFEST; the version is then taken from the
+		// INFO stream alone. Unsupported versions are never tolerated.
+		if opts.Backend == "" || errors.Is(err, ErrUnsupportedVersion) {
 			return nil, err
 		}
+		mi = manifestInfo{version: 0}
+	}
+	backendName := opts.Backend
+	if backendName == "" {
+		backendName = mi.backend
 	}
 	backend, err := xcompress.Lookup(backendName)
 	if err != nil {
 		return nil, err
 	}
 	d.backend = backend
-	if err := d.readInfo(backendName); err != nil {
+	if err := d.readInfo(backendName, mi.version); err != nil {
 		return nil, err
 	}
-	if d.mode == Lossless {
+	d.segmented = d.mode == Lossless && d.version >= infoVersion2
+	if d.mode == Lossless && !d.segmented {
 		if err := d.openLossless(backendName); err != nil {
 			return nil, err
 		}
@@ -134,9 +151,12 @@ func (d *Decompressor) startReadahead(n int) {
 	go func() {
 		defer d.aheadWG.Done()
 		defer close(d.ahead)
-		if d.mode == Lossless {
+		switch {
+		case d.segmented:
+			d.produceLosslessSegmented(n)
+		case d.mode == Lossless:
 			d.produceLossless()
-		} else {
+		default:
 			d.produceLossy()
 		}
 	}()
@@ -194,21 +214,128 @@ func (d *Decompressor) produceLossy() {
 	}
 }
 
-func readManifestBackend(path string) (string, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return "", fmt.Errorf("%w: missing MANIFEST: %v", ErrCorrupt, err)
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		fields := strings.Fields(line)
-		if len(fields) == 2 && fields[0] == "backend" {
-			return fields[1], nil
-		}
-	}
-	return "", fmt.Errorf("%w: MANIFEST has no backend line", ErrCorrupt)
+// segResult carries one decoded segment from a decode goroutine to the
+// in-order delivery loop.
+type segResult struct {
+	addrs []uint64
+	err   error
 }
 
-func (d *Decompressor) readInfo(backendName string) error {
+// produceLosslessSegmented decodes a version-2 lossless trace with up to
+// par segments decompressing concurrently while delivery stays strictly in
+// trace order: a dispatcher assigns every chunk record a buffered result
+// slot plus a goroutine, and the loop below consumes the slots in record
+// order. The slots channel's capacity bounds how many segments are decoded
+// (and held in memory) ahead of consumption.
+func (d *Decompressor) produceLosslessSegmented(par int) {
+	if par < 1 {
+		par = 1
+	}
+	slots := make(chan chan segResult, par)
+	var decodes sync.WaitGroup
+	d.aheadWG.Add(1)
+	go func() {
+		defer d.aheadWG.Done()
+		defer close(slots)
+		// Every Add below happens on this goroutine, so this Wait cannot
+		// race with them; and every spawned decode finishes (its slot has
+		// capacity 1), so waiting cannot block even when delivery stops
+		// early. Close blocks on aheadWG, so no decode outlives it.
+		defer decodes.Wait()
+		for _, rec := range d.records {
+			slot := make(chan segResult, 1)
+			select {
+			case slots <- slot:
+			case <-d.aheadStop:
+				return
+			}
+			decodes.Add(1)
+			go func(id int) {
+				defer decodes.Done()
+				addrs, err := d.readChunkFile(id)
+				slot <- segResult{addrs: addrs, err: err}
+			}(rec.chunkID)
+		}
+	}()
+	for slot := range slots {
+		res := <-slot
+		if res.err != nil {
+			d.deliver(aheadBatch{err: res.err})
+			return
+		}
+		if len(res.addrs) > 0 && !d.deliver(aheadBatch{addrs: res.addrs}) {
+			return
+		}
+	}
+}
+
+// manifestInfo is the parsed MANIFEST descriptor. version 0 means
+// "unknown" (tolerated only under an explicit Backend override).
+type manifestInfo struct {
+	version int
+	backend string
+}
+
+// readManifest parses the plain-text MANIFEST, including the "atc
+// <version>" line the decoder historically ignored: a trace written by a
+// future format must be rejected up front, not silently mis-decoded.
+func readManifest(path string) (manifestInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return manifestInfo{}, fmt.Errorf("%w: missing MANIFEST: %v", ErrCorrupt, err)
+	}
+	mi := manifestInfo{version: -1}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "atc":
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				return manifestInfo{}, fmt.Errorf("%w: bad MANIFEST version %q", ErrCorrupt, fields[1])
+			}
+			mi.version = v
+		case "backend":
+			mi.backend = fields[1]
+		}
+	}
+	if mi.version < 0 {
+		return manifestInfo{}, fmt.Errorf("%w: MANIFEST has no atc version line", ErrCorrupt)
+	}
+	if mi.version < infoVersion1 || mi.version > maxInfoVersion {
+		return manifestInfo{}, fmt.Errorf("%w %d in MANIFEST (this build reads 1..%d)",
+			ErrUnsupportedVersion, mi.version, maxInfoVersion)
+	}
+	if mi.backend == "" {
+		return manifestInfo{}, fmt.Errorf("%w: MANIFEST has no backend line", ErrCorrupt)
+	}
+	return mi, nil
+}
+
+// maxAddrCount bounds every address-count field read from the untrusted
+// INFO stream (interval length, bytesort buffer, segment length, trailer
+// total, chunk ids): 2^48 addresses is 2 PB of raw trace, far beyond any
+// real input, so larger values can only come from corruption — and must
+// not be trusted before they size an allocation.
+const maxAddrCount = 1 << 48
+
+// readCount reads one bounds-checked address-count field.
+func readCount(r *bufio.Reader, what string) (int64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: short INFO (%s)", ErrCorrupt, what)
+	}
+	if v > maxAddrCount {
+		return 0, fmt.Errorf("%w: implausible %s %d", ErrCorrupt, what, v)
+	}
+	return int64(v), nil
+}
+
+// readInfo parses the INFO stream. wantVersion is the version declared by
+// MANIFEST (0 = unknown, under a Backend override); the two must agree.
+func (d *Decompressor) readInfo(backendName string, wantVersion int) error {
 	f, err := os.Open(filepath.Join(d.dir, infoBase+"."+backendName))
 	if err != nil {
 		return fmt.Errorf("%w: missing INFO: %v", ErrCorrupt, err)
@@ -224,9 +351,18 @@ func (d *Decompressor) readInfo(backendName string) error {
 		return fmt.Errorf("%w: bad INFO magic", ErrCorrupt)
 	}
 	ver, err := r.ReadByte()
-	if err != nil || ver != infoVersion {
-		return fmt.Errorf("%w: unsupported INFO version %d", ErrCorrupt, ver)
+	if err != nil {
+		return fmt.Errorf("%w: short INFO", ErrCorrupt)
 	}
+	if int(ver) < infoVersion1 || int(ver) > maxInfoVersion {
+		return fmt.Errorf("%w %d in INFO (this build reads 1..%d)",
+			ErrUnsupportedVersion, ver, maxInfoVersion)
+	}
+	if wantVersion > 0 && int(ver) != wantVersion {
+		return fmt.Errorf("%w: INFO version %d does not match MANIFEST version %d",
+			ErrCorrupt, ver, wantVersion)
+	}
+	d.version = int(ver)
 	modeB, err := r.ReadByte()
 	if err != nil {
 		return fmt.Errorf("%w: short INFO", ErrCorrupt)
@@ -235,16 +371,23 @@ func (d *Decompressor) readInfo(backendName string) error {
 	if d.mode != Lossless && d.mode != Lossy {
 		return fmt.Errorf("%w: unknown mode %d", ErrCorrupt, modeB)
 	}
-	il, err := binary.ReadUvarint(r)
+	il, err := readCount(r, "interval length")
 	if err != nil {
-		return fmt.Errorf("%w: short INFO", ErrCorrupt)
+		return err
 	}
 	d.intervalLen = int(il)
-	ba, err := binary.ReadUvarint(r)
+	ba, err := readCount(r, "bytesort buffer")
 	if err != nil {
-		return fmt.Errorf("%w: short INFO", ErrCorrupt)
+		return err
 	}
 	d.bufferAddrs = int(ba)
+	if d.version >= infoVersion2 {
+		sa, err := readCount(r, "segment length")
+		if err != nil {
+			return err
+		}
+		d.segmentAddrs = int(sa)
+	}
 	var eps [8]byte
 	if _, err := io.ReadFull(r, eps[:]); err != nil {
 		return fmt.Errorf("%w: short INFO", ErrCorrupt)
@@ -257,22 +400,25 @@ func (d *Decompressor) readInfo(backendName string) error {
 		}
 		switch tag {
 		case recEnd:
-			total, err := binary.ReadUvarint(r)
+			total, err := readCount(r, "trailer total")
 			if err != nil {
-				return fmt.Errorf("%w: short trailer", ErrCorrupt)
+				return err
 			}
-			d.total = int64(total)
+			d.total = total
 			return nil
 		case recChunk:
-			id, err := binary.ReadUvarint(r)
+			id, err := readCount(r, "chunk id")
 			if err != nil {
-				return fmt.Errorf("%w: short chunk record", ErrCorrupt)
+				return err
 			}
 			d.records = append(d.records, record{tag: recChunk, chunkID: int(id)})
 		case recImitate:
-			id, err := binary.ReadUvarint(r)
+			if d.mode == Lossless {
+				return fmt.Errorf("%w: imitation record in a lossless trace", ErrCorrupt)
+			}
+			id, err := readCount(r, "chunk id")
 			if err != nil {
-				return fmt.Errorf("%w: short imitation record", ErrCorrupt)
+				return err
 			}
 			mask, err := r.ReadByte()
 			if err != nil {
@@ -319,6 +465,13 @@ func (d *Decompressor) openLossless(backendName string) error {
 // Mode reports the stored trace's compression mode.
 func (d *Decompressor) Mode() Mode { return d.mode }
 
+// FormatVersion reports the trace's on-disk format version (1 or 2).
+func (d *Decompressor) FormatVersion() int { return d.version }
+
+// SegmentAddrs reports the stored lossless segment length in addresses
+// (0 for legacy single-chunk and lossy traces).
+func (d *Decompressor) SegmentAddrs() int { return d.segmentAddrs }
+
 // TotalAddrs reports the stored trace's length in addresses.
 func (d *Decompressor) TotalAddrs() int64 { return d.total }
 
@@ -328,7 +481,8 @@ func (d *Decompressor) IntervalLen() int { return d.intervalLen }
 // Epsilon reports the stored matching threshold (lossy traces).
 func (d *Decompressor) Epsilon() float64 { return d.epsilon }
 
-// Records reports the number of interval records (lossy traces).
+// Records reports the number of interval records (lossy traces) or
+// segment records (segmented lossless traces).
 func (d *Decompressor) Records() int { return len(d.records) }
 
 // Decode returns the next trace value (the paper's atc_decode); io.EOF
@@ -342,7 +496,9 @@ func (d *Decompressor) Decode() (uint64, error) {
 	if d.ahead != nil {
 		return d.decodeAhead()
 	}
-	if d.mode == Lossless {
+	// Segmented lossless traces decode by walking the chunk records, the
+	// same loop lossy intervals use (every record is a plain chunk).
+	if d.mode == Lossless && !d.segmented {
 		v, err := d.losslessDec.Read()
 		if err == io.EOF {
 			if d.emitted != d.total {
@@ -413,9 +569,22 @@ func (d *Decompressor) decodeAhead() (uint64, error) {
 	return v, nil
 }
 
+// maxDecodeAllPrealloc caps the slice capacity DecodeAll commits before
+// the first address decodes: 4 Mi addresses (32 MB). d.total comes from
+// the untrusted INFO trailer, and a corrupt trailer must not demand an
+// enormous allocation before any decode error can surface.
+const maxDecodeAllPrealloc = 1 << 22
+
 // DecodeAll decodes the remaining trace into memory.
 func (d *Decompressor) DecodeAll() ([]uint64, error) {
-	out := make([]uint64, 0, d.total)
+	n := d.total
+	if n < 0 {
+		n = 0
+	}
+	if n > maxDecodeAllPrealloc {
+		n = maxDecodeAllPrealloc
+	}
+	out := make([]uint64, 0, n)
 	for {
 		v, err := d.Decode()
 		if err == io.EOF {
@@ -462,11 +631,10 @@ func (d *Decompressor) materializeInterval(rec record) ([]uint64, error) {
 	}
 }
 
-// loadChunk returns the decoded addresses of a chunk, consulting the cache.
-func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
-	if addrs, ok := d.cache[id]; ok {
-		return addrs, nil
-	}
+// readChunkFile decompresses one chunk file into addresses. It touches
+// only immutable Decompressor state (dir, backend), so segmented-lossless
+// decode goroutines call it concurrently.
+func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
 	f, err := os.Open(d.chunkPath(id))
 	if err != nil {
 		return nil, fmt.Errorf("%w: missing chunk %d: %v", ErrCorrupt, id, err)
@@ -480,13 +648,29 @@ func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: chunk %d: %v", ErrCorrupt, id, err)
 	}
-	if len(d.cacheFIFO) >= d.opts.ChunkCacheSize {
-		oldest := d.cacheFIFO[0]
-		d.cacheFIFO = d.cacheFIFO[1:]
-		delete(d.cache, oldest)
+	return addrs, nil
+}
+
+// loadChunk returns the decoded addresses of a chunk, consulting the cache.
+// Lossless segments are never re-read (no imitation records), so only lossy
+// chunks are worth pinning in memory.
+func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
+	if addrs, ok := d.cache[id]; ok {
+		return addrs, nil
 	}
-	d.cache[id] = addrs
-	d.cacheFIFO = append(d.cacheFIFO, id)
+	addrs, err := d.readChunkFile(id)
+	if err != nil {
+		return nil, err
+	}
+	if d.mode == Lossy {
+		if len(d.cacheFIFO) >= d.opts.ChunkCacheSize {
+			oldest := d.cacheFIFO[0]
+			d.cacheFIFO = d.cacheFIFO[1:]
+			delete(d.cache, oldest)
+		}
+		d.cache[id] = addrs
+		d.cacheFIFO = append(d.cacheFIFO, id)
+	}
 	return addrs, nil
 }
 

@@ -36,6 +36,15 @@ const DefaultSeed = 2009 // ISPASS 2009
 // cmd/atcbench exposes it as -workers.
 var Workers int
 
+// SegmentAddrs overrides the lossless segment length for the segment-size
+// sweep (RunSegmentSweep), the only experiment that compresses with the
+// lossless core pipeline: when non-zero, the sweep compares the
+// single-chunk baseline against exactly this segment size instead of its
+// default size ladder (negative = the legacy v1 single-chunk layout, a
+// no-op comparison). All other experiments compress lossily and ignore it.
+// cmd/atcbench exposes it as -segment.
+var SegmentAddrs int
+
 // TraceCache memoises generated traces so multi-column experiments
 // generate each workload once. It is safe for concurrent use.
 type TraceCache struct {

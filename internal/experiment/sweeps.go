@@ -429,3 +429,137 @@ func (r *HistorySweepResult) Render(w io.Writer) {
 		fmt.Fprintf(w, "%10d %10.4f %8d\n", p.Capacity, p.BPA, p.Chunks)
 	}
 }
+
+// SegmentSweepConfig parameterises the segmented-lossless ablation: cutting
+// the lossless stream into independently compressed segments buys the lossy
+// pipeline's embarrassing parallelism at a BPA cost, because every segment
+// restarts the bytesort and back-end context. The sweep measures that
+// capacity-vs-throughput trade across segment sizes.
+type SegmentSweepConfig struct {
+	Model        string // default "429.mcf"
+	N            int
+	BufferAddrs  int
+	SegmentAddrs []int // default {-1 (single chunk), N, N/2, N/4, N/8, N/16}
+	Backend      string
+	Seed         uint64
+}
+
+func (c *SegmentSweepConfig) fillDefaults() {
+	if c.Model == "" {
+		c.Model = "429.mcf"
+	}
+	if c.N <= 0 {
+		c.N = DefaultTraceLen
+	}
+	if c.BufferAddrs <= 0 {
+		c.BufferAddrs = c.N / 10
+		if c.BufferAddrs < 1 {
+			c.BufferAddrs = 1
+		}
+	}
+	if len(c.SegmentAddrs) == 0 {
+		if SegmentAddrs != 0 {
+			// An explicit -segment compares the single-chunk baseline
+			// against exactly that segment size.
+			c.SegmentAddrs = []int{-1, SegmentAddrs}
+		} else {
+			c.SegmentAddrs = []int{-1, c.N, c.N / 2, c.N / 4, c.N / 8, c.N / 16}
+		}
+	}
+	if c.Backend == "" {
+		c.Backend = "bsc"
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+}
+
+// SegmentPoint is one sweep sample: compression at one segment size.
+type SegmentPoint struct {
+	SegmentAddrs int // -1 = legacy single chunk
+	BPA          float64
+	Chunks       int64
+	Overhead     float64 // BPA / single-chunk BPA - 1
+}
+
+// SegmentSweepResult holds the sweep.
+type SegmentSweepResult struct {
+	Config SegmentSweepConfig
+	Points []SegmentPoint
+}
+
+// RunSegmentSweep measures the lossless BPA-vs-segment-size curve. Every
+// point is verified to round-trip bit exactly.
+func RunSegmentSweep(cfg SegmentSweepConfig, tc *TraceCache) (*SegmentSweepResult, error) {
+	cfg.fillDefaults()
+	if tc == nil {
+		tc = NewTraceCache()
+	}
+	exact, err := tc.Get(cfg.Model, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &SegmentSweepResult{Config: cfg}
+	baseline := 0.0
+	for _, seg := range cfg.SegmentAddrs {
+		if seg == 0 {
+			continue // 0 would silently mean "library default"; keep points explicit
+		}
+		dir, err := os.MkdirTemp("", "atc-segsweep")
+		if err != nil {
+			return nil, err
+		}
+		stats, err := core.WriteTrace(dir, exact, core.Options{
+			Workers:      Workers,
+			Mode:         core.Lossless,
+			Backend:      cfg.Backend,
+			BufferAddrs:  cfg.BufferAddrs,
+			SegmentAddrs: seg,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		v, err := core.BitsPerAddress(dir, int64(cfg.N))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		decoded, err := core.ReadTrace(dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(decoded) != len(exact) {
+			return nil, fmt.Errorf("experiment: segment %d: decoded %d addresses, want %d", seg, len(decoded), len(exact))
+		}
+		for i := range exact {
+			if decoded[i] != exact[i] {
+				return nil, fmt.Errorf("experiment: segment %d: lossless round trip diverges at %d", seg, i)
+			}
+		}
+		p := SegmentPoint{SegmentAddrs: seg, BPA: v, Chunks: stats.Chunks}
+		if seg < 0 {
+			baseline = v
+		}
+		if baseline > 0 {
+			p.Overhead = v/baseline - 1
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *SegmentSweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Lossless segment-size sweep on %s (N=%d): BPA cost of parallelism\n",
+		r.Config.Model, r.Config.N)
+	fmt.Fprintf(w, "%12s %10s %8s %10s\n", "segment", "BPA", "chunks", "overhead")
+	for _, p := range r.Points {
+		seg := fmt.Sprintf("%d", p.SegmentAddrs)
+		if p.SegmentAddrs < 0 {
+			seg = "single"
+		}
+		fmt.Fprintf(w, "%12s %10.4f %8d %9.2f%%\n", seg, p.BPA, p.Chunks, 100*p.Overhead)
+	}
+}
