@@ -9,14 +9,15 @@
 //
 // # Quick start
 //
-//	w, err := atc.NewWriter("trace.atc", atc.WithMode(atc.Lossy))
+//	w, err := atc.NewWriter("trace-dir", atc.WithMode(atc.Lossy))   // directory layout
+//	// or: atc.CreateArchive("trace.atc", atc.WithMode(atc.Lossy))  // single-file layout
 //	if err != nil { ... }
 //	for _, addr := range addrs {
 //	    if err := w.Code(addr); err != nil { ... }
 //	}
 //	if err := w.Close(); err != nil { ... }
 //
-//	r, err := atc.NewReader("trace.atc")
+//	r, err := atc.NewReader("trace-dir") // auto-detects directory vs archive
 //	if err != nil { ... }
 //	defer r.Close()
 //	for {
@@ -26,12 +27,19 @@
 //	    use(addr)
 //	}
 //
-// A compressed trace is a directory of back-end-compressed chunk files plus
-// an INFO metadata stream, as in the paper's Figure 8. Lossless mode is bit
-// exact. Lossy mode preserves the trace length and the memory-locality
-// structure (miss ratios, predictability) while storing only one chunk per
-// program phase; see the package documentation of atc/internal/core for
-// the on-disk format and DESIGN.md for the reproduction notes.
+// A compressed trace is a set of named blobs — back-end-compressed chunks
+// plus an INFO metadata stream, as in the paper's Figure 8 — held in a
+// pluggable Store. Three layouts ship: a directory of files (the default,
+// byte-identical to the paper tooling's output), a single-file .atc
+// archive with a seekable table of contents (CreateArchive/OpenArchive,
+// the distributable shape), and an in-memory store (NewMemStore, for
+// tests and serving from RAM). NewReader auto-detects directory vs
+// archive; cmd/atcpack converts between them byte-identically. Lossless
+// mode is bit exact. Lossy mode preserves the trace length and the
+// memory-locality structure (miss ratios, predictability) while storing
+// only one chunk per program phase; see the package documentation of
+// atc/internal/core for the on-disk format and DESIGN.md for the
+// reproduction notes.
 //
 // # Concurrency
 //
@@ -44,6 +52,9 @@
 // Interval/segment classification, chunk numbering and the INFO record
 // sequence stay on the calling goroutine, so the output directory is
 // byte-for-byte identical for every worker count at a fixed segment size.
+// (An archive's blobs are equally byte-identical, but the file appends
+// them in worker completion order; use WithWorkers(1) or pack a directory
+// with atcpack when a canonical archive file matters.)
 // A chunk-compression failure is deferred: it is returned by a later
 // Code/CodeSlice call or, at the latest, by Close — callers that check
 // every error, as the quick start does, observe it either way. Writer and
@@ -62,6 +73,7 @@ package atc
 
 import (
 	"atc/internal/core"
+	"atc/internal/store"
 )
 
 // Mode selects the compression mode.
@@ -75,8 +87,21 @@ const (
 	Lossy = core.Lossy
 )
 
-// ErrCorrupt reports a malformed compressed trace.
+// ErrCorrupt reports a malformed compressed trace or archive.
 var ErrCorrupt = core.ErrCorrupt
+
+// Store is a pluggable container of named blobs holding one compressed
+// trace: a directory, a single-file archive, memory, or any custom
+// implementation (a blob store, a content-addressed cache). Pass one with
+// WithStore/WithReadStore; see atc/internal/store for the contract each
+// method must honor.
+type Store = store.Store
+
+// NewMemStore returns an empty in-memory Store. A trace compressed into
+// it (WithStore) stays readable from the same value after Writer.Close,
+// so a trace can round-trip without touching the filesystem — the seed of
+// an in-RAM serving tier.
+func NewMemStore() Store { return store.NewMem() }
 
 // ErrUnsupportedVersion reports a compressed trace written by a format
 // version this build does not read; it wraps ErrCorrupt.
@@ -149,13 +174,23 @@ func WithTableCapacity(n int) Option {
 	return func(o *core.Options) { o.TableCapacity = n }
 }
 
+// WithStore writes the trace into s instead of the path-selected default
+// container. The path passed to NewWriter is then informational only.
+// Writer.Close finalizes the store (a single-file archive writes its
+// table of contents there).
+func WithStore(s Store) Option {
+	return func(o *core.Options) { o.Store = s }
+}
+
 // WithWorkers sets the number of goroutines compressing completed chunks
 // — lossy intervals and lossless segments (default runtime.GOMAXPROCS(0)).
-// n = 1 compresses every chunk synchronously on the calling goroutine. The
-// compressed directory is byte-for-byte identical for every worker count;
-// worker errors are deferred into a later Code call or Close. Only the
-// legacy single-chunk lossless layout (WithSegmentAddrs(0)) is unaffected
-// by workers.
+// n = 1 compresses lossy chunks synchronously on the calling goroutine;
+// segmented lossless runs one worker behind an unbuffered queue, capping
+// streaming memory at two segment buffers while overlapping compression
+// with trace production. The compressed directory is byte-for-byte
+// identical for every worker count; worker errors are deferred into a
+// later Code call or Close. Only the legacy single-chunk lossless layout
+// (WithSegmentAddrs(0)) is unaffected by workers.
 func WithWorkers(n int) Option {
 	return func(o *core.Options) { o.Workers = n }
 }
@@ -165,17 +200,33 @@ type Writer struct {
 	c *core.Compressor
 }
 
-// NewWriter starts a new compressed trace in dir.
-func NewWriter(dir string, opts ...Option) (*Writer, error) {
+func newWriter(path string, archive bool, opts []Option) (*Writer, error) {
 	var o core.Options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	c, err := core.Create(dir, o)
+	o.Archive = archive
+	c, err := core.Create(path, o)
 	if err != nil {
 		return nil, err
 	}
 	return &Writer{c: c}, nil
+}
+
+// NewWriter starts a new compressed trace in directory dir (or in the
+// container named by WithStore).
+func NewWriter(dir string, opts ...Option) (*Writer, error) {
+	return newWriter(dir, false, opts)
+}
+
+// CreateArchive starts a new compressed trace as a single-file .atc
+// archive at path: header, blob payloads and a trailing seekable table of
+// contents with per-blob CRC32s. The trace encoding inside is identical
+// to the directory layout — cmd/atcpack converts between the two
+// byte-for-byte. Close writes the table of contents; an abandoned archive
+// does not open.
+func CreateArchive(path string, opts ...Option) (*Writer, error) {
+	return newWriter(path, true, opts)
 }
 
 // Code appends one 64-bit value to the trace.
@@ -229,22 +280,44 @@ func WithReadahead(n int) ReadOption {
 	return func(o *core.DecodeOptions) { o.Readahead = n }
 }
 
+// WithReadStore reads the trace from s instead of the path passed to
+// NewReader (which is then informational only). The store is not closed
+// by Reader.Close — it remains the caller's, so one MemStore can serve
+// many concurrent Readers.
+func WithReadStore(s Store) ReadOption {
+	return func(o *core.DecodeOptions) { o.Store = s }
+}
+
 // Reader decompresses a trace directory.
 type Reader struct {
 	d *core.Decompressor
 }
 
-// NewReader opens a compressed trace for decoding.
-func NewReader(dir string, opts ...ReadOption) (*Reader, error) {
+func newReader(path string, archive bool, opts []ReadOption) (*Reader, error) {
 	var o core.DecodeOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	d, err := core.Open(dir, o)
+	o.Archive = archive
+	d, err := core.Open(path, o)
 	if err != nil {
 		return nil, err
 	}
 	return &Reader{d: d}, nil
+}
+
+// NewReader opens a compressed trace for decoding. The path may name a
+// trace directory or a single-file .atc archive — a stat distinguishes
+// them — or be overridden entirely by WithReadStore.
+func NewReader(path string, opts ...ReadOption) (*Reader, error) {
+	return newReader(path, false, opts)
+}
+
+// OpenArchive opens a single-file .atc archive for decoding. Unlike
+// NewReader it does not fall back to the directory layout: anything that
+// is not a valid archive fails with ErrCorrupt.
+func OpenArchive(path string, opts ...ReadOption) (*Reader, error) {
+	return newReader(path, true, opts)
 }
 
 // Decode returns the next value; io.EOF signals a verified end of trace.
@@ -297,7 +370,9 @@ func Decompress(dir string, opts ...ReadOption) ([]uint64, error) {
 }
 
 // BitsPerAddress reports the paper's BPA metric for a compressed trace of
-// known length: total compressed bits divided by trace length.
-func BitsPerAddress(dir string, addrs int64) (float64, error) {
-	return core.BitsPerAddress(dir, addrs)
+// known length: total compressed bits divided by trace length. The path
+// may name a trace directory (summed file sizes) or a single-file .atc
+// archive (whole file size, container overhead included).
+func BitsPerAddress(path string, addrs int64) (float64, error) {
+	return core.BitsPerAddress(path, addrs)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"atc"
@@ -215,5 +216,82 @@ func TestPublicWorkersAndReadahead(t *testing.T) {
 				t.Fatalf("workers=%d: decoded stream diverges at %d", workers, i)
 			}
 		}
+	}
+}
+
+func TestPublicArchiveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	addrs := make([]uint64, 20_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	path := filepath.Join(t.TempDir(), "trace.atc")
+	w, err := atc.CreateArchive(path, atc.WithBufferAddrs(500), atc.WithSegmentAddrs(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Both the explicit archive opener and the auto-detecting reader
+	// must decode the file.
+	for _, open := range []func() (*atc.Reader, error){
+		func() (*atc.Reader, error) { return atc.OpenArchive(path) },
+		func() (*atc.Reader, error) { return atc.NewReader(path) },
+	} {
+		r, err := open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.DecodeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+		if len(got) != len(addrs) {
+			t.Fatalf("decoded %d addrs, want %d", len(got), len(addrs))
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				t.Fatalf("mismatch at %d", i)
+			}
+		}
+	}
+	if bpa, err := atc.BitsPerAddress(path, int64(len(addrs))); err != nil || bpa <= 0 {
+		t.Fatalf("archive BitsPerAddress = %v, %v", bpa, err)
+	}
+}
+
+func TestPublicMemStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	addrs := make([]uint64, 10_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 22))
+	}
+	mem := atc.NewMemStore()
+	if _, err := atc.Compress("in-memory", addrs,
+		atc.WithStore(mem), atc.WithMode(atc.Lossy),
+		atc.WithIntervalLen(2000), atc.WithBufferAddrs(300)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := atc.Decompress("in-memory", atc.WithReadStore(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(addrs) {
+		t.Fatalf("decoded %d addrs, want %d", len(got), len(addrs))
+	}
+}
+
+func TestPublicOpenArchiveRejectsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := atc.Compress(dir, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atc.OpenArchive(dir); err == nil {
+		t.Fatal("OpenArchive on a directory trace succeeded")
 	}
 }

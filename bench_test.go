@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"atc"
@@ -449,3 +450,79 @@ func TestSegmentedBPAOverhead(t *testing.T) {
 		t.Fatalf("8-way segmented BPA %.4f vs single-chunk %.4f: overhead > 5%%", eightWay, single)
 	}
 }
+
+// --- archive store vs directory store (PR 3) ---
+
+func benchmarkSegmentedArchiveCompress(b *testing.B, workers int) {
+	addrs := segmentedBenchTrace(b)
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "atc-arcbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := atc.CreateArchive(filepath.Join(dir, "t.atc"),
+			atc.WithMode(atc.Lossless),
+			atc.WithSegmentAddrs(segBenchAddrs),
+			atc.WithBufferAddrs(segBenchAddrs/10),
+			atc.WithWorkers(workers),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.CodeSlice(addrs); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		os.RemoveAll(dir)
+	}
+}
+
+func BenchmarkSegmentedArchiveCompressWorkers1(b *testing.B) { benchmarkSegmentedArchiveCompress(b, 1) }
+func BenchmarkSegmentedArchiveCompressWorkers4(b *testing.B) { benchmarkSegmentedArchiveCompress(b, 4) }
+
+func benchmarkSegmentedArchiveDecode(b *testing.B, readahead int) {
+	addrs := segmentedBenchTrace(b)
+	dir, err := os.MkdirTemp("", "atc-arcdecbench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "t.atc")
+	w, err := atc.CreateArchive(path,
+		atc.WithMode(atc.Lossless),
+		atc.WithSegmentAddrs(segBenchAddrs),
+		atc.WithBufferAddrs(segBenchAddrs/10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := atc.OpenArchive(path, atc.WithReadahead(readahead))
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := r.DecodeAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+		if len(got) != len(addrs) {
+			b.Fatalf("decoded %d addrs, want %d", len(got), len(addrs))
+		}
+	}
+}
+
+func BenchmarkSegmentedArchiveDecodeSync(b *testing.B)       { benchmarkSegmentedArchiveDecode(b, -1) }
+func BenchmarkSegmentedArchiveDecodeReadahead4(b *testing.B) { benchmarkSegmentedArchiveDecode(b, 4) }

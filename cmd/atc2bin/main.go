@@ -1,10 +1,11 @@
-// Command atc2bin decompresses an ATC trace directory to standard output
-// as raw 64-bit little-endian values, mirroring the example program of the
+// Command atc2bin decompresses an ATC trace — a directory or a
+// single-file .atc archive, auto-detected — to standard output as raw
+// 64-bit little-endian values, mirroring the example program of the
 // paper's Figure 7.
 //
 // Usage:
 //
-//	atc2bin <directory> | cachesim -sets 4096
+//	atc2bin <directory | file.atc> | cachesim -sets 4096
 package main
 
 import (
@@ -20,8 +21,9 @@ import (
 func main() {
 	noTranslate := flag.Bool("no-translation", false, "disable byte translation (the Figure 4 ablation)")
 	readahead := flag.Int("readahead", 0, "decoded batches buffered ahead of consumption (default 2; negative = synchronous)")
+	archive := flag.Bool("archive", false, "require a single-file .atc archive (no directory fallback)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: atc2bin [flags] <directory>\nwrites 64-bit LE values to stdout\n")
+		fmt.Fprintf(os.Stderr, "usage: atc2bin [flags] <directory | file.atc>\nwrites 64-bit LE values to stdout\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,7 +39,11 @@ func main() {
 	if *readahead != 0 {
 		opts = append(opts, atc.WithReadahead(*readahead))
 	}
-	r, err := atc.NewReader(flag.Arg(0), opts...)
+	newReader := atc.NewReader
+	if *archive {
+		newReader = atc.OpenArchive
+	}
+	r, err := newReader(flag.Arg(0), opts...)
 	if err != nil {
 		fatal(err)
 	}

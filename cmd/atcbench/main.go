@@ -47,10 +47,12 @@ func main() {
 		backend  = flag.String("backend", "bsc", "byte-level back end")
 		workers  = flag.Int("workers", 0, "chunk-compression workers (default GOMAXPROCS; 1 = synchronous)")
 		segment  = flag.Int("segment", 0, "lossless segment length in addresses (default 16Mi; -1 = legacy single chunk)")
+		archive  = flag.Bool("archive", false, "compress experiment traces into single-file .atc archives instead of directories")
 	)
 	flag.Parse()
 	experiment.Workers = *workers
 	experiment.SegmentAddrs = *segment
+	experiment.Archive = *archive
 
 	var models []string
 	if *modelsCS != "" {

@@ -1,9 +1,10 @@
-// Command atcinfo inspects a compressed trace directory: mode, parameters,
-// record mix, per-chunk sizes and the effective bits per address.
+// Command atcinfo inspects a compressed trace — a directory or a
+// single-file .atc archive, auto-detected: mode, parameters, record mix,
+// per-blob sizes and the effective bits per address.
 //
 // Usage:
 //
-//	atcinfo <directory>
+//	atcinfo <directory | file.atc>
 package main
 
 import (
@@ -13,27 +14,39 @@ import (
 
 	"atc"
 	"atc/internal/core"
+	"atc/internal/store"
 )
 
 func main() {
+	archive := flag.Bool("archive", false, "require a single-file .atc archive (no directory fallback)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: atcinfo <directory>\n")
+		fmt.Fprintf(os.Stderr, "usage: atcinfo [flags] <directory | file.atc>\n")
+		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	dir := flag.Arg(0)
-	d, err := core.Open(dir, core.DecodeOptions{})
+	path := flag.Arg(0)
+	d, err := core.Open(path, core.DecodeOptions{Archive: *archive})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atcinfo:", err)
 		os.Exit(1)
 	}
 	defer d.Close()
 
+	// Report the layout that was actually opened, not a re-derived guess.
+	layout := "custom"
+	switch d.Store().(type) {
+	case *store.ArchiveStore:
+		layout = "archive"
+	case *store.DirStore:
+		layout = "directory"
+	}
 	fmt.Printf("mode:          %s\n", d.Mode())
 	fmt.Printf("format:        v%d\n", d.FormatVersion())
+	fmt.Printf("layout:        %s\n", layout)
 	fmt.Printf("addresses:     %d\n", d.TotalAddrs())
 	if d.Mode() == core.Lossy {
 		fmt.Printf("interval (L):  %d\n", d.IntervalLen())
@@ -43,33 +56,32 @@ func main() {
 		fmt.Printf("segment:       %d addresses\n", d.SegmentAddrs())
 		fmt.Printf("segments:      %d\n", d.Records())
 	}
-	size, err := core.DirSize(dir)
+	size, err := core.StoreSize(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atcinfo:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("size on disk:  %d bytes\n", size)
 	if d.TotalAddrs() > 0 {
-		bpa, err := atc.BitsPerAddress(dir, d.TotalAddrs())
+		bpa, err := atc.BitsPerAddress(path, d.TotalAddrs())
 		if err == nil {
 			fmt.Printf("bits/address:  %.4f\n", bpa)
 			fmt.Printf("ratio vs raw:  %.2fx\n", 64/bpa)
 		}
 	}
-	entries, err := os.ReadDir(dir)
+	st := d.Store()
+	names, err := st.List()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atcinfo:", err)
 		os.Exit(1)
 	}
-	fmt.Println("files:")
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		fi, err := e.Info()
+	fmt.Println("blobs:")
+	for _, name := range names {
+		b, err := st.Open(name)
 		if err != nil {
 			continue
 		}
-		fmt.Printf("  %-16s %12d bytes\n", e.Name(), fi.Size())
+		fmt.Printf("  %-16s %12d bytes\n", name, b.Size())
+		b.Close()
 	}
 }

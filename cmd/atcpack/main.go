@@ -1,0 +1,140 @@
+// Command atcpack converts a compressed trace between the directory
+// layout and the single-file .atc archive layout. Blobs are copied
+// verbatim — no recompression — so the trace encoding is byte-identical
+// on both sides and the conversion is loss-free in both directions.
+//
+// Usage:
+//
+//	atcpack trace-dir trace.atc          # pack a directory into an archive
+//	atcpack -unpack trace.atc trace-dir  # expand an archive into a directory
+//	atcpack -verify src dst              # either direction, then re-compare
+//
+// The destination must not already hold a trace (a non-empty archive file
+// or a directory with a MANIFEST is refused).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atc/internal/store"
+)
+
+func main() {
+	unpack := flag.Bool("unpack", false, "expand an archive into a directory (default packs a directory into an archive)")
+	verify := flag.Bool("verify", false, "after converting, re-open both sides and compare every blob byte for byte")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: atcpack [-unpack] [-verify] <src> <dst>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, dst := flag.Arg(0), flag.Arg(1)
+
+	if *unpack {
+		if err := convert(openArchiveSrc(src), createDirDst(dst), *verify); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := convert(openDirSrc(src), createArchiveDst(dst), *verify); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "atcpack: %s -> %s\n", src, dst)
+}
+
+// opener defers store construction so convert owns the open/close order.
+type opener func() (store.Store, error)
+
+func openDirSrc(dir string) opener {
+	return func() (store.Store, error) { return store.OpenDir(dir), nil }
+}
+
+func openArchiveSrc(path string) opener {
+	return func() (store.Store, error) { return store.OpenArchive(path) }
+}
+
+func createDirDst(dir string) opener {
+	return func() (store.Store, error) { return store.CreateDir(dir) }
+}
+
+func createArchiveDst(path string) opener {
+	return func() (store.Store, error) { return store.CreateArchive(path) }
+}
+
+func convert(srcOpen, dstOpen opener, verify bool) error {
+	src, err := srcOpen()
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	// Refuse to "pack" something that is not a compressed trace, and
+	// refuse a destination that already holds one.
+	if _, err := store.ReadBlob(src, "MANIFEST"); err != nil {
+		return fmt.Errorf("source is not a compressed trace (no MANIFEST): %w", err)
+	}
+	dst, err := dstOpen()
+	if err != nil {
+		return err
+	}
+	if b, err := dst.Open("MANIFEST"); err == nil {
+		b.Close()
+		dst.Close()
+		return fmt.Errorf("destination already contains a compressed trace")
+	}
+	if err := store.CopyAll(dst, src); err != nil {
+		// Remove whatever was already copied so a repaired re-run is not
+		// blocked by a half-populated destination; Abort then cleans up
+		// the container itself (archive file, or a directory we created).
+		if names, lerr := src.List(); lerr == nil {
+			for _, name := range names {
+				dst.Remove(name)
+			}
+		}
+		store.Abort(dst)
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	if !verify {
+		return nil
+	}
+	// Re-open the destination read-only so the comparison exercises the
+	// same path a consumer will: for an archive that includes TOC
+	// validation and per-blob CRC checks.
+	check, err := reopen(dst)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	defer check.Close()
+	equal, err := store.Equal(src, check)
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if !equal {
+		return fmt.Errorf("verify: destination does not match source")
+	}
+	fmt.Fprintln(os.Stderr, "atcpack: verified, all blobs byte-identical")
+	return nil
+}
+
+func reopen(dst store.Store) (store.Store, error) {
+	switch s := dst.(type) {
+	case *store.ArchiveStore:
+		return store.OpenArchive(s.Path())
+	case *store.DirStore:
+		return store.OpenDir(s.Dir()), nil
+	default:
+		return nil, fmt.Errorf("unsupported destination store %T", dst)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atcpack:", err)
+	os.Exit(1)
+}

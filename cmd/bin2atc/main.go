@@ -1,10 +1,12 @@
 // Command bin2atc compresses a raw trace of 64-bit little-endian values
-// from standard input into an ATC directory, mirroring the example program
-// of the paper's Figure 6.
+// from standard input into an ATC trace — a directory, or a single-file
+// .atc archive with -archive — mirroring the example program of the
+// paper's Figure 6.
 //
 // Usage:
 //
 //	tracegen -model 429.mcf -n 1000000 | bin2atc [flags] <directory>
+//	tracegen -model 429.mcf -n 1000000 | bin2atc -archive [flags] <file.atc>
 //
 // The default mode is lossy ('k' in the paper); pass -lossless for the
 // paper's 'c' mode.
@@ -28,8 +30,9 @@ func main() {
 	segment := flag.Int("segment", 0, "lossless segment length in addresses (default 16Mi; -1 = legacy single chunk)")
 	epsilon := flag.Float64("epsilon", 0, "lossy matching threshold (default 0.1)")
 	workers := flag.Int("workers", 0, "chunk-compression workers (default GOMAXPROCS; 1 = synchronous)")
+	archive := flag.Bool("archive", false, "write a single-file .atc archive instead of a directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bin2atc [flags] <directory>\nreads 64-bit LE values from stdin\n")
+		fmt.Fprintf(os.Stderr, "usage: bin2atc [flags] <directory | -archive file.atc>\nreads 64-bit LE values from stdin\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,7 +64,11 @@ func main() {
 		opts = append(opts, atc.WithWorkers(*workers))
 	}
 
-	w, err := atc.NewWriter(dir, opts...)
+	newWriter := atc.NewWriter
+	if *archive {
+		newWriter = atc.CreateArchive
+	}
+	w, err := newWriter(dir, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -266,3 +266,57 @@ func TestIntegrationDeterministicOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestIntegrationArchiveMatchesDirectory(t *testing.T) {
+	// The PR 3 acceptance bound on a real workload: the archive layout
+	// decodes to the identical stream as the directory layout and costs
+	// less than 1% extra bits per address (header + TOC only).
+	const n = 60_000
+	addrs := generate(t, "429.mcf", n)
+	opts := []atc.Option{
+		atc.WithMode(atc.Lossy), atc.WithIntervalLen(n / 10), atc.WithBufferAddrs(n / 50),
+	}
+	dir := t.TempDir()
+	if _, err := atc.Compress(dir, addrs, opts...); err != nil {
+		t.Fatal(err)
+	}
+	arc := filepath.Join(t.TempDir(), "trace.atc")
+	w, err := atc.CreateArchive(arc, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromDir, err := atc.Decompress(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromArc, err := atc.Decompress(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromDir) != len(fromArc) {
+		t.Fatalf("decode lengths: dir %d, archive %d", len(fromDir), len(fromArc))
+	}
+	for i := range fromDir {
+		if fromDir[i] != fromArc[i] {
+			t.Fatalf("decoded streams diverge at %d", i)
+		}
+	}
+	dirBPA, err := atc.BitsPerAddress(dir, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcBPA, err := atc.BitsPerAddress(arc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overhead := arcBPA/dirBPA - 1; overhead < 0 || overhead > 0.01 {
+		t.Fatalf("archive BPA overhead %.3f%% outside [0%%, 1%%] (dir %.4f, archive %.4f)",
+			overhead*100, dirBPA, arcBPA)
+	}
+}

@@ -3,13 +3,20 @@
 // traces of 64-bit values with a lossless mode ('c' in the paper) and a
 // lossy, phase-based mode ('k').
 //
-// A compressed trace is a directory:
+// A compressed trace is a set of named blobs held in a store.Store — a
+// directory of files (the historical layout), a single-file .atc archive,
+// or memory (see atc/internal/store):
 //
 //	MANIFEST        small plain-text descriptor (version, mode, back end)
 //	INFO.<suffix>   back-end-compressed metadata: parameters and the
 //	                interval record sequence (chunk / imitate+translations)
 //	<n>.<suffix>    chunk n: one interval (lossy) or one segment
 //	                (lossless), bytesort-transformed and back-end-compressed
+//
+// The trace encoding is byte-identical across stores: packing a directory
+// trace into an archive (cmd/atcpack) copies blobs verbatim, and DirStore
+// output matches the pre-store code exactly, so the golden v1/v2 testdata
+// still decodes and re-encodes bit for bit.
 //
 // Two on-disk format versions exist; the MANIFEST "atc <version>" line and
 // the INFO version byte both carry it and must agree:
@@ -38,10 +45,23 @@
 // for one chunk. All phase decisions — the histogram, the table match,
 // chunk numbering and the record sequence — stay on the calling goroutine,
 // so the directory produced with N workers is byte-for-byte identical to
-// the serial (Workers=1) result in both modes. Worker errors are deferred:
+// the serial (Workers=1) result in both modes. (Every blob is also
+// byte-identical inside an archive, but the archive *file* appends blobs
+// in worker completion order, which varies with Workers > 1; the TOC
+// makes that order irrelevant to readers, and Workers=1 — or packing a
+// directory with atcpack — yields a canonical, reproducible archive.)
+// Worker errors are deferred:
 // a failed chunk write surfaces from the next Code/CodeSlice call or, at
 // the latest, from Close. Legacy single-chunk lossless mode (SegmentAddrs
 // < 0) streams with bounded memory and is unaffected by Workers.
+//
+// Chunk buffers recycle through a bounded free list, so a long segmented
+// stream allocates at most Workers + queue + 1 segment buffers total
+// instead of one fresh SegmentAddrs-sized slice per segment. Segmented
+// lossless with Workers=1 runs a single worker behind an unbuffered queue:
+// a double buffer (one segment filling, one compressing) that caps
+// streaming memory at two segment buffers while still overlapping
+// compression with trace production.
 //
 // Decoding mirrors this with a bounded readahead goroutine (see
 // DecodeOptions.Readahead in decode.go) that overlaps back-end
@@ -57,7 +77,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -66,6 +85,7 @@ import (
 	"atc/internal/bytesort"
 	"atc/internal/histogram"
 	"atc/internal/phase"
+	"atc/internal/store"
 	"atc/internal/xcompress"
 )
 
@@ -124,8 +144,10 @@ const (
 	recEnd     = 0
 )
 
-// ErrCorrupt reports a malformed compressed trace.
-var ErrCorrupt = errors.New("atc: corrupt compressed trace")
+// ErrCorrupt reports a malformed compressed trace. It aliases the store
+// package's sentinel, so corruption detected at either layer — a bad
+// archive TOC or a bad trace record — matches the same errors.Is check.
+var ErrCorrupt = store.ErrCorrupt
 
 // ErrUnsupportedVersion reports a compressed trace whose MANIFEST or INFO
 // declares a format version this build does not read. It wraps ErrCorrupt,
@@ -158,10 +180,22 @@ type Options struct {
 	TableCapacity int
 	// Workers is the number of goroutines compressing completed chunks —
 	// lossy intervals and segmented-lossless segments. 0 selects
-	// runtime.GOMAXPROCS(0); 1 compresses every chunk synchronously on the
-	// calling goroutine (the historical behavior). Output is byte-identical
-	// for any worker count; see the package doc.
+	// runtime.GOMAXPROCS(0); 1 compresses lossy chunks synchronously on
+	// the calling goroutine (the historical behavior), while segmented
+	// lossless runs one worker behind an unbuffered queue — a double
+	// buffer capping streaming memory at two segment buffers. Every blob
+	// is byte-identical for any worker count; a directory is therefore
+	// fully reproducible, while an archive file's blob order follows
+	// worker completion with Workers > 1 (see the package doc).
 	Workers int
+	// Store overrides the blob container the trace is written into; when
+	// nil the path passed to Create selects the default — a directory, or
+	// a single-file archive when Archive is set. Close finalizes the
+	// store (an archive's table of contents is written there).
+	Store store.Store
+	// Archive writes the trace as a single-file .atc archive at the path
+	// passed to Create instead of a directory. Ignored when Store is set.
+	Archive bool
 }
 
 func (o *Options) fillDefaults() {
@@ -223,13 +257,18 @@ type Stats struct {
 // Compressor writes an ATC-compressed trace. Create one with Create, feed
 // it with Code/CodeSlice and finish with Close.
 type Compressor struct {
-	dir     string
+	path    string
+	st      store.Store
 	opts    Options
 	backend xcompress.Backend
 
+	// ownStore marks a store Create built itself (from the path); only
+	// those are aborted — removed — when the trace cannot be started.
+	ownStore bool
+
 	// Legacy (version 1) lossless pipeline: one streaming chunk.
 	chunkFile io.WriteCloser
-	chunkBuf  *bufio.Writer
+	chunkWr   *bufio.Writer
 	chunkCW   io.WriteCloser
 	chunkEnc  *bytesort.Encoder
 
@@ -241,19 +280,22 @@ type Compressor struct {
 	table    *phase.Table
 	records  []record
 
-	// Worker pool (lossy mode, Workers > 1). Phase decisions stay on the
-	// calling goroutine; only writeChunk runs on workers, so the on-disk
-	// result is deterministic. The first worker error is latched in werr
-	// and surfaced by the next Code/CodeSlice or by Close.
+	// Worker pool (lossy intervals and segmented-lossless segments).
+	// Phase decisions stay on the calling goroutine; only writeChunk runs
+	// on workers, so the on-disk result is deterministic. The first worker
+	// error is latched in werr and surfaced by the next Code/CodeSlice or
+	// by Close. Finished chunk buffers recycle through freeBufs, bounding
+	// total buffer allocations at Workers + queue + 1.
 	jobs       chan chunkJob
+	freeBufs   chan []uint64
 	workerWG   sync.WaitGroup
 	werrMu     sync.Mutex
 	werr       error
 	hasWerr    atomic.Bool // cheap per-Code check; werr holds the error
 	poolClosed bool
 
-	// createChunkFile is an os.Create seam for fault-injection tests.
-	createChunkFile func(path string) (io.WriteCloser, error)
+	// createChunkFile is a store.Create seam for fault-injection tests.
+	createChunkFile func(name string) (io.WriteCloser, error)
 
 	nextChunk int
 	total     int64
@@ -284,25 +326,45 @@ func (c *Compressor) setWorkerErr(err error) {
 	c.hasWerr.Store(true)
 }
 
-// startWorkers launches the chunk-compression pool. Jobs are buffered one
-// deep per worker so the caller can keep accumulating the next interval
-// while all workers are busy, without unbounded memory growth.
-func (c *Compressor) startWorkers(n int) {
-	c.jobs = make(chan chunkJob, n)
+// startWorkers launches the chunk-compression pool with n workers behind
+// a queue-deep job channel. For N>1 the queue is one deep per worker so
+// the caller can keep accumulating the next interval while all workers are
+// busy; segmented Workers=1 passes queue=0 (an unbuffered handoff), which
+// together with buffer recycling caps the pipeline at exactly two segment
+// buffers — one filling, one compressing.
+func (c *Compressor) startWorkers(n, queue int) {
+	c.jobs = make(chan chunkJob, queue)
+	c.freeBufs = make(chan []uint64, n+queue+1)
 	for i := 0; i < n; i++ {
 		c.workerWG.Add(1)
 		go func() {
 			defer c.workerWG.Done()
 			for job := range c.jobs {
-				if c.workerErr() != nil {
-					continue // drain the queue after a failure
+				if c.workerErr() == nil {
+					if err := c.writeChunk(job.id, job.addrs); err != nil {
+						c.setWorkerErr(err)
+					}
 				}
-				if err := c.writeChunk(job.id, job.addrs); err != nil {
-					c.setWorkerErr(err)
+				// Recycle the buffer (even while draining after a
+				// failure); drop it if the free list is full.
+				select {
+				case c.freeBufs <- job.addrs[:0]:
+				default:
 				}
 			}
 		}()
 	}
+}
+
+// chunkBuf returns a recycled chunk buffer when one is free, or a fresh
+// one with the given capacity.
+func (c *Compressor) chunkBuf(capHint int) []uint64 {
+	select {
+	case buf := <-c.freeBufs:
+		return buf[:0]
+	default:
+	}
+	return make([]uint64, 0, capHint)
 }
 
 // shutdownWorkers closes the job queue, waits for in-flight chunks and
@@ -316,10 +378,10 @@ func (c *Compressor) shutdownWorkers() error {
 	return c.workerErr()
 }
 
-// createChunkFileHook is the default chunk-file creator; fault-injection
+// createChunkFileHook is the default chunk-blob creator; fault-injection
 // tests swap it (or the per-Compressor seam) for a failing implementation.
-var createChunkFileHook = func(path string) (io.WriteCloser, error) {
-	return os.Create(path)
+var createChunkFileHook = func(st store.Store, name string) (io.WriteCloser, error) {
+	return st.Create(name)
 }
 
 // segmentBufCap caps the initial allocation of the segment buffer so a
@@ -327,13 +389,15 @@ var createChunkFileHook = func(path string) (io.WriteCloser, error) {
 // traces that never fill a segment; append growth takes over beyond it.
 const segmentBufCap = 1 << 20
 
-// Create starts a new compressed trace in directory dir (created if
-// needed; it must be empty of ATC files).
-func Create(dir string, opts Options) (*Compressor, error) {
+// Create starts a new compressed trace at path: a directory by default
+// (created if needed; it must be empty of ATC files), a single-file .atc
+// archive when opts.Archive is set, or whatever container opts.Store
+// names (path is then informational only).
+func Create(path string, opts Options) (*Compressor, error) {
 	opts.fillDefaults()
 	// Validate everything that can fail cheaply before touching the
 	// filesystem: an unknown mode or back end must not leave a stray
-	// directory (or an orphan chunk file) behind.
+	// directory or archive file (or an orphan chunk blob) behind.
 	switch opts.Mode {
 	case Lossless, Lossy:
 	default:
@@ -343,22 +407,38 @@ func Create(dir string, opts Options) (*Compressor, error) {
 	if err != nil {
 		return nil, err
 	}
-	madeDir := false
-	if _, err := os.Stat(dir); err != nil {
-		madeDir = true
+	st := opts.Store
+	ownStore := false
+	if st == nil {
+		if opts.Archive {
+			ast, err := store.CreateArchive(path)
+			if err != nil {
+				return nil, err
+			}
+			st = ast
+		} else {
+			ds, err := store.CreateDir(path)
+			if err != nil {
+				return nil, err
+			}
+			st = ds
+		}
+		ownStore = true
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("atc: create dir: %w", err)
-	}
-	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
-		return nil, fmt.Errorf("atc: %s already contains a compressed trace", dir)
+	if b, err := st.Open(manifestName); err == nil {
+		b.Close()
+		return nil, fmt.Errorf("atc: %s already contains a compressed trace", path)
 	}
 	c := &Compressor{
-		dir:             dir,
-		opts:            opts,
-		backend:         backend,
-		nextChunk:       1,
-		createChunkFile: createChunkFileHook,
+		path:      path,
+		st:        st,
+		ownStore:  ownStore,
+		opts:      opts,
+		backend:   backend,
+		nextChunk: 1,
+	}
+	c.createChunkFile = func(name string) (io.WriteCloser, error) {
+		return createChunkFileHook(c.st, name)
 	}
 	switch opts.Mode {
 	case Lossless:
@@ -368,39 +448,50 @@ func Create(dir string, opts Options) (*Compressor, error) {
 				bufCap = segmentBufCap
 			}
 			c.segment = make([]uint64, 0, bufCap)
+			// Workers=1 still runs the pool: an unbuffered handoff to a
+			// single worker double-buffers the stream (see startWorkers).
 			if opts.Workers > 1 {
-				c.startWorkers(opts.Workers)
+				c.startWorkers(opts.Workers, opts.Workers)
+			} else {
+				c.startWorkers(1, 0)
 			}
 		} else if err := c.openLosslessChunk(); err != nil {
-			if madeDir {
-				os.Remove(dir) // only removes it while still empty
-			}
+			c.abortCreate()
 			return nil, err
 		}
 	case Lossy:
 		c.interval = make([]uint64, 0, opts.IntervalLen)
 		c.table = phase.New(opts.TableCapacity, opts.Epsilon)
 		if opts.Workers > 1 {
-			c.startWorkers(opts.Workers)
+			c.startWorkers(opts.Workers, opts.Workers)
 		}
 	}
 	return c, nil
 }
 
-func (c *Compressor) chunkPath(id int) string {
-	return filepath.Join(c.dir, fmt.Sprintf("%d.%s", id, c.opts.Backend))
+// abortCreate undoes store creation after a failed trace start. Only
+// stores Create built itself are aborted; a caller-provided Store is the
+// caller's to clean up.
+func (c *Compressor) abortCreate() {
+	if c.ownStore {
+		store.Abort(c.st)
+	}
+}
+
+func (c *Compressor) chunkName(id int) string {
+	return fmt.Sprintf("%d.%s", id, c.opts.Backend)
 }
 
 func (c *Compressor) openLosslessChunk() error {
-	f, err := c.createChunkFile(c.chunkPath(1))
+	f, err := c.createChunkFile(c.chunkName(1))
 	if err != nil {
 		return fmt.Errorf("atc: %w", err)
 	}
-	c.chunkBuf = bufio.NewWriterSize(f, 1<<16)
-	cw, err := c.backend.NewWriter(c.chunkBuf)
+	c.chunkWr = bufio.NewWriterSize(f, 1<<16)
+	cw, err := c.backend.NewWriter(c.chunkWr)
 	if err != nil {
 		f.Close()
-		os.Remove(c.chunkPath(1))
+		c.st.Remove(c.chunkName(1)) // best effort; uncommitted archive blobs leave nothing
 		return err
 	}
 	c.chunkFile = f
@@ -421,7 +512,7 @@ func (c *Compressor) closeLosslessChunk() error {
 		err = e
 	}
 	if err == nil {
-		err = c.chunkBuf.Flush()
+		err = c.chunkWr.Flush()
 	}
 	if e := c.chunkFile.Close(); err == nil {
 		err = e
@@ -478,14 +569,15 @@ func (c *Compressor) endSegment() error {
 	c.nChunks++
 	c.records = append(c.records, record{tag: recChunk, chunkID: id})
 	if c.jobs != nil {
-		// Hand the buffer itself to the pool and start a fresh one: no
-		// copying of up-to-128 MB segments on the hot path.
+		// Hand the buffer itself to the pool and continue filling a
+		// recycled one: no copying of up-to-128 MB segments on the hot
+		// path, and no fresh allocation once the free list is primed.
 		c.jobs <- chunkJob{id: id, addrs: c.segment}
 		bufCap := c.opts.SegmentAddrs
 		if bufCap > segmentBufCap {
-			bufCap = segmentBufCap
+			bufCap = segmentBufCap // lazily grown by append, as at Create
 		}
-		c.segment = make([]uint64, 0, bufCap)
+		c.segment = c.chunkBuf(bufCap)
 		return nil
 	}
 	if err := c.writeChunk(id, c.segment); err != nil {
@@ -531,9 +623,9 @@ func (c *Compressor) endInterval(final bool) error {
 	c.nextChunk++
 	if c.jobs != nil {
 		// Hand the interval to the pool; the caller's buffer is reused for
-		// the next interval, so the job owns a copy.
-		addrs := make([]uint64, len(c.interval))
-		copy(addrs, c.interval)
+		// the next interval, so the job owns a copy — into a recycled
+		// buffer when one is free.
+		addrs := append(c.chunkBuf(len(c.interval)), c.interval...)
 		c.jobs <- chunkJob{id: id, addrs: addrs}
 	} else if err := c.writeChunk(id, c.interval); err != nil {
 		c.err = err
@@ -550,11 +642,12 @@ func (c *Compressor) endInterval(final bool) error {
 	return nil
 }
 
-// writeChunk stores one interval as a bytesorted, back-end-compressed file.
-// It is called concurrently by pool workers and touches only immutable
-// Compressor fields (dir, opts, backend, createChunkFile).
+// writeChunk stores one interval as a bytesorted, back-end-compressed
+// blob. It is called concurrently by pool workers and touches only
+// immutable Compressor fields (st, opts, backend, createChunkFile); the
+// store's Create is concurrent-safe by contract.
 func (c *Compressor) writeChunk(id int, addrs []uint64) error {
-	f, err := c.createChunkFile(c.chunkPath(id))
+	f, err := c.createChunkFile(c.chunkName(id))
 	if err != nil {
 		return fmt.Errorf("atc: %w", err)
 	}
@@ -588,13 +681,15 @@ func (c *Compressor) writeChunk(id int, addrs []uint64) error {
 	return f.Close()
 }
 
-// Close flushes all state — draining the worker pool first — and writes
-// INFO and MANIFEST (the paper's atc_close). Any deferred chunk-compression
-// error not yet surfaced by Code is returned here. The Compressor cannot be
-// used afterwards.
+// Close flushes all state — draining the worker pool first — writes INFO
+// and MANIFEST (the paper's atc_close) and finalizes the store (a
+// single-file archive writes its table of contents here). Any deferred
+// chunk-compression error not yet surfaced by Code is returned here. The
+// Compressor cannot be used afterwards.
 func (c *Compressor) Close() error {
 	if c.err != nil {
 		c.shutdownWorkers()
+		c.abortCreate()
 		return c.err
 	}
 	if c.closed {
@@ -604,32 +699,43 @@ func (c *Compressor) Close() error {
 	case c.opts.Mode == Lossless && !c.opts.segmented():
 		if err := c.closeLosslessChunk(); err != nil {
 			c.err = err
+			c.abortCreate()
 			return err
 		}
 	case c.opts.Mode == Lossless:
 		if err := c.endSegment(); err != nil {
 			c.shutdownWorkers()
+			c.abortCreate()
 			return err
 		}
 		if err := c.shutdownWorkers(); err != nil {
 			c.err = err
+			c.abortCreate()
 			return err
 		}
 	default:
 		if err := c.endInterval(true); err != nil {
 			c.shutdownWorkers()
+			c.abortCreate()
 			return err
 		}
 		if err := c.shutdownWorkers(); err != nil {
 			c.err = err
+			c.abortCreate()
 			return err
 		}
 	}
 	if err := c.writeInfo(); err != nil {
 		c.err = err
+		c.abortCreate()
 		return err
 	}
 	if err := c.writeManifest(); err != nil {
+		c.err = err
+		c.abortCreate()
+		return err
+	}
+	if err := c.st.Close(); err != nil {
 		c.err = err
 		return err
 	}
@@ -657,11 +763,11 @@ func (c *Compressor) writeManifest() error {
 	fmt.Fprintf(&b, "atc %d\n", c.opts.formatVersion())
 	fmt.Fprintf(&b, "mode %s\n", c.opts.Mode)
 	fmt.Fprintf(&b, "backend %s\n", c.opts.Backend)
-	return os.WriteFile(filepath.Join(c.dir, manifestName), []byte(b.String()), 0o644)
+	return store.WriteBlob(c.st, manifestName, []byte(b.String()))
 }
 
 func (c *Compressor) writeInfo() error {
-	f, err := os.Create(filepath.Join(c.dir, infoBase+"."+c.opts.Backend))
+	f, err := c.st.Create(infoBase + "." + c.opts.Backend)
 	if err != nil {
 		return fmt.Errorf("atc: %w", err)
 	}
@@ -752,33 +858,28 @@ func (iw *infoWriter) flush() error {
 	return iw.w.Flush()
 }
 
-// DirSize sums the sizes of all files in a compressed-trace directory;
-// used to compute bits-per-address figures.
-func DirSize(dir string) (int64, error) {
-	entries, err := os.ReadDir(dir)
+// StoreSize reports the total compressed size of a trace at path — the
+// summed file sizes for a directory trace, the whole file size (header,
+// payloads and TOC) for a single-file archive. It is the numerator of the
+// paper's bits-per-address metric.
+func StoreSize(path string) (int64, error) {
+	fi, err := os.Stat(path)
 	if err != nil {
 		return 0, err
 	}
-	var total int64
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		fi, err := e.Info()
-		if err != nil {
-			return 0, err
-		}
-		total += fi.Size()
+	if !fi.IsDir() {
+		return fi.Size(), nil
 	}
-	return total, nil
+	return store.OpenDir(path).Size()
 }
 
-// BitsPerAddress computes the paper's BPA metric for a compressed trace.
-func BitsPerAddress(dir string, addrs int64) (float64, error) {
+// BitsPerAddress computes the paper's BPA metric for a compressed trace —
+// a directory or a single-file archive.
+func BitsPerAddress(path string, addrs int64) (float64, error) {
 	if addrs <= 0 {
 		return 0, errors.New("atc: nonpositive address count")
 	}
-	size, err := DirSize(dir)
+	size, err := StoreSize(path)
 	if err != nil {
 		return 0, err
 	}

@@ -8,13 +8,13 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 
 	"atc/internal/bytesort"
 	"atc/internal/histogram"
+	"atc/internal/store"
 	"atc/internal/xcompress"
 )
 
@@ -39,6 +39,15 @@ type DecodeOptions struct {
 	// synchronously on the calling goroutine (the historical behavior).
 	// The decoded stream is identical either way.
 	Readahead int
+	// Store overrides the blob container the trace is read from; when nil
+	// the path passed to Open is inspected — a regular file opens as a
+	// single-file .atc archive, anything else as a directory. A
+	// caller-provided Store is not closed by Close.
+	Store store.Store
+	// Archive forces interpreting the path as a single-file archive
+	// (ignored when Store is set): a directory at that path is then an
+	// error rather than a fallback.
+	Archive bool
 }
 
 // DefaultReadahead is the default number of buffered readahead batches.
@@ -57,9 +66,10 @@ type aheadBatch struct {
 
 // Decompressor streams a compressed trace back out (the paper's 'd' mode).
 type Decompressor struct {
-	dir     string
-	opts    DecodeOptions
-	backend xcompress.Backend
+	st       store.Store
+	ownStore bool // opened from a path: Close releases it
+	opts     DecodeOptions
+	backend  xcompress.Backend
 
 	version      int
 	mode         Mode
@@ -75,8 +85,10 @@ type Decompressor struct {
 	// streaming a single chunk file.
 	segmented bool
 
+	storeClosed bool
+
 	// Lossless streaming state.
-	losslessFile *os.File
+	losslessFile io.Closer
 	losslessDec  *bytesort.Decoder
 
 	// Lossy iteration state.
@@ -98,21 +110,46 @@ type Decompressor struct {
 	err error
 }
 
-// Open prepares a compressed trace directory for decoding.
-func Open(dir string, opts DecodeOptions) (*Decompressor, error) {
+// Open prepares a compressed trace for decoding. The path names a trace
+// directory or a single-file .atc archive (detected by a stat, or forced
+// by opts.Archive); opts.Store overrides both with an explicit container.
+func Open(path string, opts DecodeOptions) (*Decompressor, error) {
 	if opts.ChunkCacheSize <= 0 {
 		opts.ChunkCacheSize = 8
 	}
 	if opts.Readahead == 0 {
 		opts.Readahead = DefaultReadahead
 	}
-	d := &Decompressor{dir: dir, opts: opts, cache: map[int][]uint64{}}
-	mi, err := readManifest(filepath.Join(dir, manifestName))
+	st := opts.Store
+	ownStore := false
+	if st == nil {
+		ownStore = true
+		switch fi, err := os.Stat(path); {
+		case opts.Archive, err == nil && !fi.IsDir():
+			ast, err := store.OpenArchive(path)
+			if err != nil {
+				return nil, err
+			}
+			st = ast
+		default:
+			// Directory, or missing path: the directory store reports the
+			// latter as a missing MANIFEST, the historical error shape.
+			st = store.OpenDir(path)
+		}
+	}
+	d := &Decompressor{st: st, ownStore: ownStore, opts: opts, cache: map[int][]uint64{}}
+	closeStore := func() {
+		if ownStore {
+			st.Close()
+		}
+	}
+	mi, err := readManifest(st)
 	if err != nil {
 		// A Backend override exists precisely to recover traces with a
 		// damaged or missing MANIFEST; the version is then taken from the
 		// INFO stream alone. Unsupported versions are never tolerated.
 		if opts.Backend == "" || errors.Is(err, ErrUnsupportedVersion) {
+			closeStore()
 			return nil, err
 		}
 		mi = manifestInfo{version: 0}
@@ -123,15 +160,18 @@ func Open(dir string, opts DecodeOptions) (*Decompressor, error) {
 	}
 	backend, err := xcompress.Lookup(backendName)
 	if err != nil {
+		closeStore()
 		return nil, err
 	}
 	d.backend = backend
 	if err := d.readInfo(backendName, mi.version); err != nil {
+		closeStore()
 		return nil, err
 	}
 	d.segmented = d.mode == Lossless && d.version >= infoVersion2
 	if d.mode == Lossless && !d.segmented {
 		if err := d.openLossless(backendName); err != nil {
+			closeStore()
 			return nil, err
 		}
 	}
@@ -279,8 +319,8 @@ type manifestInfo struct {
 // readManifest parses the plain-text MANIFEST, including the "atc
 // <version>" line the decoder historically ignored: a trace written by a
 // future format must be rejected up front, not silently mis-decoded.
-func readManifest(path string) (manifestInfo, error) {
-	data, err := os.ReadFile(path)
+func readManifest(st store.Store) (manifestInfo, error) {
+	data, err := store.ReadBlob(st, manifestName)
 	if err != nil {
 		return manifestInfo{}, fmt.Errorf("%w: missing MANIFEST: %v", ErrCorrupt, err)
 	}
@@ -336,7 +376,7 @@ func readCount(r *bufio.Reader, what string) (int64, error) {
 // readInfo parses the INFO stream. wantVersion is the version declared by
 // MANIFEST (0 = unknown, under a Backend override); the two must agree.
 func (d *Decompressor) readInfo(backendName string, wantVersion int) error {
-	f, err := os.Open(filepath.Join(d.dir, infoBase+"."+backendName))
+	f, err := d.st.Open(infoBase + "." + backendName)
 	if err != nil {
 		return fmt.Errorf("%w: missing INFO: %v", ErrCorrupt, err)
 	}
@@ -443,12 +483,12 @@ func (d *Decompressor) readInfo(backendName string, wantVersion int) error {
 	}
 }
 
-func (d *Decompressor) chunkPath(id int) string {
-	return filepath.Join(d.dir, fmt.Sprintf("%d.%s", id, d.backend.Name()))
+func (d *Decompressor) chunkName(id int) string {
+	return fmt.Sprintf("%d.%s", id, d.backend.Name())
 }
 
 func (d *Decompressor) openLossless(backendName string) error {
-	f, err := os.Open(d.chunkPath(1))
+	f, err := d.st.Open(d.chunkName(1))
 	if err != nil {
 		return fmt.Errorf("%w: missing chunk 1: %v", ErrCorrupt, err)
 	}
@@ -631,11 +671,13 @@ func (d *Decompressor) materializeInterval(rec record) ([]uint64, error) {
 	}
 }
 
-// readChunkFile decompresses one chunk file into addresses. It touches
-// only immutable Decompressor state (dir, backend), so segmented-lossless
-// decode goroutines call it concurrently.
+// readChunkFile decompresses one chunk blob into addresses. It touches
+// only immutable Decompressor state (st, backend), so segmented-lossless
+// decode goroutines call it concurrently: each holds its own Blob, and an
+// archive store serves them from one shared io.ReaderAt with no per-chunk
+// open(2).
 func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
-	f, err := os.Open(d.chunkPath(id))
+	f, err := d.st.Open(d.chunkName(id))
 	if err != nil {
 		return nil, fmt.Errorf("%w: missing chunk %d: %v", ErrCorrupt, id, err)
 	}
@@ -674,7 +716,9 @@ func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
 	return addrs, nil
 }
 
-// Close stops the readahead goroutine (if any) and releases open files.
+// Close stops the readahead goroutine (if any) and releases open blobs,
+// plus the store itself when Open built it from a path. A caller-provided
+// DecodeOptions.Store stays open for further use.
 func (d *Decompressor) Close() error {
 	if d.ahead != nil {
 		close(d.aheadStop)
@@ -690,17 +734,28 @@ func (d *Decompressor) Close() error {
 			d.err = errors.New("atc: decode after close")
 		}
 	}
+	var err error
 	if d.losslessFile != nil {
-		err := d.losslessFile.Close()
+		err = d.losslessFile.Close()
 		d.losslessFile = nil
-		return err
 	}
-	return nil
+	if d.ownStore && !d.storeClosed {
+		d.storeClosed = true
+		if e := d.st.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
 }
 
-// ReadTrace is a convenience helper decoding an entire compressed trace.
-func ReadTrace(dir string) ([]uint64, error) {
-	d, err := Open(dir, DecodeOptions{})
+// Store exposes the blob container the trace is being read from, for
+// tooling (atcinfo's per-blob listing).
+func (d *Decompressor) Store() store.Store { return d.st }
+
+// ReadTrace is a convenience helper decoding an entire compressed trace —
+// a directory or a single-file archive.
+func ReadTrace(path string) ([]uint64, error) {
+	d, err := Open(path, DecodeOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -709,8 +764,8 @@ func ReadTrace(dir string) ([]uint64, error) {
 }
 
 // WriteTrace is a convenience helper compressing an in-memory trace.
-func WriteTrace(dir string, addrs []uint64, opts Options) (Stats, error) {
-	c, err := Create(dir, opts)
+func WriteTrace(path string, addrs []uint64, opts Options) (Stats, error) {
+	c, err := Create(path, opts)
 	if err != nil {
 		return Stats{}, err
 	}

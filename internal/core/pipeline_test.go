@@ -144,20 +144,30 @@ func TestWorkersLosslessRoundTripExact(t *testing.T) {
 	}
 }
 
-// failingChunkFS fails every chunk-file create after the first `allowed`.
-// Workers call create concurrently, so the counter is atomic.
+// failingChunkFS fails every chunk-blob create after the first `allowed`,
+// passing allowed creates through to the compressor's store. Workers call
+// create concurrently, so the counter is atomic.
 type failingChunkFS struct {
 	allowed int64
 	created atomic.Int64
+	inner   func(name string) (io.WriteCloser, error)
 }
 
 var errInjected = errors.New("injected chunk-write failure")
 
-func (f *failingChunkFS) create(path string) (io.WriteCloser, error) {
+func (f *failingChunkFS) create(name string) (io.WriteCloser, error) {
 	if f.created.Add(1) > f.allowed {
 		return nil, errInjected
 	}
-	return os.Create(path)
+	return f.inner(name)
+}
+
+// injectChunkFailures swaps the compressor's chunk-blob creator for one
+// that fails after `allowed` successful creates.
+func injectChunkFailures(c *Compressor, allowed int64) *failingChunkFS {
+	fs := &failingChunkFS{allowed: allowed, inner: c.st.Create}
+	c.createChunkFile = fs.create
+	return fs
 }
 
 func TestCloseSurfacesWorkerError(t *testing.T) {
@@ -166,8 +176,7 @@ func TestCloseSurfacesWorkerError(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fs := &failingChunkFS{allowed: 1}
-		c.createChunkFile = fs.create
+		injectChunkFailures(c, 1)
 		addrs := phasedTrace(6, 1000)
 		// The failure is asynchronous: it may surface from a CodeSlice that
 		// completes a later interval, or only from Close.
@@ -188,8 +197,7 @@ func TestCodeSurfacesDeferredWorkerError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs := &failingChunkFS{allowed: 0}
-	c.createChunkFile = fs.create
+	injectChunkFailures(c, 0)
 	addrs := phasedTrace(40, 500)
 	var sawErr error
 	for _, a := range addrs {

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"atc/internal/store"
 )
 
 // splitmix64 mirrors the generator that produced the checked-in v1 golden
@@ -491,7 +493,7 @@ func TestCreateUnknownBackendLeavesNoDirectory(t *testing.T) {
 
 func TestCreateChunkFailureCleansUpDirectory(t *testing.T) {
 	orig := createChunkFileHook
-	createChunkFileHook = func(path string) (io.WriteCloser, error) {
+	createChunkFileHook = func(st store.Store, name string) (io.WriteCloser, error) {
 		return nil, errInjected
 	}
 	defer func() { createChunkFileHook = orig }()
@@ -507,7 +509,7 @@ func TestCreateChunkFailureCleansUpDirectory(t *testing.T) {
 
 func TestCreateChunkFailureKeepsExistingDirectory(t *testing.T) {
 	orig := createChunkFileHook
-	createChunkFileHook = func(path string) (io.WriteCloser, error) {
+	createChunkFileHook = func(st store.Store, name string) (io.WriteCloser, error) {
 		return nil, errInjected
 	}
 	defer func() { createChunkFileHook = orig }()
@@ -552,7 +554,7 @@ func (w *failAfterWriter) Close() error {
 func TestLosslessCloseFailureClosesChunkFile(t *testing.T) {
 	orig := createChunkFileHook
 	fw := &failAfterWriter{limit: 0} // the first flushed byte fails
-	createChunkFileHook = func(path string) (io.WriteCloser, error) {
+	createChunkFileHook = func(st store.Store, name string) (io.WriteCloser, error) {
 		return fw, nil
 	}
 	defer func() { createChunkFileHook = orig }()
@@ -581,8 +583,7 @@ func TestSegmentedCloseSurfacesWorkerError(t *testing.T) {
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		fs := &failingChunkFS{allowed: 1}
-		c.createChunkFile = fs.create
+		injectChunkFailures(c, 1)
 		addrs := randomTrace(t, 25, 3000)
 		codeErr := c.CodeSlice(addrs)
 		closeErr := c.Close()

@@ -14,9 +14,11 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 
 	"atc/internal/bytesort"
+	"atc/internal/core"
 	"atc/internal/trace"
 	"atc/internal/workload"
 	"atc/internal/xcompress"
@@ -44,6 +46,35 @@ var Workers int
 // no-op comparison). All other experiments compress lossily and ignore it.
 // cmd/atcbench exposes it as -segment.
 var SegmentAddrs int
+
+// Archive routes every experiment's compressed traces into single-file
+// .atc archives instead of directories, exercising the archive store end
+// to end; BPA figures then include the archive header and table of
+// contents, so a large divergence from the directory numbers would flag
+// container overhead. cmd/atcbench exposes it as -archive.
+var Archive bool
+
+// tempTrace returns a fresh destination path for one compressed trace —
+// a temp directory or, when Archive is set, an empty temp .atc file that
+// the archive writer adopts. os.RemoveAll on the returned path cleans up
+// either layout.
+func tempTrace(pattern string) (string, error) {
+	if !Archive {
+		return os.MkdirTemp("", pattern)
+	}
+	f, err := os.CreateTemp("", pattern+"-*.atc")
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), f.Close()
+}
+
+// writeTrace compresses addrs at path in the layout tempTrace chose for
+// it, threading the experiment-wide Archive knob into opts.
+func writeTrace(path string, addrs []uint64, opts core.Options) (core.Stats, error) {
+	opts.Archive = Archive
+	return core.WriteTrace(path, addrs, opts)
+}
 
 // TraceCache memoises generated traces so multi-column experiments
 // generate each workload once. It is safe for concurrent use.

@@ -15,12 +15,12 @@ import (
 // back, returning the approximate trace, the compression stats, and
 // optionally the translation-disabled decode (Figure 4).
 func lossyRoundTrip(addrs []uint64, intervalLen, bufferAddrs int, eps float64, backend string, alsoNoTranslation bool) (approx, noTrans []uint64, stats core.Stats, err error) {
-	dir, err := os.MkdirTemp("", "atc-fig")
+	dir, err := tempTrace("atc-fig")
 	if err != nil {
 		return nil, nil, core.Stats{}, err
 	}
 	defer os.RemoveAll(dir)
-	stats, err = core.WriteTrace(dir, addrs, core.Options{
+	stats, err = writeTrace(dir, addrs, core.Options{
 		Workers:     Workers,
 		Mode:        core.Lossy,
 		Backend:     backend,
@@ -464,12 +464,12 @@ func RunFigure8(cfg Figure8Config) (*Figure8Result, error) {
 	for i := range addrs {
 		addrs[i] = rng.next()
 	}
-	dir, err := os.MkdirTemp("", "atc-fig8")
+	dir, err := tempTrace("atc-fig8")
 	if err != nil {
 		return nil, err
 	}
 	defer os.RemoveAll(dir)
-	stats, err := core.WriteTrace(dir, addrs, core.Options{
+	stats, err := writeTrace(dir, addrs, core.Options{
 		Workers:     Workers,
 		Mode:        core.Lossy,
 		Backend:     cfg.Backend,
@@ -479,7 +479,7 @@ func RunFigure8(cfg Figure8Config) (*Figure8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	size, err := core.DirSize(dir)
+	size, err := core.StoreSize(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -589,11 +589,11 @@ func RunLongTrace(cfg LongTraceConfig, tc *TraceCache) (*LongTraceResult, error)
 		if err != nil {
 			return nil, err
 		}
-		dir, err := os.MkdirTemp("", "atc-long")
+		dir, err := tempTrace("atc-long")
 		if err != nil {
 			return nil, err
 		}
-		stats, err := core.WriteTrace(dir, addrs, core.Options{
+		stats, err := writeTrace(dir, addrs, core.Options{
 			Workers:     Workers,
 			Mode:        core.Lossy,
 			Backend:     cfg.Backend,

@@ -76,11 +76,11 @@ func RunEpsilonSweep(cfg EpsilonSweepConfig, tc *TraceCache) (*EpsilonSweepResul
 	exactFoot := Footprint(exact)
 	res := &EpsilonSweepResult{Config: cfg}
 	for _, eps := range cfg.Epsilons {
-		dir, err := os.MkdirTemp("", "atc-eps")
+		dir, err := tempTrace("atc-eps")
 		if err != nil {
 			return nil, err
 		}
-		stats, err := core.WriteTrace(dir, exact, core.Options{
+		stats, err := writeTrace(dir, exact, core.Options{
 			Workers:     Workers,
 			Mode:        core.Lossy,
 			Backend:     cfg.Backend,
@@ -198,11 +198,11 @@ func RunIntervalSweep(cfg IntervalSweepConfig, tc *TraceCache) (*IntervalSweepRe
 		if err != nil {
 			return nil, err
 		}
-		dir, err := os.MkdirTemp("", "atc-lsweep")
+		dir, err := tempTrace("atc-lsweep")
 		if err != nil {
 			return nil, err
 		}
-		if _, err := core.WriteTrace(dir, exact, core.Options{
+		if _, err := writeTrace(dir, exact, core.Options{
 			Workers: Workers,
 			Mode:    core.Lossy, Backend: cfg.Backend,
 			IntervalLen: L, BufferAddrs: buf, Epsilon: cfg.Epsilon,
@@ -393,11 +393,11 @@ func RunHistorySweep(cfg HistorySweepConfig, tc *TraceCache) (*HistorySweepResul
 	}
 	res := &HistorySweepResult{Config: cfg}
 	for _, capn := range cfg.Capacities {
-		dir, err := os.MkdirTemp("", "atc-hist")
+		dir, err := tempTrace("atc-hist")
 		if err != nil {
 			return nil, err
 		}
-		stats, err := core.WriteTrace(dir, exact, core.Options{
+		stats, err := writeTrace(dir, exact, core.Options{
 			Workers:       Workers,
 			Mode:          core.Lossy,
 			Backend:       cfg.Backend,
@@ -505,11 +505,11 @@ func RunSegmentSweep(cfg SegmentSweepConfig, tc *TraceCache) (*SegmentSweepResul
 		if seg == 0 {
 			continue // 0 would silently mean "library default"; keep points explicit
 		}
-		dir, err := os.MkdirTemp("", "atc-segsweep")
+		dir, err := tempTrace("atc-segsweep")
 		if err != nil {
 			return nil, err
 		}
-		stats, err := core.WriteTrace(dir, exact, core.Options{
+		stats, err := writeTrace(dir, exact, core.Options{
 			Workers:      Workers,
 			Mode:         core.Lossless,
 			Backend:      cfg.Backend,

@@ -95,11 +95,11 @@ func RunTable3(cfg Table3Config, tc *TraceCache) (*Table3Result, error) {
 		row.Lossless = bpa(int64(len(blob)), len(addrs))
 
 		// Lossy: the full ATC pipeline into a directory.
-		dir, err := os.MkdirTemp("", "atc-table3")
+		dir, err := tempTrace("atc-table3")
 		if err != nil {
 			return nil, err
 		}
-		stats, err := core.WriteTrace(dir, addrs, core.Options{
+		stats, err := writeTrace(dir, addrs, core.Options{
 			Workers:     Workers,
 			Mode:        core.Lossy,
 			Backend:     cfg.Backend,

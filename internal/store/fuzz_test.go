@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzTOC throws arbitrary bytes at the archive opener — which parses the
+// header, footer and table of contents — and, when a mutated archive still
+// opens, at every blob read. The invariant is the corrupt-input contract
+// of the whole decoder stack: any outcome is either success or an error
+// (ErrCorrupt for structural damage), never a panic, a hang, or an
+// out-of-bounds read.
+//
+// CI runs this for a short smoke window (go test -fuzz=FuzzTOC
+// -fuzztime=10s ./internal/store); the corpus seeds cover a valid archive,
+// an empty one, and each structural region so mutations start near the
+// interesting boundaries.
+func FuzzTOC(f *testing.F) {
+	// Seed 1: a realistic archive with several blobs.
+	valid := buildSeedArchive(f, map[string][]byte{
+		"MANIFEST": []byte("atc 1\nmode lossless\nbackend store\n"),
+		"INFO.bsc": bytes.Repeat([]byte{7, 0, 9}, 50),
+		"1.bsc":    bytes.Repeat([]byte{0xFE}, 300),
+		"2.bsc":    {},
+	})
+	f.Add(valid)
+	// Seed 2: the smallest valid archive (no blobs).
+	f.Add(buildSeedArchive(f, nil))
+	// Seed 3-5: structurally truncated variants.
+	f.Add(valid[:archiveHeaderLen])
+	f.Add(valid[:len(valid)-archiveFooterLen])
+	f.Add(valid[:len(valid)-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := OpenArchiveReaderAt(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			// Every rejection must carry the corruption sentinel so
+			// callers can distinguish damage from I/O trouble.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open rejected input without ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// The TOC validated: every listed blob must be readable to its
+		// declared size or fail cleanly with a CRC error.
+		names, err := s.List()
+		if err != nil {
+			t.Fatalf("List on opened archive: %v", err)
+		}
+		for _, name := range names {
+			b, err := s.Open(name)
+			if err != nil {
+				t.Fatalf("Open(%q) on validated TOC: %v", name, err)
+			}
+			got, err := io.ReadAll(b)
+			if err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("blob %q read: %v", name, err)
+			}
+			if err == nil && int64(len(got)) != b.Size() {
+				t.Fatalf("blob %q: read %d bytes, Size says %d", name, len(got), b.Size())
+			}
+			b.Close()
+		}
+	})
+}
+
+func buildSeedArchive(f *testing.F, blobs map[string][]byte) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "seed.atc")
+	s, err := CreateArchive(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for name, data := range blobs {
+		if err := WriteBlob(s, name, data); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
