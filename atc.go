@@ -69,9 +69,26 @@
 // decompress up to WithReadahead segments concurrently and deliver them in
 // order. Reader.Close stops the readahead goroutines, so it must be called
 // even on early abandonment.
+//
+// # Random access
+//
+// Decoding is driven by a chunk index built at open — a table mapping
+// every interval/segment record to its absolute address range and backing
+// chunk — so a Reader is not just a forward stream: Reader.Seek
+// repositions it to any trace position, Reader.DecodeRange returns the
+// addresses of an arbitrary window [from, to) while decompressing only
+// the chunks overlapping it, and Reader.ReadAddrsAt offers the same as an
+// io.ReaderAt-style call in address units. On lossy and segmented
+// lossless traces these are O(chunks touched); the legacy v1 single-chunk
+// lossless layout supports them too, by streaming from the nearest known
+// position. cmd/atcserve serves this capability over HTTP from a
+// directory, archive, or memory store.
 package atc
 
 import (
+	"fmt"
+	"io"
+
 	"atc/internal/core"
 	"atc/internal/store"
 )
@@ -339,6 +356,112 @@ func (r *Reader) SegmentAddrs() int { return r.d.SegmentAddrs() }
 
 // TotalAddrs reports the stored trace length.
 func (r *Reader) TotalAddrs() int64 { return r.d.TotalAddrs() }
+
+// IntervalLen reports the stored interval length L in addresses (lossy
+// traces; 0 is never written, but lossless traces carry the default).
+func (r *Reader) IntervalLen() int { return r.d.IntervalLen() }
+
+// Epsilon reports the stored lossy matching threshold ε.
+func (r *Reader) Epsilon() float64 { return r.d.Epsilon() }
+
+// Records reports the number of interval records (lossy traces) or
+// segment records (segmented lossless traces); legacy lossless traces
+// have exactly one.
+func (r *Reader) Records() int { return r.d.Records() }
+
+// ChunkSpan is one entry of a trace's chunk index: the trace positions
+// [Start, End) decode from chunk ChunkID, directly or (Imitation) as a
+// byte-translated replay of that source chunk.
+type ChunkSpan = core.ChunkSpan
+
+// ChunkIndex returns a copy of the chunk index built at open: one entry
+// per record, in trace order. It is the map Seek and DecodeRange navigate
+// by, and what atcinfo -chunks prints.
+func (r *Reader) ChunkIndex() []ChunkSpan { return r.d.ChunkIndex() }
+
+// ChunkReads reports how many chunk blobs this Reader has decompressed so
+// far (chunk-cache hits do not count) — an observability hook for serving
+// tiers and for tests asserting that range decodes touch only the chunks
+// they must.
+func (r *Reader) ChunkReads() int64 { return r.d.ChunkReads() }
+
+// Position reports the absolute trace position, in addresses, of the next
+// value Decode will return.
+func (r *Reader) Position() int64 { return r.d.Position() }
+
+// Seek repositions the stream so the next Decode returns the address at
+// the given trace position. It implements the io.Seeker signature with
+// offsets measured in addresses, not bytes: io.SeekStart is relative to
+// the trace start, io.SeekCurrent to Position(), io.SeekEnd to
+// TotalAddrs(). The resulting position must lie in [0, TotalAddrs()] —
+// seeking past either end is an error (position TotalAddrs() itself is
+// allowed; the next Decode then returns io.EOF). Seeking backwards is
+// supported in every format; on lossy and segmented traces a seek costs
+// at most one chunk decode, while legacy v1 lossless traces re-stream
+// from the start when seeking backwards. Seek clears a pending io.EOF,
+// so a Reader can be rewound and decoded again.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.d.Position()
+	case io.SeekEnd:
+		base = r.d.TotalAddrs()
+	default:
+		return r.d.Position(), fmt.Errorf("atc: invalid seek whence %d", whence)
+	}
+	if err := r.d.SeekTo(base + offset); err != nil {
+		return r.d.Position(), err
+	}
+	return r.d.Position(), nil
+}
+
+// DecodeRange decodes the addresses at trace positions [from, to) —
+// byte-for-byte the slice DecodeAll would have produced there —
+// decompressing only the chunks overlapping the window. Touched chunks
+// are pinned in the chunk cache (WithChunkCache), so a hot working set of
+// ranges is served from memory. The streaming position is unaffected.
+func (r *Reader) DecodeRange(from, to int64) ([]uint64, error) {
+	return r.d.DecodeRange(from, to)
+}
+
+// DecodeRangeAppend is DecodeRange into a caller-provided buffer: the
+// window's addresses are appended to dst and the extended slice
+// returned, so a serving loop reusing one buffer pays no per-request
+// window allocation.
+func (r *Reader) DecodeRangeAppend(dst []uint64, from, to int64) ([]uint64, error) {
+	return r.d.DecodeRangeAppend(dst, from, to)
+}
+
+// ReadAddrsAt fills p with the addresses starting at trace position off —
+// io.ReaderAt semantics in address units: it returns the number of
+// addresses read and io.EOF when the trace ends before p is full. The
+// window decodes directly into p, so a reused caller buffer costs no
+// per-call window allocation.
+func (r *Reader) ReadAddrsAt(p []uint64, off int64) (int, error) {
+	total := r.d.TotalAddrs()
+	if off < 0 || off > total {
+		return 0, fmt.Errorf("atc: read at %d outside trace [0, %d]", off, total)
+	}
+	end := off + int64(len(p))
+	if end > total {
+		end = total
+	}
+	got, err := r.d.DecodeRangeAppend(p[:0], off, end)
+	n := len(got)
+	if n > 0 && &got[0] != &p[0] {
+		n = copy(p, got) // unreachable while cap(p[:0]) covers the window
+	}
+	if err != nil {
+		return n, err
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
 
 // Close releases open files.
 func (r *Reader) Close() error { return r.d.Close() }

@@ -526,3 +526,109 @@ func benchmarkSegmentedArchiveDecode(b *testing.B, readahead int) {
 
 func BenchmarkSegmentedArchiveDecodeSync(b *testing.B)       { benchmarkSegmentedArchiveDecode(b, -1) }
 func BenchmarkSegmentedArchiveDecodeReadahead4(b *testing.B) { benchmarkSegmentedArchiveDecode(b, 4) }
+
+// --- random access: DecodeRange over the chunk index (PR 4) ---
+
+// rangeBenchTrace writes the segmented benchmark workload as a directory
+// or a single-file archive and returns its path.
+func rangeBenchTrace(b *testing.B, archive bool) string {
+	addrs := segmentedBenchTrace(b)
+	dir, err := os.MkdirTemp("", "atc-rangebench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	opts := []atc.Option{
+		atc.WithMode(atc.Lossless),
+		atc.WithSegmentAddrs(segBenchAddrs),
+		atc.WithBufferAddrs(segBenchAddrs / 10),
+	}
+	if !archive {
+		if _, err := atc.Compress(dir, addrs, opts...); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	path := filepath.Join(dir, "t.atc")
+	w, err := atc.CreateArchive(path, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// benchmarkDecodeRange measures one mid-trace window per iteration. Cold
+// reopens the Reader every time (every chunk decompresses from the
+// store); warm reuses one Reader, so after the first iteration the
+// window is served from the chunk cache.
+func benchmarkDecodeRange(b *testing.B, archive, warm bool) {
+	path := rangeBenchTrace(b, archive)
+	// A window straddling two segments, mid-trace.
+	from := int64(segBenchAddrs*3 - segBenchAddrs/2)
+	to := from + segBenchAddrs
+	var persistent *atc.Reader
+	if warm {
+		r, err := atc.NewReader(path, atc.WithReadahead(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		persistent = r
+	}
+	b.SetBytes((to - from) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := persistent
+		if !warm {
+			var err error
+			r, err = atc.NewReader(path, atc.WithReadahead(-1))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		got, err := r.DecodeRange(from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int64(len(got)) != to-from {
+			b.Fatalf("range returned %d addrs, want %d", len(got), to-from)
+		}
+		if !warm {
+			r.Close()
+		}
+	}
+}
+
+func BenchmarkDecodeRangeDirCold(b *testing.B)     { benchmarkDecodeRange(b, false, false) }
+func BenchmarkDecodeRangeDirWarm(b *testing.B)     { benchmarkDecodeRange(b, false, true) }
+func BenchmarkDecodeRangeArchiveCold(b *testing.B) { benchmarkDecodeRange(b, true, false) }
+func BenchmarkDecodeRangeArchiveWarm(b *testing.B) { benchmarkDecodeRange(b, true, true) }
+
+// BenchmarkDecodeRangeVsFullDecode quantifies the point of the chunk
+// index: fetching one two-segment window without decoding the rest of
+// the trace, versus what a front-to-back consumer would pay.
+func BenchmarkDecodeRangeVsFullDecode(b *testing.B) {
+	path := rangeBenchTrace(b, true)
+	from := int64(segBenchAddrs*3 - segBenchAddrs/2)
+	to := from + segBenchAddrs
+	b.SetBytes((to - from) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := atc.OpenArchive(path, atc.WithReadahead(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		all, err := r.DecodeAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = all[from:to]
+		r.Close()
+	}
+}

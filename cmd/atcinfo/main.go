@@ -1,10 +1,13 @@
 // Command atcinfo inspects a compressed trace — a directory or a
 // single-file .atc archive, auto-detected: mode, parameters, record mix,
-// per-blob sizes and the effective bits per address.
+// per-blob sizes and the effective bits per address. With -chunks it
+// prints the chunk index the decoder navigates by: every record's
+// absolute address range, its backing chunk (the source chunk for lossy
+// imitations) and the compressed blob size.
 //
 // Usage:
 //
-//	atcinfo <directory | file.atc>
+//	atcinfo [-chunks] <directory | file.atc>
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 
 func main() {
 	archive := flag.Bool("archive", false, "require a single-file .atc archive (no directory fallback)")
+	chunks := flag.Bool("chunks", false, "list the chunk index: per record, its address range, backing chunk and compressed size")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: atcinfo [flags] <directory | file.atc>\n")
 		flag.PrintDefaults()
@@ -83,5 +87,31 @@ func main() {
 		}
 		fmt.Printf("  %-16s %12d bytes\n", name, b.Size())
 		b.Close()
+	}
+	if *chunks {
+		printChunkIndex(d)
+	}
+}
+
+// printChunkIndex lists the decoder's chunk index: one line per record
+// with its address range, backing chunk blob (shared by imitations) and
+// the blob's compressed size.
+func printChunkIndex(d *core.Decompressor) {
+	fmt.Println("chunk index:")
+	fmt.Printf("  %-6s %-26s %-9s %-10s %s\n", "#", "[start, end)", "chunk", "kind", "compressed")
+	st := d.Store()
+	for i, sp := range d.ChunkIndex() {
+		kind := "chunk"
+		if sp.Imitation {
+			kind = "imitation"
+		}
+		size := "-"
+		if b, err := st.Open(d.ChunkBlobName(sp.ChunkID)); err == nil {
+			size = fmt.Sprintf("%d bytes", b.Size())
+			b.Close()
+		}
+		fmt.Printf("  %-6d [%d, %d)%*s %-9d %-10s %s\n",
+			i, sp.Start, sp.End, max(0, 24-len(fmt.Sprintf("[%d, %d)", sp.Start, sp.End))), "",
+			sp.ChunkID, kind, size)
 	}
 }

@@ -1,0 +1,391 @@
+// Command atcserve is an HTTP daemon serving random-access reads over
+// compressed address traces — the serving tier the chunk-index decoder
+// and the archive store's O(1) blob lookup were built for. Each trace
+// (a directory, a single-file .atc archive, or an archive loaded into
+// memory with -mem) is registered under its base name and served through
+// a pool of pre-opened Readers, so concurrent range requests never share
+// decoder state while sharing one open store per trace.
+//
+// Usage:
+//
+//	atcserve [-addr :8405] [-readers 4] [-mem] <trace>...
+//
+// Endpoints:
+//
+//	GET /traces                          JSON list of the served traces
+//	GET /traces/{name}/meta              JSON metadata (?index=1 adds the
+//	                                     chunk index)
+//	GET /traces/{name}/addrs?from=&to=   the addresses at trace positions
+//	                                     [from, to): raw 64-bit
+//	                                     little-endian values by default
+//	                                     (the bin2atc/atc2bin wire format),
+//	                                     or JSON with ?format=json
+//
+// Example session:
+//
+//	tracegen -model 429.mcf -n 1000000 | bin2atc -archive -lossless mcf.atc
+//	atcserve mcf.atc &
+//	curl localhost:8405/traces/mcf/meta
+//	curl "localhost:8405/traces/mcf/addrs?from=500000&to=500100&format=json"
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"atc"
+	"atc/internal/store"
+	"atc/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8405", "listen address")
+	readers := flag.Int("readers", 4, "pooled readers per trace (max concurrent range decodes)")
+	cache := flag.Int("cache", 0, "decompressed-chunk cache size per reader (default 8)")
+	mem := flag.Bool("mem", false, "load .atc archives fully into memory and serve from RAM")
+	maxRange := flag.Int64("max-range", 16<<20, "largest [from, to) window served per request, in addresses")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: atcserve [flags] <directory | file.atc>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := &server{pools: map[string]*tracePool{}, maxRange: *maxRange}
+	for _, path := range flag.Args() {
+		name := traceName(path)
+		if _, dup := srv.pools[name]; dup {
+			log.Fatalf("atcserve: duplicate trace name %q (from %s)", name, path)
+		}
+		pool, err := openTrace(name, path, *mem, *readers, *cache)
+		if err != nil {
+			log.Fatalf("atcserve: %s: %v", path, err)
+		}
+		srv.pools[name] = pool
+		log.Printf("serving %q: %s, %d addresses, %d records (%s)",
+			name, pool.meta.Mode, pool.meta.TotalAddrs, pool.meta.Records, path)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+	select {
+	case err := <-errc:
+		log.Fatalf("atcserve: %v", err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// release every pooled reader and its backing store.
+	log.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("atcserve: shutdown: %v", err)
+	}
+	for _, pool := range srv.pools {
+		pool.close()
+	}
+}
+
+// traceName derives the registration name from a path: the base name,
+// with a .atc extension stripped.
+func traceName(path string) string {
+	name := filepath.Base(filepath.Clean(path))
+	return strings.TrimSuffix(name, ".atc")
+}
+
+// traceMeta is the JSON shape of GET /traces/{name}/meta.
+type traceMeta struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"`
+	FormatVersion int     `json:"formatVersion"`
+	TotalAddrs    int64   `json:"totalAddrs"`
+	Records       int     `json:"records"`
+	Chunks        int     `json:"chunks"`
+	IntervalLen   int     `json:"intervalLen,omitempty"`
+	SegmentAddrs  int     `json:"segmentAddrs,omitempty"`
+	Epsilon       float64 `json:"epsilon,omitempty"`
+}
+
+// indexEntry is the JSON shape of one chunk-index span (?index=1).
+type indexEntry struct {
+	Start     int64 `json:"start"`
+	End       int64 `json:"end"`
+	ChunkID   int   `json:"chunkId"`
+	Imitation bool  `json:"imitation,omitempty"`
+}
+
+// tracePool serves one trace: a shared open store plus a fixed pool of
+// Readers. A request borrows a Reader for the duration of its decode, so
+// at most cap(readers) range decodes run concurrently per trace and no
+// decoder state is ever shared between requests.
+type tracePool struct {
+	name    string
+	meta    traceMeta
+	index   []atc.ChunkSpan
+	st      atc.Store
+	readers chan *atc.Reader
+}
+
+// openTrace opens the store once (directory, archive, or archive bytes in
+// RAM) and pre-opens n pooled readers against it, failing fast on a trace
+// that does not decode.
+func openTrace(name, path string, mem bool, n, cache int) (*tracePool, error) {
+	if n < 1 {
+		n = 1
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var st atc.Store
+	switch {
+	case fi.IsDir():
+		if mem {
+			return nil, fmt.Errorf("-mem serves single-file archives, not directories (pack %s with atcpack first)", path)
+		}
+		st = store.OpenDir(path)
+	case mem:
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		ast, err := store.OpenArchiveReaderAt(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return nil, err
+		}
+		st = ast
+	default:
+		ast, err := store.OpenArchive(path)
+		if err != nil {
+			return nil, err
+		}
+		st = ast
+	}
+	p := &tracePool{name: name, st: st, readers: make(chan *atc.Reader, n)}
+	for i := 0; i < n; i++ {
+		// Readahead is disabled: a range server decodes exactly the chunks
+		// a request asks for, and prefetch past the window would be waste.
+		r, err := atc.NewReader(path,
+			atc.WithReadStore(st), atc.WithReadahead(-1), atc.WithChunkCache(cache))
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		p.readers <- r
+	}
+	r := <-p.readers
+	p.index = r.ChunkIndex()
+	chunks := map[int]bool{}
+	for _, sp := range p.index {
+		chunks[sp.ChunkID] = true
+	}
+	p.meta = traceMeta{
+		Name:          name,
+		Mode:          r.Mode().String(),
+		FormatVersion: r.FormatVersion(),
+		TotalAddrs:    r.TotalAddrs(),
+		Records:       r.Records(),
+		Chunks:        len(chunks),
+		SegmentAddrs:  r.SegmentAddrs(),
+	}
+	if r.Mode() == atc.Lossy {
+		p.meta.IntervalLen = r.IntervalLen()
+		p.meta.Epsilon = r.Epsilon()
+	}
+	p.readers <- r
+	return p, nil
+}
+
+// acquire borrows a pooled reader, honoring request cancellation while
+// every reader is busy.
+func (p *tracePool) acquire(ctx context.Context) (*atc.Reader, error) {
+	select {
+	case r := <-p.readers:
+		return r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (p *tracePool) release(r *atc.Reader) { p.readers <- r }
+
+// close drains and closes every pooled reader, then the shared store.
+func (p *tracePool) close() {
+	for {
+		select {
+		case r := <-p.readers:
+			r.Close()
+		default:
+			p.st.Close()
+			return
+		}
+	}
+}
+
+// server routes trace requests to pools.
+type server struct {
+	pools    map[string]*tracePool
+	maxRange int64
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /traces", s.handleList)
+	mux.HandleFunc("GET /traces/{name}/meta", s.handleMeta)
+	mux.HandleFunc("GET /traces/{name}/addrs", s.handleAddrs)
+	return mux
+}
+
+func (s *server) pool(w http.ResponseWriter, r *http.Request) *tracePool {
+	p, ok := s.pools[r.PathValue("name")]
+	if !ok {
+		http.Error(w, "unknown trace", http.StatusNotFound)
+		return nil
+	}
+	return p
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	metas := make([]traceMeta, 0, len(s.pools))
+	for _, p := range s.pools {
+		metas = append(metas, p.meta)
+	}
+	writeJSON(w, map[string]any{"traces": metas})
+}
+
+func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	p := s.pool(w, r)
+	if p == nil {
+		return
+	}
+	if v := r.URL.Query().Get("index"); v == "" || v == "0" || v == "false" {
+		writeJSON(w, p.meta)
+		return
+	}
+	index := make([]indexEntry, len(p.index))
+	for i, sp := range p.index {
+		index[i] = indexEntry{Start: sp.Start, End: sp.End, ChunkID: sp.ChunkID, Imitation: sp.Imitation}
+	}
+	writeJSON(w, map[string]any{"meta": p.meta, "index": index})
+}
+
+// parseAddr reads one query parameter as a trace position, with a default
+// for the empty string.
+func parseAddr(q, def string) (int64, error) {
+	if q == "" {
+		q = def
+	}
+	return strconv.ParseInt(q, 10, 64)
+}
+
+func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
+	p := s.pool(w, r)
+	if p == nil {
+		return
+	}
+	total := p.meta.TotalAddrs
+	from, err := parseAddr(r.URL.Query().Get("from"), "0")
+	if err != nil {
+		http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := parseAddr(r.URL.Query().Get("to"), strconv.FormatInt(total, 10))
+	if err != nil {
+		http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if from < 0 || to < from || to > total {
+		http.Error(w, fmt.Sprintf("range [%d, %d) outside trace [0, %d)", from, to, total),
+			http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	if to-from > s.maxRange {
+		http.Error(w, fmt.Sprintf("window of %d addresses exceeds the per-request limit %d",
+			to-from, s.maxRange), http.StatusRequestEntityTooLarge)
+		return
+	}
+	rd, err := p.acquire(r.Context())
+	if err != nil {
+		http.Error(w, "busy: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer p.release(rd)
+	w.Header().Set("X-Atc-From", strconv.FormatInt(from, 10))
+	w.Header().Set("X-Atc-To", strconv.FormatInt(to, 10))
+	w.Header().Set("X-Atc-Count", strconv.FormatInt(to-from, 10))
+	if r.URL.Query().Get("format") == "json" {
+		addrs, err := rd.DecodeRange(from, to)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"name": p.name, "from": from, "to": to, "addrs": addrs})
+		return
+	}
+	// Binary: raw 64-bit little-endian values, the bin2atc/atc2bin wire
+	// format, so curl output diffs directly against atc2bin output. The
+	// window is decoded and written in bounded batches through one reused
+	// buffer, so a -max-range request costs serveBatchAddrs of transient
+	// memory, not the whole window. The first batch decodes before any
+	// header is written, keeping decode failures a clean 500; a later
+	// failure truncates the body short of Content-Length, which clients
+	// detect.
+	buf, err := rd.DecodeRange(from, min64(from+serveBatchAddrs, to))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt((to-from)*8, 10))
+	tw := trace.NewWriter(w)
+	for pos := from; ; {
+		if err := tw.WriteSlice(buf); err != nil {
+			return // client went away; nothing useful to report mid-body
+		}
+		pos += int64(len(buf))
+		if pos >= to {
+			break
+		}
+		if buf, err = rd.DecodeRangeAppend(buf[:0], pos, min64(pos+serveBatchAddrs, to)); err != nil {
+			return
+		}
+	}
+	tw.Flush()
+}
+
+// serveBatchAddrs is the binary response's per-batch decode size: 256 Ki
+// addresses, 2 MB on the wire.
+const serveBatchAddrs = 256 << 10
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

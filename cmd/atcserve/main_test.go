@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"atc"
+	"atc/internal/trace"
+)
+
+// serveTestTrace compresses a deterministic segmented archive and returns
+// its raw addresses plus an httptest server over it.
+func serveTestTrace(t *testing.T, readers int, maxRange int64) ([]uint64, *httptest.Server) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2009))
+	addrs := make([]uint64, 40_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	path := filepath.Join(t.TempDir(), "unit.atc")
+	w, err := atc.CreateArchive(path,
+		atc.WithMode(atc.Lossless), atc.WithSegmentAddrs(5000), atc.WithBufferAddrs(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := openTrace("unit", path, false, readers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": pool}, maxRange: maxRange}).handler())
+	t.Cleanup(func() {
+		srv.Close()
+		pool.close()
+	})
+	return addrs, srv
+}
+
+func TestServeMeta(t *testing.T) {
+	addrs, srv := serveTestTrace(t, 2, 1<<20)
+	resp, err := http.Get(srv.URL + "/traces/unit/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meta status %d", resp.StatusCode)
+	}
+	var meta traceMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.TotalAddrs != int64(len(addrs)) || meta.Mode != "lossless" || meta.Records != 8 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if resp, err := http.Get(srv.URL + "/traces/nope/meta"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown trace status %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestServeConcurrentRanges(t *testing.T) {
+	// More in-flight requests than pooled readers: correctness under
+	// contention, and the race detector watches the sharing.
+	addrs, srv := serveTestTrace(t, 3, 1<<20)
+	n := int64(len(addrs))
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			from := rng.Int63n(n)
+			to := from + rng.Int63n(min64(n-from, 9000))
+			resp, err := http.Get(fmt.Sprintf("%s/traces/unit/addrs?from=%d&to=%d", srv.URL, from, to))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("range [%d,%d): status %d", from, to, resp.StatusCode)
+				return
+			}
+			got, err := trace.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int64(len(got)) != to-from {
+				errs <- fmt.Errorf("range [%d,%d): %d addrs", from, to, len(got))
+				return
+			}
+			for j, v := range got {
+				if v != addrs[from+int64(j)] {
+					errs <- fmt.Errorf("range [%d,%d): diverges at %d", from, to, j)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServeJSONFormat(t *testing.T) {
+	addrs, srv := serveTestTrace(t, 1, 1<<20)
+	resp, err := http.Get(srv.URL + "/traces/unit/addrs?from=100&to=110&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		From  int64    `json:"from"`
+		To    int64    `json:"to"`
+		Addrs []uint64 `json:"addrs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.From != 100 || body.To != 110 || len(body.Addrs) != 10 {
+		t.Fatalf("json body = %+v", body)
+	}
+	for i, v := range body.Addrs {
+		if v != addrs[100+i] {
+			t.Fatalf("json addrs diverge at %d", i)
+		}
+	}
+}
+
+func TestServeRangeErrors(t *testing.T) {
+	_, srv := serveTestTrace(t, 1, 1<<20)
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"from=10&to=5", http.StatusRequestedRangeNotSatisfiable},
+		{"from=-1&to=5", http.StatusRequestedRangeNotSatisfiable},
+		{"from=0&to=40001", http.StatusRequestedRangeNotSatisfiable},
+		{"from=abc&to=5", http.StatusBadRequest},
+		{"from=0&to=xyz", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(srv.URL + "/traces/unit/addrs?" + c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.query, resp.StatusCode, c.want)
+		}
+	}
+	// Default from/to serve the whole trace (within max-range).
+	resp, err := http.Get(srv.URL + "/traces/unit/addrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(got) != 40_000 {
+		t.Fatalf("full-trace fetch: %d addrs, err %v", len(got), err)
+	}
+}
+
+func TestServeMaxRangeCap(t *testing.T) {
+	// Windows above the per-request cap are refused with 413; windows at
+	// the cap pass.
+	_, srv := serveTestTrace(t, 1, 500)
+	for _, c := range []struct {
+		query string
+		want  int
+	}{
+		{"from=0&to=501", http.StatusRequestEntityTooLarge},
+		{"from=0&to=500", http.StatusOK},
+	} {
+		resp, err := http.Get(srv.URL + "/traces/unit/addrs?" + c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.query, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestOpenTraceErrors(t *testing.T) {
+	if _, err := openTrace("missing", filepath.Join(t.TempDir(), "missing.atc"), false, 1, 0); err == nil {
+		t.Fatal("openTrace on a missing path succeeded")
+	}
+	if _, err := openTrace("dir", t.TempDir(), true, 1, 0); err == nil {
+		t.Fatal("openTrace -mem on a directory succeeded")
+	}
+}

@@ -122,3 +122,39 @@ func ExampleNewReader() {
 	// 8
 	// 9
 }
+
+// ExampleReader_DecodeRange shows random access: an arbitrary window of
+// the trace is decoded without consuming the stream front to back.
+func ExampleReader_DecodeRange() {
+	dir, err := os.MkdirTemp("", "atc-example-range")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	addrs := make([]uint64, 10_000)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64
+	}
+	if _, err := atc.Compress(dir, addrs, atc.WithSegmentAddrs(2500), atc.WithBufferAddrs(500)); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	r, err := atc.NewReader(dir)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer r.Close()
+	// Only the segment covering [6000, 6003) is decompressed.
+	window, err := r.DecodeRange(6000, 6003)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(window, r.ChunkReads(), "chunk read")
+	// Output:
+	// [384000 384064 384128] 1 chunk read
+}

@@ -8,9 +8,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"atc/internal/bytesort"
 	"atc/internal/histogram"
@@ -27,8 +29,10 @@ type DecodeOptions struct {
 	// chunks verbatim and understates the trace footprint.
 	IgnoreTranslations bool
 	// ChunkCacheSize bounds the number of decompressed chunks kept in
-	// memory (default 8). Imitations of cached chunks avoid re-reading the
-	// chunk file.
+	// memory (default 8). Sequential lossy decoding pins imitated chunks
+	// here; random access (Seek/DecodeRange) pins every chunk it touches,
+	// so repeated range reads over a working set this large never re-read
+	// the store.
 	ChunkCacheSize int
 	// Readahead bounds the number of decoded intervals (lossy), segments
 	// (segmented lossless) or address batches (legacy lossless) a
@@ -37,7 +41,9 @@ type DecodeOptions struct {
 	// traces it is also the number of segments decompressing concurrently.
 	// 0 selects the default (2); negative disables readahead and decodes
 	// synchronously on the calling goroutine (the historical behavior).
-	// The decoded stream is identical either way.
+	// The decoded stream is identical either way. The pipeline starts
+	// lazily on the first Decode and restarts after every Seek, so range
+	// access never prefetches chunks past the window it was asked for.
 	Readahead int
 	// Store overrides the blob container the trace is read from; when nil
 	// the path passed to Open is inspected — a regular file opens as a
@@ -53,7 +59,7 @@ type DecodeOptions struct {
 // DefaultReadahead is the default number of buffered readahead batches.
 const DefaultReadahead = 2
 
-// losslessBatchAddrs is how many addresses the lossless readahead
+// losslessBatchAddrs is how many addresses the legacy-lossless readahead
 // goroutine decodes per batch (512 KB per buffered batch).
 const losslessBatchAddrs = 1 << 16
 
@@ -64,12 +70,41 @@ type aheadBatch struct {
 	err   error
 }
 
-// Decompressor streams a compressed trace back out (the paper's 'd' mode).
+// span is one entry of the chunk index: the record backing the absolute
+// address range [start, end) of the trace.
+type span struct {
+	start, end int64
+	rec        record
+}
+
+// ChunkSpan is the exported view of one chunk-index entry: the trace
+// positions [Start, End) are decoded from chunk ChunkID — directly for
+// chunk records, or as a byte-translated imitation of that (source) chunk
+// when Imitation is set.
+type ChunkSpan struct {
+	// Start and End delimit the absolute trace positions [Start, End)
+	// this record covers, in addresses.
+	Start, End int64
+	// ChunkID is the backing chunk blob; for imitations it is the source
+	// chunk the interval is replayed from.
+	ChunkID int
+	// Imitation marks a lossy imitation record (decoded by translating a
+	// copy of the source chunk).
+	Imitation bool
+}
+
+// Decompressor streams a compressed trace back out (the paper's 'd' mode)
+// and serves random access over it: decoding is driven by an explicit
+// chunk index built at Open — a table mapping every interval/segment
+// record to its absolute address range and backing chunk — so Seek and
+// DecodeRange can jump straight to the chunks covering a window instead
+// of consuming records in order.
 type Decompressor struct {
-	st       store.Store
-	ownStore bool // opened from a path: Close releases it
-	opts     DecodeOptions
-	backend  xcompress.Backend
+	st          store.Store
+	ownStore    bool // opened from a path: Close releases it
+	opts        DecodeOptions
+	backend     xcompress.Backend
+	backendName string
 
 	version      int
 	mode         Mode
@@ -80,29 +115,44 @@ type Decompressor struct {
 	records      []record
 	total        int64
 
-	// segmented marks a version-2 lossless trace: the stream is decoded by
-	// walking the chunk records (optionally in parallel) instead of
-	// streaming a single chunk file.
+	// index maps every record to its absolute address range, in trace
+	// order: index[i] covers [index[i].start, index[i].end). It is the
+	// single source of decoding truth for lossy and segmented traces.
+	index []span
+
+	// segmented marks a version-2 lossless trace (one chunk per segment);
+	// streaming marks the legacy v1 lossless layout, whose single chunk
+	// is decoded as a stream rather than materialized whole.
 	segmented bool
+	streaming bool
 
 	storeClosed bool
+	closed      bool
 
-	// Lossless streaming state.
+	// Legacy lossless stream state: the open chunk-1 stream, positioned
+	// at absolute trace position streamPos. Seeking backwards reopens it.
 	losslessFile io.Closer
 	losslessDec  *bytesort.Decoder
+	streamPos    int64
 
-	// Lossy iteration state.
-	recIdx  int
+	// Consumption state: cursor is the absolute trace position of the
+	// next address Decode returns; pending/pos hold the current batch.
+	cursor  int64
 	pending []uint64
 	pos     int
-	emitted int64
 
 	cache     map[int][]uint64
 	cacheFIFO []int
 
+	// chunkReads counts chunk-blob decompressions (not cache hits) — the
+	// observable that range decoding touches only the chunks it must.
+	chunkReads atomic.Int64
+
 	// Readahead pipeline. When ahead is non-nil a producer goroutine owns
-	// the decoding state (losslessDec, cache, recIdx) and streams batches
-	// into the channel; Decode only touches pending/pos/emitted.
+	// the decoding state (losslessDec, cache) and streams batches into
+	// the channel; Decode only touches pending/pos/cursor. The pipeline
+	// starts lazily at the current cursor and is quiesced (stopReadahead)
+	// before any state the producer owns is touched from the caller.
 	ahead     chan aheadBatch
 	aheadStop chan struct{}
 	aheadWG   sync.WaitGroup
@@ -164,47 +214,128 @@ func Open(path string, opts DecodeOptions) (*Decompressor, error) {
 		return nil, err
 	}
 	d.backend = backend
+	d.backendName = backendName
 	if err := d.readInfo(backendName, mi.version); err != nil {
 		closeStore()
 		return nil, err
 	}
 	d.segmented = d.mode == Lossless && d.version >= infoVersion2
-	if d.mode == Lossless && !d.segmented {
-		if err := d.openLossless(backendName); err != nil {
+	d.streaming = d.mode == Lossless && !d.segmented
+	if err := d.buildIndex(); err != nil {
+		closeStore()
+		return nil, err
+	}
+	if d.streaming {
+		if err := d.openLossless(); err != nil {
 			closeStore()
 			return nil, err
 		}
 	}
-	if opts.Readahead > 0 {
-		d.startReadahead(opts.Readahead)
-	}
 	return d, nil
 }
 
-// startReadahead launches the producer goroutine that decompresses up to n
-// batches ahead of Decode. It takes ownership of losslessDec, the chunk
-// cache and recIdx; Decode then only consumes from the ahead channel.
+// buildIndex derives the chunk index from the record sequence: every
+// record covers exactly one stride of addresses (the interval length for
+// lossy traces, the segment length for segmented lossless) except the
+// last, which covers the nonzero remainder. The untrusted INFO trailer
+// total must be consistent with the record count, so a corrupt trailer is
+// rejected at Open instead of surfacing as a mid-decode length mismatch.
+// The legacy v1 lossless layout is one streaming span covering the whole
+// trace.
+func (d *Decompressor) buildIndex() error {
+	if d.streaming {
+		if len(d.records) != 1 || d.records[0].tag != recChunk {
+			return fmt.Errorf("%w: legacy lossless trace has %d records, want one chunk record",
+				ErrCorrupt, len(d.records))
+		}
+		d.index = []span{{start: 0, end: d.total, rec: d.records[0]}}
+		return nil
+	}
+	stride := int64(d.intervalLen)
+	what := "interval"
+	if d.segmented {
+		stride = int64(d.segmentAddrs)
+		what = "segment"
+	}
+	n := int64(len(d.records))
+	if n == 0 {
+		if d.total != 0 {
+			return fmt.Errorf("%w: no records but trailer says %d addresses", ErrCorrupt, d.total)
+		}
+		return nil
+	}
+	if stride <= 0 {
+		return fmt.Errorf("%w: %d records with zero %s length", ErrCorrupt, n, what)
+	}
+	// total must land in ((n-1)*stride, n*stride]; compare via division so
+	// a corrupt record count cannot overflow the product.
+	if d.total <= 0 || (d.total-1)/stride != n-1 {
+		return fmt.Errorf("%w: %d %s records at length %d inconsistent with trailer total %d",
+			ErrCorrupt, n, what, stride, d.total)
+	}
+	d.index = make([]span, n)
+	for i, rec := range d.records {
+		start := int64(i) * stride
+		end := start + stride
+		if end > d.total {
+			end = d.total
+		}
+		d.index[i] = span{start: start, end: end, rec: rec}
+	}
+	return nil
+}
+
+// spanIndex returns the position of the index entry covering addr — the
+// first span whose end exceeds it (len(index) when addr is at or past the
+// end of the trace).
+func (d *Decompressor) spanIndex(addr int64) int {
+	return sort.Search(len(d.index), func(i int) bool { return d.index[i].end > addr })
+}
+
+// startReadahead launches the producer pipeline that decompresses up to n
+// batches ahead of Decode, starting at the current cursor. It takes
+// ownership of the legacy stream and the chunk cache; Decode then only
+// consumes from the ahead channel.
 func (d *Decompressor) startReadahead(n int) {
 	d.ahead = make(chan aheadBatch, n)
 	d.aheadStop = make(chan struct{})
+	start := d.cursor
 	d.aheadWG.Add(1)
 	go func() {
 		defer d.aheadWG.Done()
 		defer close(d.ahead)
 		switch {
+		case d.streaming:
+			d.produceStream(start)
 		case d.segmented:
-			d.produceLosslessSegmented(n)
-		case d.mode == Lossless:
-			d.produceLossless()
+			d.produceSpansConcurrent(n, start)
 		default:
-			d.produceLossy()
+			d.produceSpans(start)
 		}
 	}()
 }
 
-// deliver sends one batch, aborting if Close stopped the pipeline. It
+// stopReadahead quiesces the producer pipeline: after it returns, no
+// goroutine touches the decoder and buffered batches are discarded. The
+// consumption cursor is untouched, so a later Decode (or Seek) resumes —
+// restarting the pipeline lazily — without skipping addresses.
+func (d *Decompressor) stopReadahead() {
+	if d.ahead == nil {
+		return
+	}
+	close(d.aheadStop)
+	// Unblock a producer parked on a full channel, then wait for it to
+	// exit before touching anything it owned.
+	for range d.ahead {
+	}
+	d.aheadWG.Wait()
+	d.ahead = nil
+	d.aheadStop = nil
+}
+
+// deliver sends one batch, aborting if the pipeline was stopped. It
 // reports whether production should continue. The stop channel is polled
-// first so a Close that is draining the ahead channel cannot keep the
+// first so a stop that is draining the ahead channel cannot keep the
 // producer decoding to the end of the trace.
 func (d *Decompressor) deliver(b aheadBatch) bool {
 	select {
@@ -220,7 +351,17 @@ func (d *Decompressor) deliver(b aheadBatch) bool {
 	}
 }
 
-func (d *Decompressor) produceLossless() {
+// errStopped aborts a long legacy seek-skip when the pipeline is being
+// torn down; it is never delivered (deliver refuses after a stop).
+var errStopped = errors.New("atc: decode stopped")
+
+// produceStream decodes the legacy v1 lossless stream from trace position
+// start, in fixed-size batches.
+func (d *Decompressor) produceStream(start int64) {
+	if err := d.seekStream(start); err != nil {
+		d.deliver(aheadBatch{err: err})
+		return
+	}
 	for {
 		buf := make([]uint64, 0, losslessBatchAddrs)
 		var rerr error
@@ -232,6 +373,7 @@ func (d *Decompressor) produceLossless() {
 			}
 			buf = append(buf, v)
 		}
+		d.streamPos += int64(len(buf))
 		if len(buf) > 0 && !d.deliver(aheadBatch{addrs: buf}) {
 			return
 		}
@@ -244,11 +386,21 @@ func (d *Decompressor) produceLossless() {
 	}
 }
 
-func (d *Decompressor) produceLossy() {
-	for d.recIdx < len(d.records) {
-		addrs, err := d.materializeInterval(d.records[d.recIdx])
-		d.recIdx++
-		if !d.deliver(aheadBatch{addrs: addrs, err: err}) {
+// produceSpans walks the chunk index from the span covering start,
+// materializing one record per batch (the lossy pipeline; the first span
+// is trimmed to start mid-record after a seek).
+func (d *Decompressor) produceSpans(start int64) {
+	for i := d.spanIndex(start); i < len(d.index); i++ {
+		sp := d.index[i]
+		addrs, err := d.materializeSpan(sp, d.mode == Lossy)
+		if err != nil {
+			d.deliver(aheadBatch{err: err})
+			return
+		}
+		if start > sp.start {
+			addrs = addrs[start-sp.start:]
+		}
+		if len(addrs) > 0 && !d.deliver(aheadBatch{addrs: addrs}) {
 			return
 		}
 	}
@@ -257,17 +409,18 @@ func (d *Decompressor) produceLossy() {
 // segResult carries one decoded segment from a decode goroutine to the
 // in-order delivery loop.
 type segResult struct {
+	sp    span
 	addrs []uint64
 	err   error
 }
 
-// produceLosslessSegmented decodes a version-2 lossless trace with up to
-// par segments decompressing concurrently while delivery stays strictly in
-// trace order: a dispatcher assigns every chunk record a buffered result
-// slot plus a goroutine, and the loop below consumes the slots in record
-// order. The slots channel's capacity bounds how many segments are decoded
-// (and held in memory) ahead of consumption.
-func (d *Decompressor) produceLosslessSegmented(par int) {
+// produceSpansConcurrent walks the chunk index from the span covering
+// start with up to par segments decompressing concurrently while delivery
+// stays strictly in trace order: a dispatcher assigns every span a
+// buffered result slot plus a goroutine, and the loop below consumes the
+// slots in index order. The slots channel's capacity bounds how many
+// segments are decoded (and held in memory) ahead of consumption.
+func (d *Decompressor) produceSpansConcurrent(par int, start int64) {
 	if par < 1 {
 		par = 1
 	}
@@ -280,9 +433,10 @@ func (d *Decompressor) produceLosslessSegmented(par int) {
 		// Every Add below happens on this goroutine, so this Wait cannot
 		// race with them; and every spawned decode finishes (its slot has
 		// capacity 1), so waiting cannot block even when delivery stops
-		// early. Close blocks on aheadWG, so no decode outlives it.
+		// early. stopReadahead blocks on aheadWG, so no decode outlives it.
 		defer decodes.Wait()
-		for _, rec := range d.records {
+		for i := d.spanIndex(start); i < len(d.index); i++ {
+			sp := d.index[i]
 			slot := make(chan segResult, 1)
 			select {
 			case slots <- slot:
@@ -290,11 +444,11 @@ func (d *Decompressor) produceLosslessSegmented(par int) {
 				return
 			}
 			decodes.Add(1)
-			go func(id int) {
+			go func(sp span) {
 				defer decodes.Done()
-				addrs, err := d.readChunkFile(id)
-				slot <- segResult{addrs: addrs, err: err}
-			}(rec.chunkID)
+				addrs, err := d.readSpan(sp)
+				slot <- segResult{sp: sp, addrs: addrs, err: err}
+			}(sp)
 		}
 	}()
 	for slot := range slots {
@@ -303,7 +457,11 @@ func (d *Decompressor) produceLosslessSegmented(par int) {
 			d.deliver(aheadBatch{err: res.err})
 			return
 		}
-		if len(res.addrs) > 0 && !d.deliver(aheadBatch{addrs: res.addrs}) {
+		addrs := res.addrs
+		if start > res.sp.start {
+			addrs = addrs[start-res.sp.start:]
+		}
+		if len(addrs) > 0 && !d.deliver(aheadBatch{addrs: addrs}) {
 			return
 		}
 	}
@@ -487,7 +645,13 @@ func (d *Decompressor) chunkName(id int) string {
 	return fmt.Sprintf("%d.%s", id, d.backend.Name())
 }
 
-func (d *Decompressor) openLossless(backendName string) error {
+// ChunkBlobName reports the store blob name of a chunk id — the single
+// source of the naming scheme, for tooling that opens chunk blobs
+// directly (atcinfo -chunks).
+func (d *Decompressor) ChunkBlobName(id int) string { return d.chunkName(id) }
+
+// openLossless opens the legacy single-chunk stream at trace position 0.
+func (d *Decompressor) openLossless() error {
 	f, err := d.st.Open(d.chunkName(1))
 	if err != nil {
 		return fmt.Errorf("%w: missing chunk 1: %v", ErrCorrupt, err)
@@ -499,6 +663,42 @@ func (d *Decompressor) openLossless(backendName string) error {
 	}
 	d.losslessFile = f
 	d.losslessDec = bytesort.NewDecoder(cr)
+	d.streamPos = 0
+	return nil
+}
+
+// seekStream positions the legacy lossless stream at trace position addr:
+// forward by decoding and discarding, backward by reopening chunk 1 and
+// skipping from the start (the v1 layout has no finer-grained entry
+// points — that is what the segmented v2 layout is for).
+func (d *Decompressor) seekStream(addr int64) error {
+	if d.losslessDec == nil || addr < d.streamPos {
+		if d.losslessFile != nil {
+			d.losslessFile.Close()
+			d.losslessFile = nil
+			d.losslessDec = nil
+		}
+		if err := d.openLossless(); err != nil {
+			return err
+		}
+	}
+	for d.streamPos < addr {
+		if d.streamPos&0xffff == 0 && d.aheadStop != nil {
+			select {
+			case <-d.aheadStop:
+				return errStopped
+			default:
+			}
+		}
+		if _, err := d.losslessDec.Read(); err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("%w: trace ends at %d addresses, seek wanted %d",
+					ErrCorrupt, d.streamPos, addr)
+			}
+			return err
+		}
+		d.streamPos++
+	}
 	return nil
 }
 
@@ -525,68 +725,154 @@ func (d *Decompressor) Epsilon() float64 { return d.epsilon }
 // segment records (segmented lossless traces).
 func (d *Decompressor) Records() int { return len(d.records) }
 
+// Backend reports the byte-level back end decoding this trace.
+func (d *Decompressor) Backend() string { return d.backend.Name() }
+
+// Position reports the absolute trace position (in addresses) of the next
+// value Decode will return.
+func (d *Decompressor) Position() int64 { return d.cursor }
+
+// ChunkReads reports how many chunk blobs have been decompressed so far —
+// chunk-cache hits do not count. It is safe to call while a readahead
+// pipeline is running.
+func (d *Decompressor) ChunkReads() int64 { return d.chunkReads.Load() }
+
+// ChunkIndex returns a copy of the chunk index: one entry per record, in
+// trace order, each mapping its address range to its backing chunk.
+func (d *Decompressor) ChunkIndex() []ChunkSpan {
+	out := make([]ChunkSpan, len(d.index))
+	for i, sp := range d.index {
+		out[i] = ChunkSpan{
+			Start:     sp.start,
+			End:       sp.end,
+			ChunkID:   sp.rec.chunkID,
+			Imitation: sp.rec.tag == recImitate,
+		}
+	}
+	return out
+}
+
+// Seek repositions the decoder so the next Decode returns the address at
+// absolute trace position addr; addr may be anywhere in [0, TotalAddrs()]
+// (seeking to the total makes the next Decode return io.EOF). Seeking
+// clears a pending io.EOF, stops any readahead in flight (it restarts
+// from the new position on the next Decode) and, for lossy and segmented
+// traces, costs only the decode of the chunk covering addr when it is not
+// already cached. Legacy v1 lossless traces are a single compressed
+// stream, so seeking there decodes and discards addr addresses in the
+// worst case.
+func (d *Decompressor) SeekTo(addr int64) error {
+	if d.closed {
+		return errors.New("atc: seek after close")
+	}
+	if addr < 0 || addr > d.total {
+		return fmt.Errorf("atc: seek to %d outside trace [0, %d]", addr, d.total)
+	}
+	d.stopReadahead()
+	d.pending = nil
+	d.pos = 0
+	d.cursor = addr
+	d.err = nil
+	return nil
+}
+
+// DecodeRange decodes the addresses at trace positions [from, to) —
+// exactly the slice DecodeAll()[from:to] would hold — decompressing only
+// the chunks overlapping the window (every touched chunk is pinned in the
+// chunk cache, so repeated ranges over a working set are served from
+// memory). The streaming position is unaffected: a Decode after a
+// DecodeRange continues where it left off, though any readahead in flight
+// is quiesced and restarts lazily.
+func (d *Decompressor) DecodeRange(from, to int64) ([]uint64, error) {
+	capHint := to - from
+	if capHint < 0 {
+		capHint = 0
+	}
+	if capHint > maxDecodeAllPrealloc {
+		capHint = maxDecodeAllPrealloc
+	}
+	return d.DecodeRangeAppend(make([]uint64, 0, capHint), from, to)
+}
+
+// DecodeRangeAppend is DecodeRange decoding into a caller-provided
+// buffer: the addresses at [from, to) are appended to dst and the
+// extended slice returned. A dst with capacity for the window decodes
+// with zero allocations beyond the chunk work itself.
+func (d *Decompressor) DecodeRangeAppend(dst []uint64, from, to int64) ([]uint64, error) {
+	if d.closed {
+		return nil, errors.New("atc: decode after close")
+	}
+	if from < 0 || to < from || to > d.total {
+		return nil, fmt.Errorf("atc: range [%d, %d) outside trace [0, %d)", from, to, d.total)
+	}
+	if from == to {
+		return dst, nil
+	}
+	d.stopReadahead()
+	if d.streaming {
+		if err := d.seekStream(from); err != nil {
+			return nil, err
+		}
+		for d.streamPos < to {
+			v, err := d.losslessDec.Read()
+			if err == io.EOF {
+				return nil, fmt.Errorf("%w: trace ends at %d addresses, trailer says %d",
+					ErrCorrupt, d.streamPos, d.total)
+			}
+			if err != nil {
+				return nil, err
+			}
+			d.streamPos++
+			dst = append(dst, v)
+		}
+		return dst, nil
+	}
+	for i := d.spanIndex(from); i < len(d.index) && d.index[i].start < to; i++ {
+		sp := d.index[i]
+		addrs, err := d.materializeSpan(sp, true)
+		if err != nil {
+			return nil, err
+		}
+		lo := int64(0)
+		if from > sp.start {
+			lo = from - sp.start
+		}
+		hi := sp.end
+		if to < hi {
+			hi = to
+		}
+		dst = append(dst, addrs[lo:hi-sp.start]...)
+	}
+	return dst, nil
+}
+
 // Decode returns the next trace value (the paper's atc_decode); io.EOF
 // signals a complete, verified end of trace. With readahead enabled
 // (the default), decompression of upcoming batches proceeds on a
-// background goroutine while the caller consumes earlier values.
+// background pipeline — started lazily at the current position — while
+// the caller consumes earlier values.
 func (d *Decompressor) Decode() (uint64, error) {
 	if d.err != nil {
 		return 0, d.err
 	}
-	if d.ahead != nil {
+	if d.opts.Readahead > 0 {
 		return d.decodeAhead()
 	}
-	// Segmented lossless traces decode by walking the chunk records, the
-	// same loop lossy intervals use (every record is a plain chunk).
-	if d.mode == Lossless && !d.segmented {
-		v, err := d.losslessDec.Read()
-		if err == io.EOF {
-			if d.emitted != d.total {
-				d.err = fmt.Errorf("%w: decoded %d addresses, trailer says %d", ErrCorrupt, d.emitted, d.total)
-				return 0, d.err
-			}
-			d.err = io.EOF
-			return 0, io.EOF
-		}
-		if err != nil {
-			d.err = err
-			return 0, err
-		}
-		d.emitted++
-		if d.emitted > d.total {
-			d.err = fmt.Errorf("%w: more addresses than trailer count %d", ErrCorrupt, d.total)
-			return 0, d.err
-		}
-		return v, nil
-	}
-	for d.pos >= len(d.pending) {
-		if d.recIdx >= len(d.records) {
-			if d.emitted != d.total {
-				d.err = fmt.Errorf("%w: decoded %d addresses, trailer says %d", ErrCorrupt, d.emitted, d.total)
-				return 0, d.err
-			}
-			d.err = io.EOF
-			return 0, io.EOF
-		}
-		if err := d.nextInterval(); err != nil {
-			d.err = err
-			return 0, err
-		}
-	}
-	v := d.pending[d.pos]
-	d.pos++
-	d.emitted++
-	return v, nil
+	return d.decodeSync()
 }
 
-// decodeAhead consumes the readahead channel. The batch sequence is exactly
-// the serial decode order, so emitted/total verification is unchanged.
+// decodeAhead consumes the readahead pipeline. The batch sequence is
+// exactly the serial decode order from the cursor, so position/total
+// verification is unchanged.
 func (d *Decompressor) decodeAhead() (uint64, error) {
 	for d.pos >= len(d.pending) {
+		if d.ahead == nil {
+			d.startReadahead(d.opts.Readahead)
+		}
 		batch, ok := <-d.ahead
 		if !ok {
-			if d.emitted != d.total {
-				d.err = fmt.Errorf("%w: decoded %d addresses, trailer says %d", ErrCorrupt, d.emitted, d.total)
+			if d.cursor != d.total {
+				d.err = fmt.Errorf("%w: decoded %d addresses, trailer says %d", ErrCorrupt, d.cursor, d.total)
 				return 0, d.err
 			}
 			d.err = io.EOF
@@ -601,11 +887,64 @@ func (d *Decompressor) decodeAhead() (uint64, error) {
 	}
 	v := d.pending[d.pos]
 	d.pos++
-	d.emitted++
-	if d.emitted > d.total {
+	d.cursor++
+	if d.cursor > d.total {
 		d.err = fmt.Errorf("%w: more addresses than trailer count %d", ErrCorrupt, d.total)
 		return 0, d.err
 	}
+	return v, nil
+}
+
+// decodeSync decodes on the calling goroutine (Readahead < 0): legacy
+// lossless straight off the stream, everything else by materializing the
+// index span covering the cursor.
+func (d *Decompressor) decodeSync() (uint64, error) {
+	if d.streaming {
+		if d.streamPos != d.cursor {
+			if err := d.seekStream(d.cursor); err != nil {
+				d.err = err
+				return 0, err
+			}
+		}
+		v, err := d.losslessDec.Read()
+		if err == io.EOF {
+			if d.cursor != d.total {
+				d.err = fmt.Errorf("%w: decoded %d addresses, trailer says %d", ErrCorrupt, d.cursor, d.total)
+				return 0, d.err
+			}
+			d.err = io.EOF
+			return 0, io.EOF
+		}
+		if err != nil {
+			d.err = err
+			return 0, err
+		}
+		d.streamPos++
+		d.cursor++
+		if d.cursor > d.total {
+			d.err = fmt.Errorf("%w: more addresses than trailer count %d", ErrCorrupt, d.total)
+			return 0, d.err
+		}
+		return v, nil
+	}
+	for d.pos >= len(d.pending) {
+		i := d.spanIndex(d.cursor)
+		if i >= len(d.index) {
+			d.err = io.EOF
+			return 0, io.EOF
+		}
+		sp := d.index[i]
+		addrs, err := d.materializeSpan(sp, d.mode == Lossy)
+		if err != nil {
+			d.err = err
+			return 0, err
+		}
+		d.pending = addrs[d.cursor-sp.start:]
+		d.pos = 0
+	}
+	v := d.pending[d.pos]
+	d.pos++
+	d.cursor++
 	return v, nil
 }
 
@@ -617,7 +956,7 @@ const maxDecodeAllPrealloc = 1 << 22
 
 // DecodeAll decodes the remaining trace into memory.
 func (d *Decompressor) DecodeAll() ([]uint64, error) {
-	n := d.total
+	n := d.total - d.cursor
 	if n < 0 {
 		n = 0
 	}
@@ -637,22 +976,42 @@ func (d *Decompressor) DecodeAll() ([]uint64, error) {
 	}
 }
 
-func (d *Decompressor) nextInterval() error {
-	rec := d.records[d.recIdx]
-	d.recIdx++
-	addrs, err := d.materializeInterval(rec)
+// materializeSpan decodes one index entry into its full address range and
+// verifies the chunk actually holds the number of addresses the index
+// assigns it — a wrong-length chunk must surface as corruption, not as a
+// silently shifted tail. pin controls whether a freshly read chunk is
+// held in the chunk cache.
+func (d *Decompressor) materializeSpan(sp span, pin bool) ([]uint64, error) {
+	addrs, err := d.materializeInterval(sp.rec, pin)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	d.pending = addrs
-	d.pos = 0
-	return nil
+	if int64(len(addrs)) != sp.end-sp.start {
+		return nil, fmt.Errorf("%w: chunk %d decodes to %d addresses, index says %d",
+			ErrCorrupt, sp.rec.chunkID, len(addrs), sp.end-sp.start)
+	}
+	return addrs, nil
 }
 
-// materializeInterval decodes one interval record into addresses: the
-// chunk itself, or a translated copy for imitation records.
-func (d *Decompressor) materializeInterval(rec record) ([]uint64, error) {
-	chunk, err := d.loadChunk(rec.chunkID)
+// readSpan is materializeSpan's cache-free twin for the concurrent
+// segmented fan-out: it touches only immutable Decompressor state, so
+// decode goroutines call it in parallel.
+func (d *Decompressor) readSpan(sp span) ([]uint64, error) {
+	addrs, err := d.readChunkFile(sp.rec.chunkID)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(addrs)) != sp.end-sp.start {
+		return nil, fmt.Errorf("%w: chunk %d decodes to %d addresses, index says %d",
+			ErrCorrupt, sp.rec.chunkID, len(addrs), sp.end-sp.start)
+	}
+	return addrs, nil
+}
+
+// materializeInterval decodes one record into addresses: the chunk
+// itself, or a translated copy for imitation records.
+func (d *Decompressor) materializeInterval(rec record, pin bool) ([]uint64, error) {
+	chunk, err := d.loadChunk(rec.chunkID, pin)
 	if err != nil {
 		return nil, err
 	}
@@ -672,11 +1031,12 @@ func (d *Decompressor) materializeInterval(rec record) ([]uint64, error) {
 }
 
 // readChunkFile decompresses one chunk blob into addresses. It touches
-// only immutable Decompressor state (st, backend), so segmented-lossless
-// decode goroutines call it concurrently: each holds its own Blob, and an
-// archive store serves them from one shared io.ReaderAt with no per-chunk
-// open(2).
+// only immutable Decompressor state (st, backend) plus the atomic read
+// counter, so segmented-lossless decode goroutines call it concurrently:
+// each holds its own Blob, and an archive store serves them from one
+// shared io.ReaderAt with no per-chunk open(2).
 func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
+	d.chunkReads.Add(1)
 	f, err := d.st.Open(d.chunkName(id))
 	if err != nil {
 		return nil, fmt.Errorf("%w: missing chunk %d: %v", ErrCorrupt, id, err)
@@ -693,10 +1053,12 @@ func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
 	return addrs, nil
 }
 
-// loadChunk returns the decoded addresses of a chunk, consulting the cache.
-// Lossless segments are never re-read (no imitation records), so only lossy
-// chunks are worth pinning in memory.
-func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
+// loadChunk returns the decoded addresses of a chunk, consulting the
+// cache. pin keeps a freshly read chunk resident (bounded FIFO): the
+// sequential lossy pipeline pins chunks so imitations avoid re-reading
+// them, and random access pins everything it touches so a hot range
+// working set decompresses once.
+func (d *Decompressor) loadChunk(id int, pin bool) ([]uint64, error) {
 	if addrs, ok := d.cache[id]; ok {
 		return addrs, nil
 	}
@@ -704,7 +1066,7 @@ func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d.mode == Lossy {
+	if pin {
 		if len(d.cacheFIFO) >= d.opts.ChunkCacheSize {
 			oldest := d.cacheFIFO[0]
 			d.cacheFIFO = d.cacheFIFO[1:]
@@ -716,20 +1078,15 @@ func (d *Decompressor) loadChunk(id int) ([]uint64, error) {
 	return addrs, nil
 }
 
-// Close stops the readahead goroutine (if any) and releases open blobs,
+// Close stops the readahead pipeline (if any) and releases open blobs,
 // plus the store itself when Open built it from a path. A caller-provided
-// DecodeOptions.Store stays open for further use.
+// DecodeOptions.Store stays open for further use. The Decompressor cannot
+// be used afterwards — buffered readahead batches were discarded, so
+// resuming would silently skip addresses.
 func (d *Decompressor) Close() error {
-	if d.ahead != nil {
-		close(d.aheadStop)
-		// Unblock a producer parked on a full channel, then wait for it to
-		// exit before closing the file it may be reading.
-		for range d.ahead {
-		}
-		d.aheadWG.Wait()
-		d.ahead = nil
-		// Buffered batches were discarded above, so resuming on the
-		// synchronous path would silently skip them: fail further Decodes.
+	d.stopReadahead()
+	if !d.closed {
+		d.closed = true
 		if d.err == nil {
 			d.err = errors.New("atc: decode after close")
 		}
@@ -738,6 +1095,7 @@ func (d *Decompressor) Close() error {
 	if d.losslessFile != nil {
 		err = d.losslessFile.Close()
 		d.losslessFile = nil
+		d.losslessDec = nil
 	}
 	if d.ownStore && !d.storeClosed {
 		d.storeClosed = true

@@ -1,0 +1,339 @@
+package core
+
+// Tests of the chunk-index decoder: Seek/DecodeRange correctness against
+// DecodeAll, the only-touch-overlapping-chunks guarantee (via the chunk
+// read counter), and index validation against corrupt record/total
+// combinations.
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// rangeTrace builds a deterministic phased trace: 12 phases of 1,000
+// addresses with enough histogram diversity that lossy mode stores a mix
+// of chunks and imitations.
+func rangeTrace() []uint64 {
+	rng := rand.New(rand.NewSource(404))
+	const phases, plen = 12, 1000
+	addrs := make([]uint64, 0, phases*plen)
+	for p := 0; p < phases; p++ {
+		footprint := 32 << uint(p%4)
+		base := uint64(p%3) << 24
+		for i := 0; i < plen; i++ {
+			addrs = append(addrs, base+uint64(rng.Intn(footprint)))
+		}
+	}
+	return addrs
+}
+
+// rangeModes are the three on-disk shapes random access must cover.
+var rangeModes = []struct {
+	name string
+	opts Options
+}{
+	{"lossy", Options{Mode: Lossy, IntervalLen: 1000, BufferAddrs: 200}},
+	{"legacy-lossless", Options{Mode: Lossless, BufferAddrs: 200, SegmentAddrs: -1}},
+	{"segmented", Options{Mode: Lossless, BufferAddrs: 200, SegmentAddrs: 1500}},
+}
+
+func TestChunkIndexCoversTrace(t *testing.T) {
+	addrs := rangeTrace()
+	for _, m := range rangeModes {
+		t.Run(m.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if _, err := WriteTrace(dir, addrs, m.opts); err != nil {
+				t.Fatal(err)
+			}
+			d, err := Open(dir, DecodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			index := d.ChunkIndex()
+			if len(index) == 0 {
+				t.Fatal("empty chunk index")
+			}
+			var pos int64
+			for i, sp := range index {
+				if sp.Start != pos || sp.End <= sp.Start {
+					t.Fatalf("span %d = [%d,%d), want contiguous from %d", i, sp.Start, sp.End, pos)
+				}
+				pos = sp.End
+			}
+			if pos != d.TotalAddrs() {
+				t.Fatalf("index covers %d addresses, trace has %d", pos, d.TotalAddrs())
+			}
+		})
+	}
+}
+
+func TestDecodeRangeMatchesDecodeAllSlice(t *testing.T) {
+	addrs := rangeTrace()
+	n := int64(len(addrs))
+	for _, m := range rangeModes {
+		t.Run(m.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if _, err := WriteTrace(dir, addrs, m.opts); err != nil {
+				t.Fatal(err)
+			}
+			want, err := ReadTrace(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Open(dir, DecodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			rng := rand.New(rand.NewSource(7))
+			windows := [][2]int64{{0, 0}, {0, n}, {n, n}, {0, 1}, {n - 1, n}, {999, 1001}, {1500, 1500}}
+			for i := 0; i < 25; i++ {
+				a := rng.Int63n(n + 1)
+				b := a + rng.Int63n(n+1-a)
+				windows = append(windows, [2]int64{a, b})
+			}
+			for _, w := range windows {
+				got, err := d.DecodeRange(w[0], w[1])
+				if err != nil {
+					t.Fatalf("DecodeRange(%d, %d): %v", w[0], w[1], err)
+				}
+				if int64(len(got)) != w[1]-w[0] {
+					t.Fatalf("DecodeRange(%d, %d) returned %d addresses", w[0], w[1], len(got))
+				}
+				for i, v := range got {
+					if v != want[w[0]+int64(i)] {
+						t.Fatalf("DecodeRange(%d, %d) diverges at offset %d", w[0], w[1], i)
+					}
+				}
+			}
+			// Out-of-range requests fail without disturbing the decoder.
+			for _, w := range [][2]int64{{-1, 5}, {5, 3}, {0, n + 1}, {n + 1, n + 2}} {
+				if _, err := d.DecodeRange(w[0], w[1]); err == nil {
+					t.Fatalf("DecodeRange(%d, %d) = nil error, want range error", w[0], w[1])
+				}
+			}
+			if got, err := d.DecodeRange(10, 20); err != nil || len(got) != 10 {
+				t.Fatalf("DecodeRange after failed ranges: %d addrs, err %v", len(got), err)
+			}
+		})
+	}
+}
+
+func TestSeekThenDecode(t *testing.T) {
+	addrs := rangeTrace()
+	n := int64(len(addrs))
+	for _, m := range rangeModes {
+		for _, readahead := range []int{-1, 2} {
+			t.Run(m.name, func(t *testing.T) {
+				dir := t.TempDir()
+				if _, err := WriteTrace(dir, addrs, m.opts); err != nil {
+					t.Fatal(err)
+				}
+				want, err := ReadTrace(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := Open(dir, DecodeOptions{Readahead: readahead})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer d.Close()
+				// Forward, backward and repeated seeks, each followed by a
+				// short decode burst checked against the full stream.
+				for _, at := range []int64{5000, 1234, 11990, 0, n, 777} {
+					if err := d.SeekTo(at); err != nil {
+						t.Fatalf("Seek(%d): %v", at, err)
+					}
+					if d.Position() != at {
+						t.Fatalf("Position() = %d after Seek(%d)", d.Position(), at)
+					}
+					for i := int64(0); i < 64; i++ {
+						v, err := d.Decode()
+						if at+i >= n {
+							if err != io.EOF {
+								t.Fatalf("Decode past end after Seek(%d): %v", at, err)
+							}
+							break
+						}
+						if err != nil {
+							t.Fatalf("Decode after Seek(%d) offset %d: %v", at, i, err)
+						}
+						if v != want[at+i] {
+							t.Fatalf("Seek(%d): decode diverges at offset %d", at, i)
+						}
+					}
+				}
+				// Seek clears a pending EOF: decode to the end, then rewind.
+				if err := d.SeekTo(n - 3); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := d.DecodeAll(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := d.Decode(); err != io.EOF {
+					t.Fatalf("Decode at end = %v, want io.EOF", err)
+				}
+				if err := d.SeekTo(0); err != nil {
+					t.Fatal(err)
+				}
+				if v, err := d.Decode(); err != nil || v != want[0] {
+					t.Fatalf("Decode after rewind = %d, %v", v, err)
+				}
+				// Out-of-range seeks fail and leave the position alone.
+				pos := d.Position()
+				for _, at := range []int64{-1, n + 1} {
+					if err := d.SeekTo(at); err == nil {
+						t.Fatalf("Seek(%d) = nil error", at)
+					}
+				}
+				if d.Position() != pos {
+					t.Fatalf("failed seeks moved position from %d to %d", pos, d.Position())
+				}
+			})
+		}
+	}
+}
+
+// TestDecodeRangeTouchesOnlyOverlappingChunks is the acceptance-criterion
+// check: a range decode may decompress only the chunks whose spans
+// overlap the window (plus nothing at all when the cache is warm).
+func TestDecodeRangeTouchesOnlyOverlappingChunks(t *testing.T) {
+	addrs := rangeTrace()
+	for _, m := range []struct {
+		name string
+		opts Options
+	}{
+		{"lossy", rangeModes[0].opts},
+		{"segmented", rangeModes[2].opts},
+	} {
+		t.Run(m.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if _, err := WriteTrace(dir, addrs, m.opts); err != nil {
+				t.Fatal(err)
+			}
+			d, err := Open(dir, DecodeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			if got := d.ChunkReads(); got != 0 {
+				t.Fatalf("Open alone read %d chunks", got)
+			}
+			index := d.ChunkIndex()
+			from, to := index[2].Start+10, index[3].End-10 // overlaps spans 2 and 3 only
+			distinct := map[int]bool{}
+			for _, sp := range index {
+				if sp.Start < to && sp.End > from {
+					distinct[sp.ChunkID] = true
+				}
+			}
+			if _, err := d.DecodeRange(from, to); err != nil {
+				t.Fatal(err)
+			}
+			if got := d.ChunkReads(); got != int64(len(distinct)) {
+				t.Fatalf("DecodeRange(%d, %d) read %d chunks, want %d (distinct backing chunks)",
+					from, to, got, len(distinct))
+			}
+			// Warm cache: the same window costs zero further chunk reads.
+			if _, err := d.DecodeRange(from, to); err != nil {
+				t.Fatal(err)
+			}
+			if got := d.ChunkReads(); got != int64(len(distinct)) {
+				t.Fatalf("warm DecodeRange re-read chunks: %d total reads, want %d", got, len(distinct))
+			}
+		})
+	}
+}
+
+// TestSeekDecodeTouchesOnlyTailChunks pins the Seek analog: resuming the
+// stream at a position must not decompress the chunks before it.
+func TestSeekDecodeTouchesOnlyTailChunks(t *testing.T) {
+	addrs := rangeTrace()
+	dir := t.TempDir()
+	if _, err := WriteTrace(dir, addrs, rangeModes[2].opts); err != nil { // segmented
+		t.Fatal(err)
+	}
+	d, err := Open(dir, DecodeOptions{Readahead: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	index := d.ChunkIndex()
+	last := index[len(index)-1]
+	if err := d.SeekTo(last.Start); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DecodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ChunkReads(); got != 1 {
+		t.Fatalf("decoding the final span read %d chunks, want 1", got)
+	}
+}
+
+func TestIndexRejectsInconsistentTrailer(t *testing.T) {
+	// A segmented trace whose trailer total disagrees with the record
+	// count must fail at Open (the index cannot be built), with
+	// ErrCorrupt.
+	addrs := rangeTrace()
+	dir := t.TempDir()
+	if _, err := WriteTrace(dir, addrs, rangeModes[2].opts); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Rebuild the decoder state by hand to drive buildIndex directly with
+	// a poisoned total: record/total consistency is pure index logic.
+	for _, tc := range []struct {
+		name    string
+		mutate  func(d *Decompressor)
+		wantErr bool
+	}{
+		{"total too small", func(d *Decompressor) { d.total = 1500 * int64(len(d.records)-1) }, true},
+		{"total too large", func(d *Decompressor) { d.total = 1500*int64(len(d.records)) + 1 }, true},
+		{"total zero", func(d *Decompressor) { d.total = 0 }, true},
+		{"consistent", func(d *Decompressor) {}, false},
+	} {
+		d, err := Open(dir, DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.mutate(d)
+		err = d.buildIndex()
+		if tc.wantErr && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: buildIndex = %v, want ErrCorrupt", tc.name, err)
+		}
+		if !tc.wantErr && err != nil {
+			t.Errorf("%s: buildIndex = %v", tc.name, err)
+		}
+		d.Close()
+	}
+}
+
+func TestDecodeRangeAfterCloseFails(t *testing.T) {
+	addrs := rangeTrace()
+	dir := t.TempDir()
+	if _, err := WriteTrace(dir, addrs, rangeModes[0].opts); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DecodeRange(0, 10); err == nil {
+		t.Fatal("DecodeRange after Close = nil error")
+	}
+	if err := d.SeekTo(0); err == nil {
+		t.Fatal("Seek after Close = nil error")
+	}
+}

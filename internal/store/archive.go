@@ -116,9 +116,18 @@ func CreateArchive(path string) (*ArchiveStore, error) {
 // Path reports the backing file path.
 func (s *ArchiveStore) Path() string { return s.path }
 
-// Create implements Store. The returned writer buffers the blob and
-// appends it to the archive when closed; until then the archive is
-// unchanged, so a failed blob leaves no partial bytes behind.
+// SpillThreshold is the in-memory cap per in-flight archive blob: a blob
+// growing past it is spilled to an anonymous temp file while it is being
+// written, so archiving a trace with a huge chunk (a legacy v1 lossless
+// stream holds the whole compressed trace in one blob) costs bounded RAM
+// instead of the full compressed size per concurrent writer. It is a
+// variable so tests can force tiny spills; writers snapshot it at Create.
+var SpillThreshold int64 = 8 << 20
+
+// Create implements Store. The returned writer buffers the blob — in
+// memory up to SpillThreshold, then in a temp file — and appends it to
+// the archive when closed; until then the archive is unchanged, so a
+// failed blob leaves no partial bytes behind.
 func (s *ArchiveStore) Create(name string) (io.WriteCloser, error) {
 	if !validName(name) {
 		return nil, errBadName(name)
@@ -131,21 +140,53 @@ func (s *ArchiveStore) Create(name string) (io.WriteCloser, error) {
 	if _, dup := s.index[name]; dup {
 		return nil, fmt.Errorf("atc: archive blob %q already exists", name)
 	}
-	return &archiveWriter{s: s, name: name}, nil
+	return &archiveWriter{s: s, name: name, spillAt: SpillThreshold}, nil
 }
 
+// archiveWriter accumulates one blob. Small blobs stay in buf; once n
+// crosses spillAt the accumulated bytes move to a temp file and all
+// further writes go there. The running CRC32 covers both paths, so Close
+// never has to re-read the payload to checksum it.
 type archiveWriter struct {
-	s      *ArchiveStore
-	name   string
-	buf    bytes.Buffer
-	closed bool
+	s       *ArchiveStore
+	name    string
+	buf     bytes.Buffer
+	spill   *os.File // non-nil once the blob exceeded spillAt
+	spillAt int64
+	crc     uint32
+	n       int64
+	closed  bool
 }
 
 func (w *archiveWriter) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, io.ErrClosedPipe
 	}
-	return w.buf.Write(p)
+	if w.spill == nil && w.n+int64(len(p)) > w.spillAt {
+		f, err := os.CreateTemp("", "atc-blob-*")
+		if err != nil {
+			return 0, fmt.Errorf("atc: archive blob spill: %w", err)
+		}
+		// Unlink immediately: the kernel reclaims the space when the file
+		// closes, so an abandoned writer cannot leak a temp file.
+		os.Remove(f.Name())
+		if _, err := f.Write(w.buf.Bytes()); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("atc: archive blob spill: %w", err)
+		}
+		w.spill = f
+		w.buf = bytes.Buffer{}
+	}
+	var n int
+	var err error
+	if w.spill != nil {
+		n, err = w.spill.Write(p)
+	} else {
+		n, err = w.buf.Write(p)
+	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, p[:n])
+	w.n += int64(n)
+	return n, err
 }
 
 func (w *archiveWriter) Close() error {
@@ -153,6 +194,9 @@ func (w *archiveWriter) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.spill != nil {
+		defer w.spill.Close() // already unlinked; Close reclaims the space
+	}
 	s := w.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -162,18 +206,28 @@ func (w *archiveWriter) Close() error {
 	if _, dup := s.index[w.name]; dup {
 		return fmt.Errorf("atc: archive blob %q already exists", w.name)
 	}
-	data := w.buf.Bytes()
-	if _, err := s.f.WriteAt(data, s.off); err != nil {
+	if w.spill != nil {
+		if _, err := w.spill.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("atc: archive write: %w", err)
+		}
+		copied, err := io.Copy(io.NewOffsetWriter(s.f, s.off), w.spill)
+		if err != nil {
+			return fmt.Errorf("atc: archive write: %w", err)
+		}
+		if copied != w.n {
+			return fmt.Errorf("atc: archive write: spilled blob %q is %d bytes, wrote %d", w.name, w.n, copied)
+		}
+	} else if _, err := s.f.WriteAt(w.buf.Bytes(), s.off); err != nil {
 		return fmt.Errorf("atc: archive write: %w", err)
 	}
 	s.index[w.name] = len(s.entries)
 	s.entries = append(s.entries, tocEntry{
 		name:   w.name,
 		off:    s.off,
-		length: int64(len(data)),
-		crc:    crc32.ChecksumIEEE(data),
+		length: w.n,
+		crc:    w.crc,
 	})
-	s.off += int64(len(data))
+	s.off += w.n
 	return nil
 }
 

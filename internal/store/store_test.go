@@ -576,3 +576,138 @@ func TestArchiveBlobReaderAtConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestArchiveSpillLargeBlobs forces the spill-to-temp path and pins its
+// one observable guarantee: an archive written through spilled blobs is
+// byte-identical to one written fully in memory, and reads back clean
+// (payload CRCs included).
+func TestArchiveSpillLargeBlobs(t *testing.T) {
+	old := SpillThreshold
+	defer func() { SpillThreshold = old }()
+
+	blobs := map[string][]byte{
+		"small":    []byte("tiny payload"),
+		"exact":    bytes.Repeat([]byte{0xAB}, 64),
+		"big":      bytes.Repeat([]byte("spill me "), 400), // 3600 B, far past the test threshold
+		"MANIFEST": []byte("atc 1\nmode lossless\nbackend store\n"),
+	}
+	writeArchive := func(threshold int64) string {
+		t.Helper()
+		SpillThreshold = threshold
+		path := filepath.Join(t.TempDir(), "spill.atc")
+		s, err := CreateArchive(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deterministic append order, with the big blob written through
+		// many small Writes so the spill happens mid-blob.
+		for _, name := range []string{"small", "exact", "big", "MANIFEST"} {
+			w, err := s.Create(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := blobs[name]
+			for len(data) > 0 {
+				k := 100
+				if k > len(data) {
+					k = len(data)
+				}
+				if _, err := w.Write(data[:k]); err != nil {
+					t.Fatal(err)
+				}
+				data = data[k:]
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	unspilled := writeArchive(1 << 30) // everything in memory
+	spilled := writeArchive(64)        // "exact" sits at the bound; "big" spills
+
+	a, err := os.ReadFile(unspilled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(spilled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("spilled archive differs from in-memory archive (%d vs %d bytes)", len(b), len(a))
+	}
+
+	s, err := OpenArchive(spilled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for name, want := range blobs {
+		got, err := ReadBlob(s, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: read back %d bytes, want %d", name, len(got), len(want))
+		}
+	}
+}
+
+// TestArchiveSpillConcurrentWriters exercises spilling from many
+// goroutines at once — the chunk-compression worker-pool pattern.
+func TestArchiveSpillConcurrentWriters(t *testing.T) {
+	old := SpillThreshold
+	SpillThreshold = 128
+	defer func() { SpillThreshold = old }()
+
+	path := filepath.Join(t.TempDir(), "conc.atc")
+	s, err := CreateArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	errc := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		go func(i int) {
+			w, err := s.Create(fmt.Sprintf("blob-%d", i))
+			if err != nil {
+				errc <- err
+				return
+			}
+			payload := bytes.Repeat([]byte{byte(i)}, 1000+i*137)
+			if _, err := w.Write(payload); err != nil {
+				errc <- err
+				return
+			}
+			errc <- w.Close()
+		}(i)
+	}
+	for i := 0; i < writers; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < writers; i++ {
+		got, err := ReadBlob(r, fmt.Sprintf("blob-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bytes.Repeat([]byte{byte(i)}, 1000+i*137)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("blob-%d corrupted (%d bytes, want %d)", i, len(got), len(want))
+		}
+	}
+}
