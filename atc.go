@@ -287,14 +287,26 @@ func WithChunkCache(n int) ReadOption {
 	return func(o *core.DecodeOptions) { o.ChunkCacheSize = n }
 }
 
-// WithReadahead bounds how many decoded intervals (lossy), segments
-// (segmented lossless) or address batches (legacy lossless) a background
-// pipeline decompresses ahead of Decode (default 2). For segmented
-// lossless traces it is also the number of segments decompressing
-// concurrently. Negative n disables readahead and decodes synchronously on
-// the calling goroutine. The decoded stream is identical either way.
+// WithReadahead bounds how many decoded batches a background pipeline
+// decompresses ahead of Decode (default 2). For lossy and segmented
+// lossless traces it is also the number of spans (intervals/segments)
+// decoding concurrently. Negative n disables readahead and decodes
+// synchronously on the calling goroutine. The decoded stream is
+// identical either way.
 func WithReadahead(n int) ReadOption {
 	return func(o *core.DecodeOptions) { o.Readahead = n }
+}
+
+// WithBatchAddrs bounds the number of addresses per readahead batch
+// (default 64 Ki addresses, 512 KB per batch). Sub-span batching caps the
+// readahead pipeline's peak buffered memory at a small multiple of
+// n × 8 bytes regardless of the trace's interval or segment length:
+// lossless segments stream-decode directly into recycled batch buffers
+// and imitation translations write into them instead of whole-interval
+// copies. Negative n restores whole-span delivery (one interval or
+// segment per batch). The decoded stream is identical for every value.
+func WithBatchAddrs(n int) ReadOption {
+	return func(o *core.DecodeOptions) { o.BatchAddrs = n }
 }
 
 // WithReadStore reads the trace from s instead of the path passed to

@@ -13,6 +13,7 @@ package atc_test
 //	ratio        compression ratio (Figure 8)
 
 import (
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -412,6 +413,185 @@ func benchmarkSegmentedDecode(b *testing.B, readahead int) {
 
 func BenchmarkSegmentedLosslessDecodeSync(b *testing.B)       { benchmarkSegmentedDecode(b, -1) }
 func BenchmarkSegmentedLosslessDecodeReadahead4(b *testing.B) { benchmarkSegmentedDecode(b, 4) }
+
+// --- PR 5: encode front-end pipeline and sub-span batched readahead ---
+
+// benchmarkEncodeFrontend measures the lossy encode hot path end to end
+// into a memory store (no filesystem noise): with Workers=1 the
+// histogram + phase match + dispatch run on the caller's goroutine; with
+// Workers>1 they pipeline behind it, so the delta is the front-end
+// serial section removed from the caller.
+func benchmarkEncodeFrontend(b *testing.B, workers int) {
+	const (
+		intervals   = 24
+		intervalLen = 10_000
+	)
+	addrs := chunkedBenchTrace(intervals, intervalLen)
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := atc.NewWriter("bench", atc.WithStore(atc.NewMemStore()),
+			atc.WithMode(atc.Lossy),
+			atc.WithIntervalLen(intervalLen),
+			atc.WithBufferAddrs(intervalLen/10),
+			atc.WithWorkers(workers),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.CodeSlice(addrs); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if stats := w.Stats(); stats.Chunks != intervals {
+			b.Fatalf("trace not chunk-heavy: %d chunks of %d intervals", stats.Chunks, intervals)
+		}
+	}
+}
+
+func BenchmarkEncodeFrontendWorkers1(b *testing.B) { benchmarkEncodeFrontend(b, 1) }
+func BenchmarkEncodeFrontendWorkers2(b *testing.B) { benchmarkEncodeFrontend(b, 2) }
+func BenchmarkEncodeFrontendWorkers4(b *testing.B) { benchmarkEncodeFrontend(b, 4) }
+
+// benchmarkReadaheadBatch measures a full readahead decode of a
+// segmented lossless trace at a given batch size (negative = whole-span
+// delivery, the pre-batching pipeline). B/op is the point: batched
+// delivery streams segments through recycled BatchAddrs-sized buffers,
+// so allocation no longer scales with SegmentAddrs. The "store" backend
+// variants isolate the pipeline's own buffering from the back end's
+// decompression working memory, on segments 16× larger.
+func benchmarkReadaheadBatch(b *testing.B, backend string, segment, batch int) {
+	addrs := benchTraceN(b, "429.mcf", segBenchSegments*segBenchAddrs)
+	mem := atc.NewMemStore()
+	w, err := atc.NewWriter("bench", atc.WithStore(mem),
+		atc.WithMode(atc.Lossless),
+		atc.WithBackend(backend),
+		atc.WithSegmentAddrs(segment),
+		atc.WithBufferAddrs(segment/10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := atc.NewReader("bench", atc.WithReadStore(mem),
+			atc.WithReadahead(4), atc.WithBatchAddrs(batch))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int
+		for {
+			_, err := r.Decode()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		r.Close()
+		if n != len(addrs) {
+			b.Fatalf("decoded %d addrs, want %d", n, len(addrs))
+		}
+	}
+}
+
+func BenchmarkReadaheadBatched(b *testing.B) {
+	benchmarkReadaheadBatch(b, "bsc", segBenchAddrs, 0) // default batch size
+}
+func BenchmarkReadaheadWholeSpan(b *testing.B) {
+	benchmarkReadaheadBatch(b, "bsc", segBenchAddrs, -1)
+}
+func BenchmarkReadaheadBatchedBigSeg(b *testing.B) {
+	benchmarkReadaheadBatch(b, "store", segBenchSegments*segBenchAddrs/2, 4096)
+}
+func BenchmarkReadaheadWholeSpanBigSeg(b *testing.B) {
+	benchmarkReadaheadBatch(b, "store", segBenchSegments*segBenchAddrs/2, -1)
+}
+
+// imitationBenchTrace repeats one distribution, so lossy mode stores a
+// single chunk plus imitation records for every later interval — the
+// workload where whole-span delivery paid a full interval copy per
+// imitation.
+func imitationBenchTrace(intervals, intervalLen int) []uint64 {
+	rng := rand.New(rand.NewSource(2009))
+	addrs := make([]uint64, 0, intervals*intervalLen)
+	for p := 0; p < intervals; p++ {
+		for i := 0; i < intervalLen; i++ {
+			addrs = append(addrs, uint64(rng.Intn(1<<16)))
+		}
+	}
+	return addrs
+}
+
+// benchmarkReadaheadImitation decodes an imitation-heavy lossy trace:
+// batched delivery translates imitations into recycled batch buffers on
+// concurrent span tasks instead of one whole-interval copy per record on
+// the producer goroutine.
+func benchmarkReadaheadImitation(b *testing.B, batch int) {
+	const (
+		intervals   = 24
+		intervalLen = 10_000
+	)
+	addrs := imitationBenchTrace(intervals, intervalLen)
+	mem := atc.NewMemStore()
+	w, err := atc.NewWriter("bench", atc.WithStore(mem),
+		atc.WithMode(atc.Lossy),
+		atc.WithIntervalLen(intervalLen),
+		atc.WithBufferAddrs(intervalLen/10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if stats := w.Stats(); stats.Imitations < intervals/2 {
+		b.Fatalf("trace not imitation-heavy: %d imitations of %d intervals", stats.Imitations, intervals)
+	}
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := atc.NewReader("bench", atc.WithReadStore(mem),
+			atc.WithReadahead(4), atc.WithBatchAddrs(batch))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int
+		for {
+			_, err := r.Decode()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		r.Close()
+		if n != len(addrs) {
+			b.Fatalf("decoded %d addrs, want %d", n, len(addrs))
+		}
+	}
+}
+
+func BenchmarkReadaheadBatchedImitation(b *testing.B)   { benchmarkReadaheadImitation(b, 0) }
+func BenchmarkReadaheadWholeSpanImitation(b *testing.B) { benchmarkReadaheadImitation(b, -1) }
 
 // TestSegmentedBPAOverhead pins the capacity cost of lossless segmentation:
 // versus the legacy single chunk, the default segment size (which holds

@@ -15,7 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"atc/internal/experiment"
@@ -48,8 +51,15 @@ func main() {
 		workers  = flag.Int("workers", 0, "chunk-compression workers (default GOMAXPROCS; 1 = synchronous)")
 		segment  = flag.Int("segment", 0, "lossless segment length in addresses (default 16Mi; -1 = legacy single chunk)")
 		archive  = flag.Bool("archive", false, "compress experiment traces into single-file .atc archives instead of directories")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	)
 	flag.Parse()
+	if *cpuprofile != "" || *memprofile != "" {
+		startProfiles(*cpuprofile, *memprofile)
+		defer finishProfiles()
+	}
 	experiment.Workers = *workers
 	experiment.SegmentAddrs = *segment
 	experiment.Archive = *archive
@@ -208,14 +218,61 @@ func main() {
 	if !ran {
 		fmt.Fprintln(os.Stderr, "atcbench: select an experiment (-all, -table1, -table2, -table3, -fig3, -fig4, -fig5, -fig8, -longtrace, -epssweep, -lsweep, -segsweep, -backends, -histsweep, -detectors, -optcompare)")
 		flag.PrintDefaults()
+		finishProfiles()
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "atcbench: done in %s\n", time.Since(start).Round(time.Millisecond))
 }
 
+// finishProfiles terminates any active -cpuprofile/-memprofile outputs.
+// It is idempotent and runs on every exit path — deferred from main, and
+// from check/os.Exit sites, which skip defers — so a failing experiment
+// still leaves a valid, parseable CPU profile instead of a truncated one
+// (the failing runs are the ones most worth profiling).
+var finishProfiles = func() {}
+
+// startProfiles begins CPU profiling (when cpu is non-empty) and arms
+// finishProfiles to stop it and to write the heap profile (when mem is
+// non-empty).
+func startProfiles(cpu, mem string) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		cpuF = f
+	}
+	var once sync.Once
+	finishProfiles = func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				if err := cpuF.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "atcbench:", err)
+				}
+			}
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "atcbench:", err)
+					return
+				}
+				runtime.GC() // report live allocations, not garbage
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "atcbench:", err)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "atcbench:", err)
+				}
+			}
+		})
+	}
+}
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "atcbench:", err)
+		finishProfiles()
 		os.Exit(1)
 	}
 }

@@ -123,6 +123,11 @@ type traceMeta struct {
 	IntervalLen   int     `json:"intervalLen,omitempty"`
 	SegmentAddrs  int     `json:"segmentAddrs,omitempty"`
 	Epsilon       float64 `json:"epsilon,omitempty"`
+	// ChunkReads counts chunk-blob decompressions across the trace's
+	// pooled readers since startup (chunk-cache hits do not count) — the
+	// serving tier's cache-effectiveness observable: requests served
+	// from pooled readers' chunk caches leave it unchanged.
+	ChunkReads int64 `json:"chunkReads"`
 }
 
 // indexEntry is the JSON shape of one chunk-index span (?index=1).
@@ -143,6 +148,18 @@ type tracePool struct {
 	index   []atc.ChunkSpan
 	st      atc.Store
 	readers chan *atc.Reader
+	// all references every pooled reader for metrics: Reader.ChunkReads
+	// is an atomic counter, safe to sum while a reader is borrowed.
+	all []*atc.Reader
+}
+
+// chunkReads sums chunk-blob decompressions across the pool's readers.
+func (p *tracePool) chunkReads() int64 {
+	var n int64
+	for _, r := range p.all {
+		n += r.ChunkReads()
+	}
+	return n
 }
 
 // openTrace opens the store once (directory, archive, or archive bytes in
@@ -190,6 +207,7 @@ func openTrace(name, path string, mem bool, n, cache int) (*tracePool, error) {
 			p.close()
 			return nil, err
 		}
+		p.all = append(p.all, r)
 		p.readers <- r
 	}
 	r := <-p.readers
@@ -271,10 +289,17 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// metaNow snapshots the pool's static metadata plus its live counters.
+func (p *tracePool) metaNow() traceMeta {
+	m := p.meta
+	m.ChunkReads = p.chunkReads()
+	return m
+}
+
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	metas := make([]traceMeta, 0, len(s.pools))
 	for _, p := range s.pools {
-		metas = append(metas, p.meta)
+		metas = append(metas, p.metaNow())
 	}
 	writeJSON(w, map[string]any{"traces": metas})
 }
@@ -285,14 +310,14 @@ func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if v := r.URL.Query().Get("index"); v == "" || v == "0" || v == "false" {
-		writeJSON(w, p.meta)
+		writeJSON(w, p.metaNow())
 		return
 	}
 	index := make([]indexEntry, len(p.index))
 	for i, sp := range p.index {
 		index[i] = indexEntry{Start: sp.Start, End: sp.End, ChunkID: sp.ChunkID, Imitation: sp.Imitation}
 	}
-	writeJSON(w, map[string]any{"meta": p.meta, "index": index})
+	writeJSON(w, map[string]any{"meta": p.metaNow(), "index": index})
 }
 
 // parseAddr reads one query parameter as a trace position, with a default

@@ -124,6 +124,54 @@ func TestServeConcurrentRanges(t *testing.T) {
 	}
 }
 
+// TestServeMetaChunkReads covers the per-trace metrics hook: meta reports
+// the pooled readers' cumulative chunk decompressions, range requests
+// advance it by exactly the chunks their window overlaps, and re-reading
+// a cached window leaves it unchanged.
+func TestServeMetaChunkReads(t *testing.T) {
+	_, srv := serveTestTrace(t, 1, 1<<20)
+	readsNow := func() int64 {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/traces/unit/meta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var meta traceMeta
+		if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+			t.Fatal(err)
+		}
+		return meta.ChunkReads
+	}
+	if n := readsNow(); n != 0 {
+		t.Fatalf("chunkReads before any range = %d, want 0", n)
+	}
+	fetch := func() {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/traces/unit/addrs?from=4000&to=7000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("range status %d", resp.StatusCode)
+		}
+	}
+	// The window [4000, 7000) straddles segments 0 and 1 (5000 addresses
+	// each): the first fetch decompresses exactly those two chunks.
+	fetch()
+	if n := readsNow(); n != 2 {
+		t.Fatalf("chunkReads after first range = %d, want 2", n)
+	}
+	// Both chunks are pinned in the single pooled reader's cache: the
+	// same window again is served from memory.
+	fetch()
+	if n := readsNow(); n != 2 {
+		t.Fatalf("chunkReads after cached re-read = %d, want 2", n)
+	}
+}
+
 func TestServeJSONFormat(t *testing.T) {
 	addrs, srv := serveTestTrace(t, 1, 1<<20)
 	resp, err := http.Get(srv.URL + "/traces/unit/addrs?from=100&to=110&format=json")

@@ -97,11 +97,26 @@ func (e *Encoder) Write(addr uint64) error {
 	return nil
 }
 
-// WriteSlice adds many addresses.
+// WriteSlice adds many addresses, copying in bulk up to each buffer
+// boundary instead of going through per-address Write calls.
 func (e *Encoder) WriteSlice(addrs []uint64) error {
-	for _, a := range addrs {
-		if err := e.Write(a); err != nil {
-			return err
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return errors.New("bytesort: write after close")
+	}
+	for len(addrs) > 0 {
+		n := cap(e.buf) - len(e.buf)
+		if n > len(addrs) {
+			n = len(addrs)
+		}
+		e.buf = append(e.buf, addrs[:n]...)
+		addrs = addrs[n:]
+		if len(e.buf) == cap(e.buf) {
+			if err := e.flush(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -191,7 +206,10 @@ func (e *Encoder) flush() error {
 	return nil
 }
 
-// Decoder reverses the transformation, reading framed segments.
+// Decoder reverses the transformation, reading framed segments. The
+// per-segment working buffers (block bytes, decoded addresses, inverse
+// permutations) are reused across segments, so a long stream decodes
+// with a constant working set instead of fresh allocations per segment.
 type Decoder struct {
 	r       io.Reader
 	mode    Mode
@@ -199,6 +217,10 @@ type Decoder struct {
 	pos     int
 	done    bool
 	err     error
+
+	blocks  []byte  // reused 8×n block buffer
+	posBuf  []int32 // reused inverse-sort scratch
+	permBuf []int32
 }
 
 // NewDecoder returns a Decoder for Sorted streams.
@@ -233,6 +255,36 @@ func (d *Decoder) Read() (uint64, error) {
 	return v, nil
 }
 
+// ReadSlice fills dst with decoded addresses, copying in bulk from each
+// inverted segment. It returns the number of addresses written and
+// io.EOF only when the stream ended before dst was full (n may then
+// still be positive); a full dst returns a nil error. A caller looping
+// on ReadSlice with a reused buffer decodes the stream with no
+// per-address call overhead and no per-batch allocation.
+func (d *Decoder) ReadSlice(dst []uint64) (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	n := 0
+	for n < len(dst) {
+		if d.pos >= len(d.pending) {
+			if d.done {
+				d.err = io.EOF
+				return n, io.EOF
+			}
+			if err := d.readSegment(); err != nil {
+				d.err = err
+				return n, err
+			}
+			continue
+		}
+		c := copy(dst[n:], d.pending[d.pos:])
+		d.pos += c
+		n += c
+	}
+	return n, nil
+}
+
 // ReadAll decodes every remaining address.
 func (d *Decoder) ReadAll() ([]uint64, error) {
 	var out []uint64
@@ -263,14 +315,22 @@ func (d *Decoder) readSegment() error {
 		d.done = true
 		return nil
 	}
-	blocks := make([]byte, 8*n)
+	if cap(d.blocks) < 8*n {
+		d.blocks = make([]byte, 8*n)
+	}
+	blocks := d.blocks[:8*n]
 	if _, err := io.ReadFull(d.r, blocks); err != nil {
 		return fmt.Errorf("%w: short segment body (%d addresses)", ErrCorrupt, n)
 	}
-	addrs, err := inverseSegment(blocks, n, d.mode)
-	if err != nil {
-		return err
+	if cap(d.pending) < n {
+		d.pending = make([]uint64, n)
 	}
+	if d.mode == Sorted && cap(d.posBuf) < n {
+		d.posBuf = make([]int32, n)
+		d.permBuf = make([]int32, n)
+	}
+	addrs := d.pending[:n]
+	inverseSegmentInto(addrs, blocks, n, d.mode, d.posBuf[:cap(d.posBuf)], d.permBuf[:cap(d.permBuf)])
 	d.pending = addrs
 	d.pos = 0
 	return nil
@@ -279,6 +339,22 @@ func (d *Decoder) readSegment() error {
 // inverseSegment reconstructs n addresses from their eight byte blocks.
 func inverseSegment(blocks []byte, n int, mode Mode) ([]uint64, error) {
 	addrs := make([]uint64, n)
+	var pos, perm []int32
+	if mode == Sorted {
+		pos = make([]int32, n)
+		perm = make([]int32, n)
+	}
+	inverseSegmentInto(addrs, blocks, n, mode, pos, perm)
+	return addrs, nil
+}
+
+// inverseSegmentInto reconstructs n addresses into addrs (len n; cleared
+// here, so a reused buffer is fine). pos and perm are scratch of at
+// least n entries for Sorted mode (unused for Unshuffle).
+func inverseSegmentInto(addrs []uint64, blocks []byte, n int, mode Mode, pos, perm []int32) {
+	for i := range addrs {
+		addrs[i] = 0
+	}
 	if mode == Unshuffle {
 		for j := 0; j < 8; j++ {
 			blk := blocks[j*n : (j+1)*n]
@@ -286,11 +362,11 @@ func inverseSegment(blocks []byte, n int, mode Mode) ([]uint64, error) {
 				addrs[i] = addrs[i]<<8 | uint64(blk[i])
 			}
 		}
-		return addrs, nil
+		return
 	}
 	// pos[e]: index of sequence element e within the current block order.
-	pos := make([]int32, n)
-	perm := make([]int32, n)
+	pos = pos[:n]
+	perm = perm[:n]
 	for i := range pos {
 		pos[i] = int32(i)
 	}
@@ -323,7 +399,6 @@ func inverseSegment(blocks []byte, n int, mode Mode) ([]uint64, error) {
 			addrs[e] = addrs[e]<<8 | uint64(blk[pos[e]])
 		}
 	}
-	return addrs, nil
 }
 
 // TransformBuffer applies one in-memory transformation pass and returns the

@@ -1,0 +1,275 @@
+package core
+
+// Tests of the sub-span batched readahead pipeline (DecodeOptions.
+// BatchAddrs): delivery in BatchAddrs-sized batches must be byte-identical
+// to whole-span delivery for every format mode, every store backend and
+// any batch size, including pathological ones.
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"atc/internal/store"
+)
+
+// batchStores is the store matrix: every batching path must behave
+// identically over a directory, a single-file archive and memory.
+var batchStores = []string{"dir", "archive", "mem"}
+
+// writeBatchTrace compresses addrs with the given options into the named
+// store kind and returns the DecodeOptions locating it plus the path.
+func writeBatchTrace(t *testing.T, kind string, addrs []uint64, opts Options) (string, DecodeOptions) {
+	t.Helper()
+	var dec DecodeOptions
+	path := t.TempDir()
+	switch kind {
+	case "dir":
+	case "archive":
+		path = filepath.Join(path, "t.atc")
+		opts.Archive = true
+	case "mem":
+		ms := store.NewMem()
+		opts.Store = ms
+		dec.Store = ms
+	default:
+		t.Fatalf("unknown store kind %q", kind)
+	}
+	if _, err := WriteTrace(path, addrs, opts); err != nil {
+		t.Fatal(err)
+	}
+	return path, dec
+}
+
+func TestBatchedDeliveryByteIdentical(t *testing.T) {
+	addrs := rangeTrace()
+	rng := rand.New(rand.NewSource(55))
+	for _, m := range rangeModes {
+		for _, kind := range batchStores {
+			t.Run(m.name+"/"+kind, func(t *testing.T) {
+				path, dec := writeBatchTrace(t, kind, addrs, m.opts)
+				// Reference: whole-span delivery (the pre-batching pipeline).
+				whole := dec
+				whole.Readahead = 2
+				whole.BatchAddrs = -1
+				want := decodeAllWith(t, path, whole)
+				if len(want) != len(addrs) {
+					t.Fatalf("reference decode: %d addresses, want %d", len(want), len(addrs))
+				}
+				// Random batch sizes around the interesting boundaries: 1,
+				// a prime, the span length itself, larger than any span, and
+				// a handful of random draws.
+				sizes := []int{1, 7, 977, 1000, 1500, 4096, len(addrs) + 1}
+				for i := 0; i < 4; i++ {
+					sizes = append(sizes, 1+rng.Intn(3000))
+				}
+				for _, batch := range sizes {
+					for _, readahead := range []int{1, 3} {
+						d := dec
+						d.Readahead = readahead
+						d.BatchAddrs = batch
+						got := decodeAllWith(t, path, d)
+						if len(got) != len(want) {
+							t.Fatalf("batch=%d readahead=%d: %d addresses, want %d",
+								batch, readahead, len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("batch=%d readahead=%d: diverges at %d", batch, readahead, i)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func decodeAllWith(t *testing.T, path string, opts DecodeOptions) []uint64 {
+	t.Helper()
+	d, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	out, err := d.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBatchedSeekResume drives the batched pipeline through its restart
+// path: seeks landing mid-batch, mid-span and on span boundaries must
+// resume the stream exactly, for every mode and store.
+func TestBatchedSeekResume(t *testing.T) {
+	addrs := rangeTrace()
+	n := int64(len(addrs))
+	for _, m := range rangeModes {
+		for _, kind := range batchStores {
+			t.Run(m.name+"/"+kind, func(t *testing.T) {
+				path, dec := writeBatchTrace(t, kind, addrs, m.opts)
+				want := decodeAllWith(t, path, dec)
+				d := dec
+				d.Readahead = 2
+				d.BatchAddrs = 300 // several batches per 1000/1500-address span
+				dd, err := Open(path, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer dd.Close()
+				for _, at := range []int64{0, 299, 300, 301, 999, 1000, 1001, 1499, 1500, n - 1, 42} {
+					if at >= n {
+						continue
+					}
+					if err := dd.SeekTo(at); err != nil {
+						t.Fatalf("Seek(%d): %v", at, err)
+					}
+					for i := int64(0); i < 700 && at+i < n; i++ {
+						v, err := dd.Decode()
+						if err != nil {
+							t.Fatalf("Seek(%d) offset %d: %v", at, i, err)
+						}
+						if v != want[at+i] {
+							t.Fatalf("Seek(%d): diverges at offset %d", at, i)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedPipelineSurfacesCorruptChunk: errors found by span tasks —
+// a missing chunk, a segment that decodes short — must surface as
+// ErrCorrupt through the batched pipeline, not hang or mis-decode.
+func TestBatchedPipelineSurfacesCorruptChunk(t *testing.T) {
+	addrs := rangeTrace()
+	for _, m := range []struct {
+		name string
+		opts Options
+	}{
+		{"lossy", rangeModes[0].opts},
+		{"segmented", rangeModes[2].opts},
+	} {
+		for _, damage := range []string{"garbage", "missing"} {
+			t.Run(m.name+"/"+damage, func(t *testing.T) {
+				dir := t.TempDir()
+				if _, err := WriteTrace(dir, addrs, m.opts); err != nil {
+					t.Fatal(err)
+				}
+				ds := store.OpenDir(dir)
+				switch damage {
+				case "garbage":
+					if err := store.WriteBlob(ds, "3.bsc", []byte("not a backend stream")); err != nil {
+						t.Fatal(err)
+					}
+				case "missing":
+					if err := ds.Remove("3.bsc"); err != nil {
+						t.Fatal(err)
+					}
+				}
+				d, err := Open(dir, DecodeOptions{Readahead: 2, BatchAddrs: 128})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer d.Close()
+				_, err = d.DecodeAll()
+				if err == nil || err == io.EOF {
+					t.Fatal("decode of corrupt trace succeeded")
+				}
+				if damage == "missing" && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("decode with missing chunk = %v, want ErrCorrupt", err)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedReadaheadChunkReads confirms the batched lossy dispatcher
+// still reads each distinct chunk once per pass: imitations are served
+// from the pinned source chunk, not re-decompressed per record.
+func TestBatchedReadaheadChunkReads(t *testing.T) {
+	addrs := rangeTrace()
+	dir := t.TempDir()
+	stats, err := WriteTrace(dir, addrs, rangeModes[0].opts) // lossy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Imitations == 0 {
+		t.Fatal("trace has no imitations; test needs a mixed record sequence")
+	}
+	d, err := Open(dir, DecodeOptions{Readahead: 2, BatchAddrs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.DecodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.ChunkReads(), stats.Chunks; got != want {
+		t.Fatalf("full batched decode read %d chunks, want %d (distinct chunks)", got, want)
+	}
+}
+
+// TestBatchBufferRecycling decodes twice through one Decompressor and
+// checks the free list actually caps buffer churn: the second pass reuses
+// the working set from the first (observable through the pool's level
+// after drain — the consumer returns every recyclable batch).
+func TestBatchBufferRecycling(t *testing.T) {
+	addrs := rangeTrace()
+	dir := t.TempDir()
+	if _, err := WriteTrace(dir, addrs, rangeModes[2].opts); err != nil { // segmented
+		t.Fatal(err)
+	}
+	d, err := Open(dir, DecodeOptions{Readahead: 2, BatchAddrs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.DecodeAll(); err != nil {
+		t.Fatal(err)
+	}
+	if d.batchFree == nil {
+		t.Fatal("batched decode left no free list")
+	}
+	if len(d.batchFree) == 0 {
+		t.Fatal("no batch buffers were recycled over a full decode")
+	}
+	if buf := <-d.batchFree; cap(buf) != 200 {
+		t.Fatalf("recycled buffer capacity %d, want BatchAddrs (200)", cap(buf))
+	}
+}
+
+// TestWithBatchAddrsDefault pins the default resolution: unset BatchAddrs
+// becomes DefaultBatchAddrs, clamped to the trace's stride (a batch never
+// spans records, so larger buffers would only be waste).
+func TestWithBatchAddrsDefault(t *testing.T) {
+	addrs := rangeTrace()
+	segDir := t.TempDir()
+	if _, err := WriteTrace(segDir, addrs, rangeModes[2].opts); err != nil { // 1500-address segments
+		t.Fatal(err)
+	}
+	d, err := Open(segDir, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.opts.BatchAddrs != 1500 {
+		t.Fatalf("segmented default BatchAddrs = %d, want clamp to segment length 1500", d.opts.BatchAddrs)
+	}
+	d.Close()
+	legacyDir := t.TempDir()
+	if _, err := WriteTrace(legacyDir, addrs, rangeModes[1].opts); err != nil { // legacy v1 stream
+		t.Fatal(err)
+	}
+	d, err = Open(legacyDir, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.opts.BatchAddrs != DefaultBatchAddrs {
+		t.Fatalf("legacy default BatchAddrs = %d, want %d", d.opts.BatchAddrs, DefaultBatchAddrs)
+	}
+}

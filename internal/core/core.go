@@ -42,10 +42,20 @@
 // Chunk files are independent (Figure 8), so compression fans completed
 // intervals (lossy) and completed segments (segmented lossless) out to
 // Options.Workers goroutines, each running the bytesort + back-end pipeline
-// for one chunk. All phase decisions — the histogram, the table match,
-// chunk numbering and the record sequence — stay on the calling goroutine,
-// so the directory produced with N workers is byte-for-byte identical to
-// the serial (Workers=1) result in both modes. (Every blob is also
+// for one chunk. With Workers > 1 the lossy front end is itself a
+// two-stage pipeline: a histogram stage computes the sorted
+// byte-histograms of interval i+1 while a classify stage runs the phase
+// table match, chunk numbering and record bookkeeping for interval i and
+// dispatches chunks to the worker pool — so the caller's goroutine only
+// fills interval buffers, and histogram computation overlaps both
+// classification and chunk compression. Both stages process intervals
+// strictly in trace order and a single classify goroutine owns the phase
+// table and the record sequence, so the directory produced with N workers
+// is byte-for-byte identical to the serial (Workers=1) result in both
+// modes. Interval buffers pass through the pipeline by ownership transfer
+// (no copying) and histogram Sets recycle through a small pool refilled
+// by phase-table evictions, so a long lossy stream runs the front end
+// allocation-free. (Every blob is also
 // byte-identical inside an archive, but the archive *file* appends blobs
 // in worker completion order, which varies with Workers > 1; the TOC
 // makes that order irrelevant to readers, and Workers=1 — or packing a
@@ -280,12 +290,28 @@ type Compressor struct {
 	table    *phase.Table
 	records  []record
 
+	// Lossy front-end pipeline (Workers > 1): the caller hands completed
+	// interval buffers to histCh; a histogram goroutine computes each
+	// interval's byte-histograms and forwards to classifyCh; a classify
+	// goroutine — the only goroutine touching table/records/nextChunk
+	// after Create — matches, assigns chunk ids in arrival (= trace)
+	// order and dispatches chunk jobs to the worker pool. setPool
+	// recycles histogram Sets (refilled by imitations and table
+	// evictions); nil histCh means the serial front end (Workers == 1).
+	histCh      chan []uint64
+	classifyCh  chan histJob
+	frontWG     sync.WaitGroup
+	frontClosed bool
+	setPool     chan *histogram.Set
+
 	// Worker pool (lossy intervals and segmented-lossless segments).
-	// Phase decisions stay on the calling goroutine; only writeChunk runs
-	// on workers, so the on-disk result is deterministic. The first worker
-	// error is latched in werr and surfaced by the next Code/CodeSlice or
-	// by Close. Finished chunk buffers recycle through freeBufs, bounding
-	// total buffer allocations at Workers + queue + 1.
+	// Phase decisions run on exactly one goroutine — the caller's
+	// (Workers == 1) or the classify stage's — and only writeChunk runs
+	// on workers, so the on-disk result is deterministic. The first
+	// error anywhere in the pipeline is latched in werr and surfaced by
+	// the next Code/CodeSlice or by Close. Finished chunk buffers
+	// recycle through freeBufs, bounding total buffer allocations at
+	// Workers + queue + a small pipeline slack.
 	jobs       chan chunkJob
 	freeBufs   chan []uint64
 	workerWG   sync.WaitGroup
@@ -311,6 +337,13 @@ type chunkJob struct {
 	addrs []uint64
 }
 
+// histJob is one completed interval with its finalized histograms, in
+// flight between the front end's histogram and classify stages.
+type histJob struct {
+	addrs []uint64
+	hist  *histogram.Set
+}
+
 func (c *Compressor) workerErr() error {
 	c.werrMu.Lock()
 	defer c.werrMu.Unlock()
@@ -334,7 +367,11 @@ func (c *Compressor) setWorkerErr(err error) {
 // buffers — one filling, one compressing.
 func (c *Compressor) startWorkers(n, queue int) {
 	c.jobs = make(chan chunkJob, queue)
-	c.freeBufs = make(chan []uint64, n+queue+1)
+	// +5 slack: with the lossy front-end pipeline, up to five more
+	// buffers are in flight beyond the pool's own — filling, the histCh
+	// slot, the histogram stage, the classifyCh slot and the classify
+	// stage. (Overflow only drops a recycle; sends never block.)
+	c.freeBufs = make(chan []uint64, n+queue+5)
 	for i := 0; i < n; i++ {
 		c.workerWG.Add(1)
 		go func() {
@@ -376,6 +413,144 @@ func (c *Compressor) shutdownWorkers() error {
 		c.workerWG.Wait()
 	}
 	return c.workerErr()
+}
+
+// getSet takes a recycled histogram Set, or allocates a fresh one.
+func (c *Compressor) getSet() *histogram.Set {
+	select {
+	case s := <-c.setPool:
+		return s
+	default:
+		return new(histogram.Set)
+	}
+}
+
+// recycleSet returns a Set to the pool; dropped when the pool is full.
+// ComputeInto resets before reuse, so dirty Sets recycle as-is.
+func (c *Compressor) recycleSet(s *histogram.Set) {
+	select {
+	case c.setPool <- s:
+	default:
+	}
+}
+
+// recycleBuf returns an interval buffer to the free list without
+// blocking; dropped when the list is full.
+func (c *Compressor) recycleBuf(buf []uint64) {
+	select {
+	case c.freeBufs <- buf[:0]:
+	default:
+	}
+}
+
+// startFrontend launches the two-stage lossy front end: a histogram
+// goroutine (the heavy, per-address stage) and a classify goroutine (the
+// phase-table match and dispatch). Each stage handles one interval at a
+// time in trace order, so interval i+1's histogram overlaps interval i's
+// classification and dispatch, and both overlap the worker pool's
+// bytesort + back-end compression of earlier chunks.
+func (c *Compressor) startFrontend() {
+	c.histCh = make(chan []uint64, 1)
+	c.classifyCh = make(chan histJob, 1)
+	c.frontWG.Add(2)
+	go func() {
+		defer c.frontWG.Done()
+		defer close(c.classifyCh)
+		for addrs := range c.histCh {
+			s := c.getSet()
+			histogram.ComputeInto(s, addrs)
+			c.classifyCh <- histJob{addrs: addrs, hist: s}
+		}
+	}()
+	go func() {
+		defer c.frontWG.Done()
+		for job := range c.classifyCh {
+			c.classify(job.addrs, job.hist)
+		}
+	}()
+}
+
+// classifyHist is the single copy of the classification rules, shared by
+// the serial (endInterval) and pipelined (classify) front ends so the
+// two can never drift — the byte-identity-for-every-worker-count
+// guarantee depends on them agreeing. It matches the interval's
+// histograms against the phase table and either appends an imitation
+// record (isChunk false) or assigns the next chunk id, inserts into the
+// table and appends a chunk record. hist is consumed: recycled or handed
+// to the table on every path, including errors. Only full-length
+// intervals may match or enter the table — a short final chunk cannot
+// stand in for a full interval.
+func (c *Compressor) classifyHist(addrs []uint64, hist *histogram.Set) (id int, isChunk bool, err error) {
+	full := len(addrs) == c.opts.IntervalLen
+	if full {
+		if matchID, _, ok := c.table.Match(hist); ok {
+			chunkHist, ok := c.table.Lookup(matchID)
+			if !ok {
+				c.recycleSet(hist)
+				return 0, false, fmt.Errorf("atc: internal: matched chunk %d not resident", matchID)
+			}
+			tr := histogram.BuildTranslations(chunkHist, hist, c.opts.Epsilon)
+			c.records = append(c.records, record{tag: recImitate, chunkID: matchID, trans: tr})
+			c.nImit++
+			c.recycleSet(hist)
+			return 0, false, nil
+		}
+	}
+	id = c.nextChunk
+	c.nextChunk++
+	c.nChunks++
+	if full {
+		if evicted := c.table.Insert(id, hist); evicted != nil {
+			c.recycleSet(evicted)
+		}
+	} else {
+		c.recycleSet(hist)
+	}
+	c.records = append(c.records, record{tag: recChunk, chunkID: id})
+	return id, true, nil
+}
+
+// classify runs interval classification on the classify goroutine,
+// dispatching chunks to the worker pool. Any failure latches into werr
+// (surfaced by the next Code/CodeSlice or by Close); after a failure
+// intervals are drained and recycled so the caller never blocks on a
+// dead pipeline.
+func (c *Compressor) classify(addrs []uint64, hist *histogram.Set) {
+	if c.workerErr() != nil {
+		c.recycleSet(hist)
+		c.recycleBuf(addrs)
+		return
+	}
+	id, isChunk, err := c.classifyHist(addrs, hist)
+	if err != nil {
+		c.setWorkerErr(err)
+		c.recycleBuf(addrs)
+		return
+	}
+	if !isChunk {
+		c.recycleBuf(addrs)
+		return
+	}
+	c.jobs <- chunkJob{id: id, addrs: addrs}
+}
+
+// drainFrontend closes the front-end pipeline and waits for both stages
+// to finish classifying every interval handed in. Safe to call more than
+// once; must run before shutdownWorkers (the classify stage feeds the
+// job queue).
+func (c *Compressor) drainFrontend() {
+	if c.histCh != nil && !c.frontClosed {
+		c.frontClosed = true
+		close(c.histCh)
+		c.frontWG.Wait()
+	}
+}
+
+// shutdownPipeline drains the front end (if any), then the worker pool,
+// and reports the first deferred error.
+func (c *Compressor) shutdownPipeline() error {
+	c.drainFrontend()
+	return c.shutdownWorkers()
 }
 
 // createChunkFileHook is the default chunk-blob creator; fault-injection
@@ -462,8 +637,10 @@ func Create(path string, opts Options) (*Compressor, error) {
 	case Lossy:
 		c.interval = make([]uint64, 0, opts.IntervalLen)
 		c.table = phase.New(opts.TableCapacity, opts.Epsilon)
+		c.setPool = make(chan *histogram.Set, 4)
 		if opts.Workers > 1 {
 			c.startWorkers(opts.Workers, opts.Workers)
+			c.startFrontend()
 		}
 	}
 	return c, nil
@@ -551,9 +728,22 @@ func (c *Compressor) Code(x uint64) error {
 	}
 	c.interval = append(c.interval, x)
 	if len(c.interval) == c.opts.IntervalLen {
-		return c.endInterval(false)
+		return c.dispatchInterval()
 	}
 	return nil
+}
+
+// dispatchInterval hands the completed interval to the front-end
+// pipeline when one is running (the caller continues filling a recycled
+// buffer; ownership of the full one transfers, no copy), or classifies
+// it synchronously (Workers == 1).
+func (c *Compressor) dispatchInterval() error {
+	if c.histCh != nil {
+		c.histCh <- c.interval
+		c.interval = c.chunkBuf(c.opts.IntervalLen)
+		return nil
+	}
+	return c.endInterval(false)
 }
 
 // endSegment stores the buffered lossless segment as its own chunk,
@@ -588,56 +778,96 @@ func (c *Compressor) endSegment() error {
 	return nil
 }
 
-// CodeSlice appends many values.
+// CodeSlice appends many values, ingesting in bulk: addresses are copied
+// to the current interval/segment buffer up to each boundary instead of
+// going through per-address Code calls. A deferred worker error surfaces
+// at entry and at every chunk boundary, so a caller streaming large
+// slices stops feeding a dead pipeline within one chunk.
 func (c *Compressor) CodeSlice(xs []uint64) error {
-	for _, x := range xs {
-		if err := c.Code(x); err != nil {
+	if c.err != nil {
+		return c.err
+	}
+	if c.hasWerr.Load() {
+		c.err = c.workerErr()
+		return c.err
+	}
+	if c.closed {
+		return errors.New("atc: code after close")
+	}
+	switch {
+	case c.opts.Mode == Lossless && !c.opts.segmented():
+		if err := c.chunkEnc.WriteSlice(xs); err != nil {
+			c.err = err
 			return err
 		}
+		c.total += int64(len(xs))
+		return nil
+	case c.opts.Mode == Lossless:
+		for len(xs) > 0 {
+			n := c.opts.SegmentAddrs - len(c.segment)
+			if n > len(xs) {
+				n = len(xs)
+			}
+			c.segment = append(c.segment, xs[:n]...)
+			c.total += int64(n)
+			xs = xs[n:]
+			if len(c.segment) == c.opts.SegmentAddrs {
+				if err := c.endSegment(); err != nil {
+					return err
+				}
+				if c.hasWerr.Load() {
+					c.err = c.workerErr()
+					return c.err
+				}
+			}
+		}
+		return nil
+	default:
+		for len(xs) > 0 {
+			n := c.opts.IntervalLen - len(c.interval)
+			if n > len(xs) {
+				n = len(xs)
+			}
+			c.interval = append(c.interval, xs[:n]...)
+			c.total += int64(n)
+			xs = xs[n:]
+			if len(c.interval) == c.opts.IntervalLen {
+				if err := c.dispatchInterval(); err != nil {
+					return err
+				}
+				if c.hasWerr.Load() {
+					c.err = c.workerErr()
+					return c.err
+				}
+			}
+		}
+		return nil
 	}
-	return nil
 }
 
-// endInterval classifies the buffered interval as a chunk or an imitation.
-// The final (possibly short) interval is always stored as a chunk.
+// endInterval classifies the buffered interval as a chunk or an
+// imitation, on the calling goroutine — the Workers == 1 front end (with
+// Workers > 1 the classify stage runs the identical classifyHist; see
+// classify). The final (possibly short) interval is always stored as a
+// chunk. Histogram Sets recycle through the same pool the pipelined
+// front end uses, so the serial path is equally allocation-free per
+// interval.
 func (c *Compressor) endInterval(final bool) error {
 	if len(c.interval) == 0 {
 		return nil
 	}
-	hist := histogram.Compute(c.interval)
-	full := len(c.interval) == c.opts.IntervalLen
-	if full {
-		if id, _, ok := c.table.Match(hist); ok {
-			chunkHist, ok := c.table.Lookup(id)
-			if !ok {
-				return fmt.Errorf("atc: internal: matched chunk %d not resident", id)
-			}
-			tr := histogram.BuildTranslations(chunkHist, hist, c.opts.Epsilon)
-			c.records = append(c.records, record{tag: recImitate, chunkID: id, trans: tr})
-			c.nImit++
-			c.interval = c.interval[:0]
-			return nil
-		}
-	}
-	id := c.nextChunk
-	c.nextChunk++
-	if c.jobs != nil {
-		// Hand the interval to the pool; the caller's buffer is reused for
-		// the next interval, so the job owns a copy — into a recycled
-		// buffer when one is free.
-		addrs := append(c.chunkBuf(len(c.interval)), c.interval...)
-		c.jobs <- chunkJob{id: id, addrs: addrs}
-	} else if err := c.writeChunk(id, c.interval); err != nil {
-		c.err = err
+	hist := c.getSet()
+	histogram.ComputeInto(hist, c.interval)
+	id, isChunk, err := c.classifyHist(c.interval, hist)
+	if err != nil {
 		return err
 	}
-	c.nChunks++
-	// Only full-length chunks may be imitated later; a short final chunk
-	// never enters the table (it cannot stand in for a full interval).
-	if full {
-		c.table.Insert(id, hist)
+	if isChunk {
+		if err := c.writeChunk(id, c.interval); err != nil {
+			c.err = err
+			return err
+		}
 	}
-	c.records = append(c.records, record{tag: recChunk, chunkID: id})
 	c.interval = c.interval[:0]
 	return nil
 }
@@ -688,7 +918,7 @@ func (c *Compressor) writeChunk(id int, addrs []uint64) error {
 // Compressor cannot be used afterwards.
 func (c *Compressor) Close() error {
 	if c.err != nil {
-		c.shutdownWorkers()
+		c.shutdownPipeline()
 		c.abortCreate()
 		return c.err
 	}
@@ -704,22 +934,29 @@ func (c *Compressor) Close() error {
 		}
 	case c.opts.Mode == Lossless:
 		if err := c.endSegment(); err != nil {
-			c.shutdownWorkers()
+			c.shutdownPipeline()
 			c.abortCreate()
 			return err
 		}
-		if err := c.shutdownWorkers(); err != nil {
+		if err := c.shutdownPipeline(); err != nil {
 			c.err = err
 			c.abortCreate()
 			return err
 		}
 	default:
-		if err := c.endInterval(true); err != nil {
-			c.shutdownWorkers()
+		// The final (possibly short) interval rides the same pipeline as
+		// every other, so the record sequence stays in trace order.
+		if c.histCh != nil {
+			if len(c.interval) > 0 {
+				c.histCh <- c.interval
+				c.interval = nil
+			}
+		} else if err := c.endInterval(true); err != nil {
+			c.shutdownPipeline()
 			c.abortCreate()
 			return err
 		}
-		if err := c.shutdownWorkers(); err != nil {
+		if err := c.shutdownPipeline(); err != nil {
 			c.err = err
 			c.abortCreate()
 			return err

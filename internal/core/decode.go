@@ -34,17 +34,28 @@ type DecodeOptions struct {
 	// so repeated range reads over a working set this large never re-read
 	// the store.
 	ChunkCacheSize int
-	// Readahead bounds the number of decoded intervals (lossy), segments
-	// (segmented lossless) or address batches (legacy lossless) a
-	// background pipeline decompresses ahead of Decode, overlapping
-	// back-end decompression with consumption. For segmented lossless
-	// traces it is also the number of segments decompressing concurrently.
-	// 0 selects the default (2); negative disables readahead and decodes
-	// synchronously on the calling goroutine (the historical behavior).
-	// The decoded stream is identical either way. The pipeline starts
-	// lazily on the first Decode and restarts after every Seek, so range
-	// access never prefetches chunks past the window it was asked for.
+	// Readahead bounds the number of decoded batches a background
+	// pipeline decompresses ahead of Decode, overlapping back-end
+	// decompression with consumption. For lossy and segmented lossless
+	// traces it is also the number of spans (intervals/segments)
+	// decoding concurrently. 0 selects the default (2); negative
+	// disables readahead and decodes synchronously on the calling
+	// goroutine (the historical behavior). The decoded stream is
+	// identical either way. The pipeline starts lazily on the first
+	// Decode and restarts after every Seek, so range access never
+	// prefetches chunks past the window it was asked for.
 	Readahead int
+	// BatchAddrs bounds the number of addresses per delivered readahead
+	// batch. Sub-span batching caps the pipeline's peak buffered memory
+	// at a multiple of BatchAddrs regardless of the trace's
+	// IntervalLen/SegmentAddrs: segmented lossless chunks are
+	// stream-decoded (never materialized whole), and imitation
+	// translations write into recycled batch buffers instead of
+	// whole-interval copies. 0 selects DefaultBatchAddrs (64 Ki
+	// addresses, 512 KB per batch); negative restores whole-span
+	// delivery — one interval or segment per batch, the pre-batching
+	// pipeline. The decoded stream is identical for every value.
+	BatchAddrs int
 	// Store overrides the blob container the trace is read from; when nil
 	// the path passed to Open is inspected — a regular file opens as a
 	// single-file .atc archive, anything else as a directory. A
@@ -59,15 +70,20 @@ type DecodeOptions struct {
 // DefaultReadahead is the default number of buffered readahead batches.
 const DefaultReadahead = 2
 
-// losslessBatchAddrs is how many addresses the legacy-lossless readahead
-// goroutine decodes per batch (512 KB per buffered batch).
-const losslessBatchAddrs = 1 << 16
+// DefaultBatchAddrs is the default readahead batch size: 64 Ki addresses,
+// 512 KB per buffered batch.
+const DefaultBatchAddrs = 1 << 16
 
-// aheadBatch is one readahead unit: a decoded interval (lossy) or address
-// batch (lossless), or the error that ended production.
+// aheadBatch is one readahead unit — up to BatchAddrs decoded addresses
+// (whole spans when batching is disabled) — or the error that ended
+// production.
 type aheadBatch struct {
 	addrs []uint64
-	err   error
+	// buf is the recyclable backing buffer of addrs, nil when addrs
+	// aliases shared memory (a cached chunk). The consumer returns it to
+	// the batch free list once the batch is drained.
+	buf []uint64
+	err error
 }
 
 // span is one entry of the chunk index: the record backing the absolute
@@ -137,9 +153,17 @@ type Decompressor struct {
 
 	// Consumption state: cursor is the absolute trace position of the
 	// next address Decode returns; pending/pos hold the current batch.
-	cursor  int64
-	pending []uint64
-	pos     int
+	// pendingBuf is the batch's recyclable backing buffer (nil when the
+	// batch aliases a cached chunk), returned to batchFree when drained.
+	cursor     int64
+	pending    []uint64
+	pendingBuf []uint64
+	pos        int
+
+	// batchFree recycles readahead batch buffers (capacity BatchAddrs
+	// each) between the producer tasks that fill them and the consumer
+	// that drains them, bounding the pipeline's total allocation.
+	batchFree chan []uint64
 
 	cache     map[int][]uint64
 	cacheFIFO []int
@@ -169,6 +193,9 @@ func Open(path string, opts DecodeOptions) (*Decompressor, error) {
 	}
 	if opts.Readahead == 0 {
 		opts.Readahead = DefaultReadahead
+	}
+	if opts.BatchAddrs == 0 {
+		opts.BatchAddrs = DefaultBatchAddrs
 	}
 	st := opts.Store
 	ownStore := false
@@ -224,6 +251,17 @@ func Open(path string, opts DecodeOptions) (*Decompressor, error) {
 	if err := d.buildIndex(); err != nil {
 		closeStore()
 		return nil, err
+	}
+	// A batch never spans records, so a BatchAddrs above the trace's
+	// stride would only oversize the recycled buffers: clamp it.
+	if d.opts.BatchAddrs > 0 && !d.streaming {
+		stride := int64(d.intervalLen)
+		if d.segmented {
+			stride = int64(d.segmentAddrs)
+		}
+		if stride > 0 && int64(d.opts.BatchAddrs) > stride {
+			d.opts.BatchAddrs = int(stride)
+		}
 	}
 	if d.streaming {
 		if err := d.openLossless(); err != nil {
@@ -299,6 +337,13 @@ func (d *Decompressor) spanIndex(addr int64) int {
 func (d *Decompressor) startReadahead(n int) {
 	d.ahead = make(chan aheadBatch, n)
 	d.aheadStop = make(chan struct{})
+	if d.batchFree == nil && d.opts.BatchAddrs > 0 {
+		// Enough for the ahead channel, the consumer's pending batch, and
+		// every in-flight span task's slot plus working buffer; survives
+		// pipeline restarts, so a seek-heavy consumer allocates its batch
+		// working set once.
+		d.batchFree = make(chan []uint64, 4*n+8)
+	}
 	start := d.cursor
 	d.aheadWG.Add(1)
 	go func() {
@@ -307,12 +352,37 @@ func (d *Decompressor) startReadahead(n int) {
 		switch {
 		case d.streaming:
 			d.produceStream(start)
+		case d.opts.BatchAddrs > 0:
+			d.produceSpansBatched(n, start)
 		case d.segmented:
 			d.produceSpansConcurrent(n, start)
 		default:
 			d.produceSpans(start)
 		}
 	}()
+}
+
+// batchBuf takes a recycled batch buffer, or allocates a fresh one with
+// capacity BatchAddrs.
+func (d *Decompressor) batchBuf() []uint64 {
+	select {
+	case b := <-d.batchFree:
+		return b[:0]
+	default:
+	}
+	return make([]uint64, 0, d.opts.BatchAddrs)
+}
+
+// recycleBatch returns a drained batch buffer to the free list (dropped
+// when full; nil is ignored).
+func (d *Decompressor) recycleBatch(buf []uint64) {
+	if buf == nil || d.batchFree == nil {
+		return
+	}
+	select {
+	case d.batchFree <- buf[:0]:
+	default:
+	}
 }
 
 // stopReadahead quiesces the producer pipeline: after it returns, no
@@ -325,8 +395,11 @@ func (d *Decompressor) stopReadahead() {
 	}
 	close(d.aheadStop)
 	// Unblock a producer parked on a full channel, then wait for it to
-	// exit before touching anything it owned.
-	for range d.ahead {
+	// exit before touching anything it owned. Drained batches were never
+	// delivered, so their buffers go straight back to the free list — a
+	// seek-heavy consumer keeps its batch working set across restarts.
+	for b := range d.ahead {
+		d.recycleBatch(b.buf)
 	}
 	d.aheadWG.Wait()
 	d.ahead = nil
@@ -356,26 +429,32 @@ func (d *Decompressor) deliver(b aheadBatch) bool {
 var errStopped = errors.New("atc: decode stopped")
 
 // produceStream decodes the legacy v1 lossless stream from trace position
-// start, in fixed-size batches.
+// start, in batches of BatchAddrs addresses through recycled buffers.
 func (d *Decompressor) produceStream(start int64) {
 	if err := d.seekStream(start); err != nil {
 		d.deliver(aheadBatch{err: err})
 		return
 	}
+	recycle := d.opts.BatchAddrs > 0
 	for {
-		buf := make([]uint64, 0, losslessBatchAddrs)
-		var rerr error
-		for len(buf) < losslessBatchAddrs {
-			v, err := d.losslessDec.Read()
-			if err != nil {
-				rerr = err
-				break
-			}
-			buf = append(buf, v)
+		var buf []uint64
+		if recycle {
+			buf = d.batchBuf()
+			buf = buf[:cap(buf)]
+		} else {
+			buf = make([]uint64, DefaultBatchAddrs)
 		}
-		d.streamPos += int64(len(buf))
-		if len(buf) > 0 && !d.deliver(aheadBatch{addrs: buf}) {
-			return
+		n, rerr := d.losslessDec.ReadSlice(buf)
+		buf = buf[:n]
+		d.streamPos += int64(n)
+		if n > 0 {
+			b := aheadBatch{addrs: buf}
+			if recycle {
+				b.buf = buf
+			}
+			if !d.deliver(b) {
+				return
+			}
 		}
 		if rerr != nil {
 			if rerr != io.EOF {
@@ -462,6 +541,186 @@ func (d *Decompressor) produceSpansConcurrent(par int, start int64) {
 			addrs = addrs[start-res.sp.start:]
 		}
 		if len(addrs) > 0 && !d.deliver(aheadBatch{addrs: addrs}) {
+			return
+		}
+	}
+}
+
+// produceSpansBatched is the sub-span batching producer for lossy and
+// segmented traces: every span streams through its own bounded slot of
+// BatchAddrs-sized batches, up to par spans decoding concurrently, with
+// delivery strictly in trace order. Peak buffered memory is a multiple
+// of BatchAddrs — segments are stream-decoded (never materialized whole)
+// and imitation translations write into recycled batch buffers — instead
+// of a multiple of IntervalLen/SegmentAddrs. For lossy traces the chunk
+// cache stays on the dispatcher goroutine: chunks load (and pin) there,
+// serially, while slicing and the byte translation of distinct imitation
+// records — including several imitations of one hot chunk — fan out
+// across the span tasks.
+func (d *Decompressor) produceSpansBatched(par int, start int64) {
+	if par < 1 {
+		par = 1
+	}
+	slots := make(chan chan aheadBatch, par)
+	var tasks sync.WaitGroup
+	d.aheadWG.Add(1)
+	go func() { // dispatcher
+		defer d.aheadWG.Done()
+		defer close(slots)
+		// Every Add below happens on this goroutine, and every task exits
+		// on aheadStop even when delivery stopped early, so this Wait
+		// terminates once stopReadahead fires. stopReadahead blocks on
+		// aheadWG, so no task outlives it.
+		defer tasks.Wait()
+		for i := d.spanIndex(start); i < len(d.index); i++ {
+			sp := d.index[i]
+			slot := make(chan aheadBatch, 2)
+			var chunk []uint64
+			if !d.segmented {
+				var err error
+				chunk, err = d.loadChunk(sp.rec.chunkID, d.mode == Lossy)
+				if err == nil && int64(len(chunk)) != sp.end-sp.start {
+					err = fmt.Errorf("%w: chunk %d decodes to %d addresses, index says %d",
+						ErrCorrupt, sp.rec.chunkID, len(chunk), sp.end-sp.start)
+				}
+				if err != nil {
+					select {
+					case slots <- slot:
+						d.sendSpanBatch(slot, aheadBatch{err: err})
+						close(slot)
+					case <-d.aheadStop:
+					}
+					return
+				}
+			}
+			select {
+			case slots <- slot:
+			case <-d.aheadStop:
+				return
+			}
+			tasks.Add(1)
+			go func(sp span, chunk []uint64, slot chan aheadBatch) {
+				defer tasks.Done()
+				defer close(slot)
+				if d.segmented {
+					d.streamSpanBatches(sp, slot)
+				} else {
+					d.sliceSpanBatches(sp, chunk, slot)
+				}
+			}(sp, chunk, slot)
+		}
+	}()
+	// In-order delivery: drain each span's batches completely before
+	// moving to the next. The first span may start mid-record after a
+	// seek; its leading addresses are skipped here.
+	var skip int64
+	if i := d.spanIndex(start); i < len(d.index) && start > d.index[i].start {
+		skip = start - d.index[i].start
+	}
+	for slot := range slots {
+		for b := range slot {
+			if b.err != nil {
+				d.deliver(aheadBatch{err: b.err})
+				return
+			}
+			addrs := b.addrs
+			if skip > 0 {
+				if int64(len(addrs)) <= skip {
+					skip -= int64(len(addrs))
+					d.recycleBatch(b.buf)
+					continue
+				}
+				addrs = addrs[skip:]
+				skip = 0
+			}
+			if !d.deliver(aheadBatch{addrs: addrs, buf: b.buf}) {
+				return
+			}
+		}
+	}
+}
+
+// sendSpanBatch sends one batch into a span slot, aborting on pipeline
+// stop; it reports whether the task should continue producing.
+func (d *Decompressor) sendSpanBatch(slot chan aheadBatch, b aheadBatch) bool {
+	select {
+	case slot <- b:
+		return b.err == nil
+	case <-d.aheadStop:
+		return false
+	}
+}
+
+// sliceSpanBatches streams one lossy span into its slot: chunk records as
+// zero-copy sub-slices of the (cached, immutable) chunk, imitation
+// records as byte-translated batches written into recycled buffers — so
+// an imitation never allocates a whole-interval copy, and distinct
+// imitations of the same chunk translate concurrently on their own tasks.
+func (d *Decompressor) sliceSpanBatches(sp span, chunk []uint64, slot chan aheadBatch) {
+	batch := d.opts.BatchAddrs
+	translate := sp.rec.tag == recImitate && !d.opts.IgnoreTranslations
+	for off := 0; off < len(chunk); off += batch {
+		end := off + batch
+		if end > len(chunk) {
+			end = len(chunk)
+		}
+		b := aheadBatch{addrs: chunk[off:end]}
+		if translate {
+			buf := append(d.batchBuf(), chunk[off:end]...)
+			sp.rec.trans.ApplySlice(buf)
+			b = aheadBatch{addrs: buf, buf: buf}
+		}
+		if !d.sendSpanBatch(slot, b) {
+			return
+		}
+	}
+}
+
+// streamSpanBatches stream-decodes one lossless segment chunk directly
+// into recycled batch buffers: the segment is never materialized whole,
+// so per-span memory is one batch plus the bytesort decoder's working
+// buffer regardless of SegmentAddrs. The address count is verified
+// against the index — both overruns (detected before the excess is
+// delivered) and underruns surface as ErrCorrupt.
+func (d *Decompressor) streamSpanBatches(sp span, slot chan aheadBatch) {
+	want := sp.end - sp.start
+	d.chunkReads.Add(1)
+	f, err := d.st.Open(d.chunkName(sp.rec.chunkID))
+	if err != nil {
+		d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: missing chunk %d: %v", ErrCorrupt, sp.rec.chunkID, err)})
+		return
+	}
+	defer f.Close()
+	cr, err := d.backend.NewReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		d.sendSpanBatch(slot, aheadBatch{err: err})
+		return
+	}
+	dec := bytesort.NewDecoder(cr)
+	var got int64
+	for {
+		buf := d.batchBuf()
+		buf = buf[:cap(buf)]
+		n, rerr := dec.ReadSlice(buf)
+		buf = buf[:n]
+		got += int64(n)
+		if got > want {
+			d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: chunk %d decodes past %d addresses, index says %d",
+				ErrCorrupt, sp.rec.chunkID, got, want)})
+			return
+		}
+		if n > 0 && !d.sendSpanBatch(slot, aheadBatch{addrs: buf, buf: buf}) {
+			return
+		}
+		if rerr == io.EOF {
+			if got != want {
+				d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: chunk %d decodes to %d addresses, index says %d",
+					ErrCorrupt, sp.rec.chunkID, got, want)})
+			}
+			return
+		}
+		if rerr != nil {
+			d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: chunk %d: %v", ErrCorrupt, sp.rec.chunkID, rerr)})
 			return
 		}
 	}
@@ -769,7 +1028,9 @@ func (d *Decompressor) SeekTo(addr int64) error {
 		return fmt.Errorf("atc: seek to %d outside trace [0, %d]", addr, d.total)
 	}
 	d.stopReadahead()
+	d.recycleBatch(d.pendingBuf)
 	d.pending = nil
+	d.pendingBuf = nil
 	d.pos = 0
 	d.cursor = addr
 	d.err = nil
@@ -882,7 +1143,9 @@ func (d *Decompressor) decodeAhead() (uint64, error) {
 			d.err = batch.err
 			return 0, d.err
 		}
+		d.recycleBatch(d.pendingBuf)
 		d.pending = batch.addrs
+		d.pendingBuf = batch.buf
 		d.pos = 0
 	}
 	v := d.pending[d.pos]

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -212,6 +213,95 @@ func TestCodeSurfacesDeferredWorkerError(t *testing.T) {
 	}
 	if !errors.Is(sawErr, errInjected) {
 		t.Fatalf("deferred worker error never surfaced: %v", sawErr)
+	}
+}
+
+// TestCodeFailsFastAfterWorkerError pins the fail-fast contract: once a
+// pool worker's failure has latched, the very next Code or CodeSlice call
+// reports it — the caller must not keep feeding (and buffering intervals
+// for) a dead pipeline until Close.
+func TestCodeFailsFastAfterWorkerError(t *testing.T) {
+	for _, useSlice := range []bool{false, true} {
+		c, err := Create(t.TempDir(), Options{Mode: Lossy, IntervalLen: 1000, BufferAddrs: 300, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		injectChunkFailures(c, 0)
+		// Feed exactly one interval: its chunk write fails on a worker.
+		first := phasedTrace(1, 1000)
+		if err := c.CodeSlice(first); err != nil && !errors.Is(err, errInjected) {
+			t.Fatal(err)
+		}
+		// The failure is asynchronous; wait for the latch (bounded), then
+		// the next call must surface it — no further intervals needed.
+		for i := 0; i < 1_000_000 && !c.hasWerr.Load(); i++ {
+			runtime.Gosched()
+		}
+		if !c.hasWerr.Load() {
+			t.Fatalf("useSlice=%v: worker error never latched", useSlice)
+		}
+		if useSlice {
+			err = c.CodeSlice([]uint64{1})
+		} else {
+			err = c.Code(1)
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("useSlice=%v: next call after latched failure = %v, want injected error", useSlice, err)
+		}
+		if err := c.Close(); !errors.Is(err, errInjected) {
+			t.Fatalf("useSlice=%v: Close = %v, want injected error", useSlice, err)
+		}
+	}
+}
+
+// TestCodeSliceBulkBoundaries covers the bulk-ingest path: slices that
+// split unevenly over interval/segment boundaries produce traces
+// identical to per-address Code calls.
+func TestCodeSliceBulkBoundaries(t *testing.T) {
+	addrs := phasedTrace(7, 1500)
+	addrs = addrs[:len(addrs)-713] // short final interval
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"lossy", Options{Mode: Lossy, IntervalLen: 1500, BufferAddrs: 400, Workers: 4}},
+		{"segmented", Options{Mode: Lossless, SegmentAddrs: 1500, BufferAddrs: 400, Workers: 4}},
+		{"legacy", Options{Mode: Lossless, SegmentAddrs: -1, BufferAddrs: 400}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			perAddr := t.TempDir()
+			c, err := Create(perAddr, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range addrs {
+				if err := c.Code(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			bulk := t.TempDir()
+			c, err = Create(bulk, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Uneven chunking: prime-sized slices stride the boundaries.
+			for off := 0; off < len(addrs); off += 977 {
+				end := off + 977
+				if end > len(addrs) {
+					end = len(addrs)
+				}
+				if err := c.CodeSlice(addrs[off:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			dirsEqual(t, perAddr, bulk)
+		})
 	}
 }
 

@@ -332,3 +332,43 @@ func BenchmarkDistance(b *testing.B) {
 		Distance(x, y)
 	}
 }
+
+// TestComputeIntoMatchesCompute: reuse of a dirty Set must be equivalent
+// to a fresh Compute, including the AddSlice bulk path.
+func TestComputeIntoMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := make([]uint64, 5000)
+	b := make([]uint64, 3000)
+	for i := range a {
+		a[i] = rng.Uint64()
+	}
+	for i := range b {
+		b[i] = rng.Uint64() & 0xffff
+	}
+	s := Compute(a) // dirty it
+	ComputeInto(s, b)
+	want := Compute(b)
+	if *s != *want {
+		t.Fatal("ComputeInto on a dirty Set differs from a fresh Compute")
+	}
+}
+
+// TestAddSliceMatchesAdd pins the unrolled bulk accumulate against the
+// per-address path.
+func TestAddSliceMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	addrs := make([]uint64, 4000)
+	for i := range addrs {
+		addrs[i] = rng.Uint64()
+	}
+	var bulk, single Set
+	bulk.AddSlice(addrs)
+	for _, a := range addrs {
+		single.Add(a)
+	}
+	bulk.Finalize()
+	single.Finalize()
+	if bulk != single {
+		t.Fatal("AddSlice diverges from per-address Add")
+	}
+}

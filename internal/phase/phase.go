@@ -87,19 +87,24 @@ func (t *Table) Lookup(chunkID int) (*histogram.Set, bool) {
 
 // Insert records a new chunk's histograms, evicting the oldest entry when
 // the table is full. h must be finalized. Inserting a duplicate chunk ID is
-// a programming error and panics.
-func (t *Table) Insert(chunkID int, h *histogram.Set) {
+// a programming error and panics. The evicted entry's histogram Set is
+// returned (nil when nothing was evicted) so callers recycling Sets —
+// the compressor's allocation-free front end — can reuse its storage; the
+// table holds no reference to it afterwards.
+func (t *Table) Insert(chunkID int, h *histogram.Set) (evicted *histogram.Set) {
 	for i := range t.entries {
 		if t.entries[i].ChunkID == chunkID {
 			panic(fmt.Sprintf("phase: duplicate chunk id %d", chunkID))
 		}
 	}
 	if len(t.entries) == t.cap {
+		evicted = t.entries[0].Hist
 		copy(t.entries, t.entries[1:])
 		t.entries = t.entries[:t.cap-1]
 		t.evictions++
 	}
 	t.entries = append(t.entries, Entry{ChunkID: chunkID, Hist: h})
+	return evicted
 }
 
 // Stats reports lookup/match/eviction counters.

@@ -171,3 +171,25 @@ func TestPhaseReuseScenario(t *testing.T) {
 		t.Fatalf("created %d chunks for a 2-phase trace, want 2", chunksCreated)
 	}
 }
+
+// TestInsertReturnsEvicted: the evicted entry's Set comes back to the
+// caller for recycling; non-evicting inserts return nil.
+func TestInsertReturnsEvicted(t *testing.T) {
+	tab := New(2, 0.1)
+	h1, h2, h3 := mkHist(1, 0), mkHist(2, 1<<20), mkHist(3, 2<<20)
+	if ev := tab.Insert(1, h1); ev != nil {
+		t.Fatalf("insert into empty table evicted %v", ev)
+	}
+	if ev := tab.Insert(2, h2); ev != nil {
+		t.Fatalf("insert below capacity evicted %v", ev)
+	}
+	if ev := tab.Insert(3, h3); ev != h1 {
+		t.Fatal("full-table insert did not return the oldest entry's Set")
+	}
+	if _, ok := tab.Lookup(1); ok {
+		t.Fatal("evicted chunk still resident")
+	}
+	if got, ok := tab.Lookup(2); !ok || got != h2 {
+		t.Fatal("surviving entry lost")
+	}
+}

@@ -263,3 +263,73 @@ func TestReadAddrsAt(t *testing.T) {
 		t.Fatal("negative offset accepted")
 	}
 }
+
+// TestSeekDuringReadaheadStress hammers the readahead restart path: a
+// reader with an active batched readahead pipeline is seeked to random
+// positions (forwards, backwards, mid-batch, mid-span) with a partial
+// decode between seeks, for every mode. Each seek stops an in-flight
+// pipeline — span tasks mid-stream included — and the next Decode
+// restarts it at the new cursor; the decoded values must match the raw
+// trace exactly. Run under -race this also shakes the producer/consumer
+// handoff and the batch-buffer free list.
+func TestSeekDuringReadaheadStress(t *testing.T) {
+	addrs := seekTestAddrs(t)
+	n := int64(len(addrs))
+	for _, mode := range seekTestModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			if _, err := atc.Compress(dir, addrs, mode.opts...); err != nil {
+				t.Fatal(err)
+			}
+			// The reference is the decoded stream, not the raw input: lossy
+			// imitation spans replay translated chunks, so only the decoded
+			// form is stable across pipelines.
+			want, err := atc.Decompress(dir, atc.WithReadahead(-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(want)) != n {
+				t.Fatalf("reference decode: %d addresses, want %d", len(want), n)
+			}
+			r, err := atc.NewReader(dir, atc.WithReadahead(3), atc.WithBatchAddrs(257))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			rng := rand.New(rand.NewSource(77))
+			for iter := 0; iter < 120; iter++ {
+				at := rng.Int63n(n)
+				if _, err := r.Seek(at, io.SeekStart); err != nil {
+					t.Fatalf("iter %d: Seek(%d): %v", iter, at, err)
+				}
+				// Decode a burst of varying length: sometimes shorter than
+				// one batch (the pipeline is stopped while producing),
+				// sometimes spanning several spans.
+				burst := int64(1 + rng.Intn(4000))
+				for i := int64(0); i < burst && at+i < n; i++ {
+					v, err := r.Decode()
+					if err != nil {
+						t.Fatalf("iter %d: Decode at %d: %v", iter, at+i, err)
+					}
+					if v != want[at+i] {
+						t.Fatalf("iter %d: Seek(%d) diverges at offset %d", iter, at, i)
+					}
+				}
+			}
+			// Finish with a full tail decode to EOF: the stream must still
+			// verify its trailer count after heavy seeking.
+			if _, err := r.Seek(0, io.SeekStart); err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.DecodeAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(got)) != n {
+				t.Fatalf("final full decode: %d addresses, want %d", len(got), n)
+			}
+		})
+	}
+}
