@@ -124,6 +124,14 @@ func NewMemStore() Store { return store.NewMem() }
 // version this build does not read; it wraps ErrCorrupt.
 var ErrUnsupportedVersion = core.ErrUnsupportedVersion
 
+// ErrClosed reports use of a Writer or Reader after Close. It signals a
+// caller bug rather than bad data.
+var ErrClosed = core.ErrClosed
+
+// ErrOutOfRange reports a SeekTo or DecodeRange target outside the
+// trace's address positions: the trace is intact, the request is not.
+var ErrOutOfRange = core.ErrOutOfRange
+
 // Stats summarises a finished compression.
 type Stats struct {
 	// Mode is the compression mode used.

@@ -33,6 +33,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -329,6 +330,24 @@ func parseAddr(q, def string) (int64, error) {
 	return strconv.ParseInt(q, 10, 64)
 }
 
+// writeDecodeError maps a DecodeRange failure to an HTTP status by error
+// class. Corruption in the stored trace means the request was fine but the
+// server's backing data is not: 502 Bad Gateway plus an operator log line,
+// never a client-error status. An out-of-range window gets the same 416 as
+// the pre-decode bounds check (reachable when a trace is swapped under a
+// cached total). Everything else stays 500.
+func writeDecodeError(w http.ResponseWriter, name string, err error) {
+	switch {
+	case errors.Is(err, atc.ErrCorrupt):
+		log.Printf("atcserve: %s: corrupt trace: %v", name, err)
+		http.Error(w, "corrupt trace: "+err.Error(), http.StatusBadGateway)
+	case errors.Is(err, atc.ErrOutOfRange):
+		http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 	p := s.pool(w, r)
 	if p == nil {
@@ -367,7 +386,7 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "json" {
 		addrs, err := rd.DecodeRange(from, to)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeDecodeError(w, p.name, err)
 			return
 		}
 		writeJSON(w, map[string]any{"name": p.name, "from": from, "to": to, "addrs": addrs})
@@ -383,7 +402,7 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 	// detect.
 	buf, err := rd.DecodeRange(from, min64(from+serveBatchAddrs, to))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeDecodeError(w, p.name, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")

@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -261,5 +263,83 @@ func TestOpenTraceErrors(t *testing.T) {
 	}
 	if _, err := openTrace("dir", t.TempDir(), true, 1, 0); err == nil {
 		t.Fatal("openTrace -mem on a directory succeeded")
+	}
+}
+
+// TestWriteDecodeErrorTaxonomy pins the decode-failure status mapping:
+// corruption in the backing trace is a 502, a stale out-of-range window is
+// a 416, anything unclassified stays a 500.
+func TestWriteDecodeErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("%w: chunk 3: blob CRC mismatch", atc.ErrCorrupt), http.StatusBadGateway},
+		{fmt.Errorf("%w: range [9, 12) outside trace [0, 10)", atc.ErrOutOfRange), http.StatusRequestedRangeNotSatisfiable},
+		{errors.New("disk on fire"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		writeDecodeError(rec, "unit", c.err)
+		if rec.Code != c.want {
+			t.Errorf("writeDecodeError(%v): status %d, want %d", c.err, rec.Code, c.want)
+		}
+	}
+}
+
+// TestServeCorruptTrace502 damages one chunk blob of a directory trace and
+// asserts the range endpoint reports 502 Bad Gateway — the request was
+// valid; the stored data is not — rather than a generic 500 or a
+// client-error status.
+func TestServeCorruptTrace502(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]uint64, 20_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	dir := t.TempDir()
+	w, err := atc.NewWriter(dir,
+		atc.WithMode(atc.Lossless), atc.WithSegmentAddrs(5000), atc.WithBufferAddrs(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	chunks, err := filepath.Glob(filepath.Join(dir, "[0-9]*.*"))
+	if err != nil || len(chunks) == 0 {
+		t.Fatalf("no chunk blobs found in %s (err %v)", dir, err)
+	}
+	victim := chunks[len(chunks)/2]
+	fi, err := os.Stat(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(victim, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := openTrace("unit", dir, false, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": pool}, maxRange: 1 << 20}).handler())
+	defer func() {
+		srv.Close()
+		pool.close()
+	}()
+
+	resp, err := http.Get(srv.URL + "/traces/unit/addrs?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("corrupt chunk: status %d, want 502; body: %s", resp.StatusCode, body)
 	}
 }

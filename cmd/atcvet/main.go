@@ -1,0 +1,181 @@
+// Command atcvet runs the repo's static-analysis suite (internal/lint):
+// errcorrupt, untrustedlen, hotalloc and poolreturn.
+//
+// It speaks two protocols:
+//
+//   - Standalone: `atcvet ./...` loads packages itself via `go list -export`
+//     and prints findings to stdout.
+//
+//   - Vettool: `go vet -vettool=$(which atcvet) ./...` — the go command
+//     first invokes the tool with -V=full (a version/build-ID handshake used
+//     for result caching), then once per package with a single *.cfg
+//     argument naming a JSON file that carries the file list, export-data
+//     locations and import map. Findings go to stderr, as go vet expects.
+//
+// Exit status: 0 clean, 1 internal or load error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"atc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches between the three modes; factored out of main so the tests
+// can assert on exit codes and output without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// The go command requires `<name> version <id>` and caches vet
+		// results keyed on id, so the id must change whenever the binary
+		// does: hash the executable.
+		fmt.Fprintf(stdout, "atcvet version atcvet-%s\n", binaryID())
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// The go command asks which flags the tool accepts (a JSON array
+		// of flag definitions) so it can route command-line flags; atcvet
+		// takes none.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVet(args[0], stderr)
+	}
+	return runStandalone(args, stdout, stderr)
+}
+
+// binaryID returns a short content hash of the running executable.
+func binaryID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// vetConfig is the subset of the go command's per-package vet.cfg JSON that
+// atcvet consumes (see cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	Compiler    string            // "gc" or "gccgo"
+	Dir         string            // package directory
+	ImportPath  string            // canonical package path
+	GoFiles     []string          // absolute paths to the package's Go files
+	ImportMap   map[string]string // source import path -> canonical path
+	PackageFile map[string]string // canonical path -> export-data file
+	VetxOnly    bool              // facts-only run for a dependency
+	VetxOutput  string            // facts file the driver expects us to write
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet executes one unit of the go vet protocol: analyze the single
+// package described by the cfg file.
+func runVet(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "atcvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "atcvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The driver requires the facts file to exist after every run, even a
+	// clean or facts-only one; the suite computes no cross-package facts,
+	// so the file is a constant.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("atcvet: no facts\n"), 0o666); err != nil {
+				fmt.Fprintf(stderr, "atcvet: %v\n", err)
+			}
+		}
+	}
+
+	// All four analyzers are intra-package: a facts-only pass over a
+	// dependency has nothing to compute.
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+	if cfg.Compiler != "gc" {
+		writeVetx()
+		fmt.Fprintf(stderr, "atcvet: unsupported compiler %q\n", cfg.Compiler)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	imp := lint.VetImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := lint.TypeCheckFiles(fset, cfg.ImportPath, cfg.GoFiles, imp)
+	if err != nil {
+		writeVetx()
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "atcvet: %v\n", err)
+		return 1
+	}
+	writeVetx()
+
+	diags, err := lint.RunPackage(pkg, lint.Suite())
+	if err != nil {
+		fmt.Fprintf(stderr, "atcvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runStandalone loads the packages matching the patterns (default ./...)
+// and runs the suite over each.
+func runStandalone(patterns []string, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadPatterns(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "atcvet: %v\n", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, lint.Suite())
+		if err != nil {
+			fmt.Fprintf(stderr, "atcvet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		found += len(diags)
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStandaloneBadPackage is the driver smoke test over a known-bad
+// fixture: exit status 2 and one finding from each violated analyzer.
+func TestStandaloneBadPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/badpkg"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit status = %d, want 2 (findings); stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"[errcorrupt] ",
+		"does not wrap a sentinel",
+		"[untrustedlen] ",
+		"[hotalloc] ",
+		"badpkg.go:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("standalone output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestStandaloneGoodPackage: a compliant package yields exit 0 and silence.
+func TestStandaloneGoodPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/goodpkg"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit status = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean package produced output:\n%s", stdout.String())
+	}
+}
+
+// TestVersionHandshake checks the -V=full line the go command parses before
+// trusting a vettool: `<name> version <id>` with a nonempty id.
+func TestVersionHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-V=full"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit status = %d, want 0", code)
+	}
+	f := strings.Fields(strings.TrimSpace(stdout.String()))
+	if len(f) < 3 || f[0] != "atcvet" || f[1] != "version" || f[2] == "" {
+		t.Fatalf("handshake line %q does not match `atcvet version <id>`", stdout.String())
+	}
+}
+
+// TestGoVetProtocol builds the binary and drives it through the real
+// `go vet -vettool` protocol over the bad fixture: go vet must fail and
+// relay the diagnostics.
+func TestGoVetProtocol(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available")
+	}
+	tool := filepath.Join(t.TempDir(), "atcvet")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building atcvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./testdata/src/badpkg")
+	vet.Env = os.Environ()
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet over badpkg succeeded; want findings. output:\n%s", out)
+	}
+	for _, want := range []string{"[errcorrupt]", "[untrustedlen]", "[hotalloc]"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("go vet output missing %q; got:\n%s", want, out)
+		}
+	}
+
+	clean := exec.Command("go", "vet", "-vettool="+tool, "./testdata/src/goodpkg")
+	clean.Env = os.Environ()
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet over goodpkg failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,36 @@
+// Package badpkg is a deliberately non-compliant package for the atcvet
+// driver smoke test: it compiles, but violates three of the four conventions
+// the suite enforces. main_test asserts that both the standalone driver and
+// the go vet protocol surface these findings with a nonzero exit.
+package badpkg
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// parseRecord is on the decode path but returns a bare error (errcorrupt)
+// and sizes an allocation from an unchecked wire count (untrustedlen).
+//
+//atc:decodepath
+func parseRecord(b []byte) ([]uint64, error) {
+	if len(b) < 4 {
+		return nil, errors.New("short record")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	out := make([]uint64, n)
+	return out, nil
+}
+
+// Checksum allocates on an annotated hot path (hotalloc).
+//
+//atc:hotpath
+func Checksum(xs []uint64) []byte {
+	buf := make([]byte, 8)
+	var sum uint64
+	for _, x := range xs {
+		sum += x
+	}
+	binary.LittleEndian.PutUint64(buf, sum)
+	return buf
+}

@@ -1,0 +1,40 @@
+// Package goodpkg is a compliant package for the atcvet driver smoke test:
+// the driver must exit 0 and print nothing over it.
+package goodpkg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ErrCorrupt is the sentinel decode errors wrap.
+var ErrCorrupt = fmt.Errorf("goodpkg: corrupt input")
+
+const maxRecords = 1 << 20
+
+// parseRecord bounds the wire count before allocating and wraps the
+// sentinel on every error path.
+//
+//atc:decodepath
+func parseRecord(b []byte) ([]uint64, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: short record (%d bytes)", ErrCorrupt, len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > maxRecords {
+		return nil, fmt.Errorf("%w: record count %d exceeds %d", ErrCorrupt, n, maxRecords)
+	}
+	out := make([]uint64, n)
+	return out, nil
+}
+
+// Checksum stays allocation-free by summing into a caller-provided buffer.
+//
+//atc:hotpath
+func Checksum(dst []byte, xs []uint64) {
+	var sum uint64
+	for _, x := range xs {
+		sum += x
+	}
+	binary.LittleEndian.PutUint64(dst, sum)
+}

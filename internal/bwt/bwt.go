@@ -19,6 +19,11 @@ import (
 // ErrBadPrimary is returned by Inverse when the primary index is out of range.
 var ErrBadPrimary = errors.New("bwt: primary index out of range")
 
+// ErrCorrupt reports transform data whose inverse cycle is inconsistent
+// with the claimed primary index: the input was damaged in transit or the
+// primary belongs to a different block.
+var ErrCorrupt = errors.New("bwt: corrupt transform data")
+
 // Transform computes the BWT of data. It returns the n output bytes and the
 // primary index p in [1, n] (row of the virtual sentinel in the sorted
 // rotation matrix). Transforming an empty slice returns (nil, 0).
@@ -92,13 +97,13 @@ func Inverse(out []byte, primary int) ([]byte, error) {
 	i := 0
 	for k := n - 1; k >= 0; k-- {
 		if i == primary {
-			return nil, fmt.Errorf("bwt: cycle hit sentinel early (corrupt data or wrong primary)")
+			return nil, fmt.Errorf("%w: cycle hit sentinel early (wrong primary?)", ErrCorrupt)
 		}
 		s[k] = realByte(i)
 		i = int(next[i])
 	}
 	if i != primary {
-		return nil, fmt.Errorf("bwt: cycle did not terminate at sentinel (corrupt data or wrong primary)")
+		return nil, fmt.Errorf("%w: cycle did not terminate at sentinel (wrong primary?)", ErrCorrupt)
 	}
 	return s, nil
 }

@@ -47,6 +47,13 @@ const DefaultBufferAddrs = 1 << 20
 // ErrCorrupt reports malformed segment framing.
 var ErrCorrupt = errors.New("bytesort: corrupt stream")
 
+// maxSegmentAddrs bounds the per-segment address count a decoder accepts
+// (1 GiB of block data). The count comes straight off the wire and sizes
+// buffers, so an unchecked 32-bit value could demand a 34 GB allocation
+// from a 4-byte header. Encoders buffer DefaultBufferAddrs (1 Mi) by
+// default; the decoder allows 128x that for custom buffer sizes.
+const maxSegmentAddrs = 1 << 27
+
 // Encoder applies the transformation to a stream of addresses and writes
 // framed segments to an underlying writer (typically a compression back
 // end).
@@ -261,6 +268,8 @@ func (d *Decoder) Read() (uint64, error) {
 // still be positive); a full dst returns a nil error. A caller looping
 // on ReadSlice with a reused buffer decodes the stream with no
 // per-address call overhead and no per-batch allocation.
+//
+//atc:hotpath
 func (d *Decoder) ReadSlice(dst []uint64) (int, error) {
 	if d.err != nil {
 		return 0, d.err
@@ -314,6 +323,9 @@ func (d *Decoder) readSegment() error {
 	if n == 0 {
 		d.done = true
 		return nil
+	}
+	if n > maxSegmentAddrs {
+		return fmt.Errorf("%w: segment of %d addresses exceeds limit %d", ErrCorrupt, n, maxSegmentAddrs)
 	}
 	if cap(d.blocks) < 8*n {
 		d.blocks = make([]byte, 8*n)

@@ -164,6 +164,16 @@ var ErrCorrupt = store.ErrCorrupt
 // so errors.Is(err, ErrCorrupt) continues to match.
 var ErrUnsupportedVersion = fmt.Errorf("%w: unsupported format version", ErrCorrupt)
 
+// ErrClosed reports use of a Compressor or Decompressor after Close. It is
+// a caller bug, distinct from data corruption: servers map it to an
+// internal error, never to a bad-input status.
+var ErrClosed = errors.New("atc: use after close")
+
+// ErrOutOfRange reports a SeekTo or DecodeRange target outside the trace's
+// [0, total] address positions — the trace is fine, the request is not.
+// atcserve maps it to 416 Requested Range Not Satisfiable.
+var ErrOutOfRange = errors.New("atc: position outside trace")
+
 // Options configures compression.
 type Options struct {
 	// Mode selects Lossless or Lossy. Default Lossless.
@@ -395,6 +405,8 @@ func (c *Compressor) startWorkers(n, queue int) {
 
 // chunkBuf returns a recycled chunk buffer when one is free, or a fresh
 // one with the given capacity.
+//
+//atc:pool put=recycleBuf
 func (c *Compressor) chunkBuf(capHint int) []uint64 {
 	select {
 	case buf := <-c.freeBufs:
@@ -416,6 +428,8 @@ func (c *Compressor) shutdownWorkers() error {
 }
 
 // getSet takes a recycled histogram Set, or allocates a fresh one.
+//
+//atc:pool put=recycleSet
 func (c *Compressor) getSet() *histogram.Set {
 	select {
 	case s := <-c.setPool:
@@ -709,7 +723,7 @@ func (c *Compressor) Code(x uint64) error {
 		return c.err
 	}
 	if c.closed {
-		return errors.New("atc: code after close")
+		return fmt.Errorf("%w: Code", ErrClosed)
 	}
 	c.total++
 	if c.opts.Mode == Lossless {
@@ -783,6 +797,8 @@ func (c *Compressor) endSegment() error {
 // going through per-address Code calls. A deferred worker error surfaces
 // at entry and at every chunk boundary, so a caller streaming large
 // slices stops feeding a dead pipeline within one chunk.
+//
+//atc:hotpath
 func (c *Compressor) CodeSlice(xs []uint64) error {
 	if c.err != nil {
 		return c.err
@@ -792,7 +808,8 @@ func (c *Compressor) CodeSlice(xs []uint64) error {
 		return c.err
 	}
 	if c.closed {
-		return errors.New("atc: code after close")
+		//atc:ignore hotalloc error construction on the terminal use-after-close path, not the streaming loop
+		return fmt.Errorf("%w: Code", ErrClosed)
 	}
 	switch {
 	case c.opts.Mode == Lossless && !c.opts.segmented():
@@ -808,6 +825,7 @@ func (c *Compressor) CodeSlice(xs []uint64) error {
 			if n > len(xs) {
 				n = len(xs)
 			}
+			//atc:ignore hotalloc c.segment comes from chunkBuf with SegmentAddrs capacity and n is clamped to the remaining space, so append never grows
 			c.segment = append(c.segment, xs[:n]...)
 			c.total += int64(n)
 			xs = xs[n:]
@@ -828,6 +846,7 @@ func (c *Compressor) CodeSlice(xs []uint64) error {
 			if n > len(xs) {
 				n = len(xs)
 			}
+			//atc:ignore hotalloc c.interval comes from chunkBuf with IntervalLen capacity and n is clamped to the remaining space, so append never grows
 			c.interval = append(c.interval, xs[:n]...)
 			c.total += int64(n)
 			xs = xs[n:]

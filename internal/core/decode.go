@@ -364,6 +364,8 @@ func (d *Decompressor) startReadahead(n int) {
 
 // batchBuf takes a recycled batch buffer, or allocates a fresh one with
 // capacity BatchAddrs.
+//
+//atc:pool put=recycleBatch
 func (d *Decompressor) batchBuf() []uint64 {
 	select {
 	case b := <-d.batchFree:
@@ -656,6 +658,8 @@ func (d *Decompressor) sendSpanBatch(slot chan aheadBatch, b aheadBatch) bool {
 // records as byte-translated batches written into recycled buffers — so
 // an imitation never allocates a whole-interval copy, and distinct
 // imitations of the same chunk translate concurrently on their own tasks.
+//
+//atc:hotpath
 func (d *Decompressor) sliceSpanBatches(sp span, chunk []uint64, slot chan aheadBatch) {
 	batch := d.opts.BatchAddrs
 	translate := sp.rec.tag == recImitate && !d.opts.IgnoreTranslations
@@ -666,6 +670,7 @@ func (d *Decompressor) sliceSpanBatches(sp span, chunk []uint64, slot chan ahead
 		}
 		b := aheadBatch{addrs: chunk[off:end]}
 		if translate {
+			//atc:ignore hotalloc batchBuf returns BatchAddrs capacity and chunk[off:end] is at most BatchAddrs long, so append never grows
 			buf := append(d.batchBuf(), chunk[off:end]...)
 			sp.rec.trans.ApplySlice(buf)
 			b = aheadBatch{addrs: buf, buf: buf}
@@ -682,18 +687,22 @@ func (d *Decompressor) sliceSpanBatches(sp span, chunk []uint64, slot chan ahead
 // buffer regardless of SegmentAddrs. The address count is verified
 // against the index — both overruns (detected before the excess is
 // delivered) and underruns surface as ErrCorrupt.
+//
+//atc:hotpath
 func (d *Decompressor) streamSpanBatches(sp span, slot chan aheadBatch) {
 	want := sp.end - sp.start
 	d.chunkReads.Add(1)
 	f, err := d.st.Open(d.chunkName(sp.rec.chunkID))
 	if err != nil {
+		//atc:ignore hotalloc corruption reporting on the terminal error path; the span aborts here
 		d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: missing chunk %d: %v", ErrCorrupt, sp.rec.chunkID, err)})
 		return
 	}
 	defer f.Close()
 	cr, err := d.backend.NewReader(bufio.NewReaderSize(f, 1<<16))
 	if err != nil {
-		d.sendSpanBatch(slot, aheadBatch{err: err})
+		//atc:ignore hotalloc corruption reporting on the terminal error path; the span aborts here
+		d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: chunk %d: backend header: %v", ErrCorrupt, sp.rec.chunkID, err)})
 		return
 	}
 	dec := bytesort.NewDecoder(cr)
@@ -705,6 +714,8 @@ func (d *Decompressor) streamSpanBatches(sp span, slot chan aheadBatch) {
 		buf = buf[:n]
 		got += int64(n)
 		if got > want {
+			d.recycleBatch(buf)
+			//atc:ignore hotalloc corruption reporting on the terminal error path; the span aborts here
 			d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: chunk %d decodes past %d addresses, index says %d",
 				ErrCorrupt, sp.rec.chunkID, got, want)})
 			return
@@ -714,12 +725,14 @@ func (d *Decompressor) streamSpanBatches(sp span, slot chan aheadBatch) {
 		}
 		if rerr == io.EOF {
 			if got != want {
+				//atc:ignore hotalloc corruption reporting on the terminal error path; the span aborts here
 				d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: chunk %d decodes to %d addresses, index says %d",
 					ErrCorrupt, sp.rec.chunkID, got, want)})
 			}
 			return
 		}
 		if rerr != nil {
+			//atc:ignore hotalloc corruption reporting on the terminal error path; the span aborts here
 			d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: chunk %d: %v", ErrCorrupt, sp.rec.chunkID, rerr)})
 			return
 		}
@@ -1022,10 +1035,10 @@ func (d *Decompressor) ChunkIndex() []ChunkSpan {
 // worst case.
 func (d *Decompressor) SeekTo(addr int64) error {
 	if d.closed {
-		return errors.New("atc: seek after close")
+		return fmt.Errorf("%w: SeekTo", ErrClosed)
 	}
 	if addr < 0 || addr > d.total {
-		return fmt.Errorf("atc: seek to %d outside trace [0, %d]", addr, d.total)
+		return fmt.Errorf("%w: seek to %d outside trace [0, %d]", ErrOutOfRange, addr, d.total)
 	}
 	d.stopReadahead()
 	d.recycleBatch(d.pendingBuf)
@@ -1061,10 +1074,10 @@ func (d *Decompressor) DecodeRange(from, to int64) ([]uint64, error) {
 // with zero allocations beyond the chunk work itself.
 func (d *Decompressor) DecodeRangeAppend(dst []uint64, from, to int64) ([]uint64, error) {
 	if d.closed {
-		return nil, errors.New("atc: decode after close")
+		return nil, fmt.Errorf("%w: DecodeRange", ErrClosed)
 	}
 	if from < 0 || to < from || to > d.total {
-		return nil, fmt.Errorf("atc: range [%d, %d) outside trace [0, %d)", from, to, d.total)
+		return nil, fmt.Errorf("%w: range [%d, %d) outside trace [0, %d)", ErrOutOfRange, from, to, d.total)
 	}
 	if from == to {
 		return dst, nil
@@ -1351,7 +1364,7 @@ func (d *Decompressor) Close() error {
 	if !d.closed {
 		d.closed = true
 		if d.err == nil {
-			d.err = errors.New("atc: decode after close")
+			d.err = fmt.Errorf("%w: Decode", ErrClosed)
 		}
 	}
 	var err error

@@ -45,6 +45,8 @@ func (s *Set) Add(addr uint64) {
 // unrolled so the per-address cost is eight increments, not a counted
 // loop of shifts — this is the serial section of the lossy front end, so
 // it runs once per coded address.
+//
+//atc:hotpath
 func (s *Set) AddSlice(addrs []uint64) {
 	h := &s.H
 	for _, a := range addrs {
@@ -97,6 +99,8 @@ func Compute(addrs []uint64) *Set {
 // storage: a caller recycling Sets (the compressor's front end keeps a
 // small pool, refilled by phase-table evictions) computes per-interval
 // histograms with zero allocation. Equivalent to *s = *Compute(addrs).
+//
+//atc:hotpath
 func ComputeInto(s *Set, addrs []uint64) {
 	s.Reset()
 	s.AddSlice(addrs)

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ErrCorruptAnalyzer enforces the decoder's total failure surface: on the
+// decode path every constructed error must wrap a sentinel with %w — usually
+// store.ErrCorrupt, or a client-error sentinel like core.ErrOutOfRange — so
+// callers can classify failures with errors.Is. A bare errors.New or a
+// fmt.Errorf without %w on the decode path turns hostile input into an
+// unclassifiable error, which is how corrupt traces become wrong answers
+// instead of refused ones.
+var ErrCorruptAnalyzer = &Analyzer{
+	Name: "errcorrupt",
+	Doc: "decode-path errors must wrap a sentinel: flag errors.New and " +
+		"fmt.Errorf without %w in functions on the untrusted-input decode path",
+	Run: runErrCorrupt,
+}
+
+// decodePathPkgs are import-path suffixes whose decode-ish functions are in
+// scope without annotation. Everything else opts in with //atc:decodepath.
+var decodePathPkgs = []string{
+	"internal/core",
+	"internal/store",
+	"internal/bytesort",
+	"internal/bitio",
+	"internal/vpc",
+	"internal/huffman",
+	"internal/bwt",
+	"internal/mtf",
+	"internal/bsc",
+	"internal/xcompress",
+}
+
+// decodeNameRe matches function names that parse or decode wire data:
+// readers, decoders, openers, parsers, seekers and the materialize/load
+// family the chunk cache uses. Encode-side code (Code, Write, Compress) is
+// deliberately out of scope — its errors describe local I/O, not hostile
+// input.
+var decodeNameRe = regexp.MustCompile(`^(Read|read|Decode|decode|Parse|parse|Open|open|Seek|seek|Load|load|Next|next|Inverse|inverse|Materialize|materialize|Unpack|unpack|Uncompress|uncompress|Decompress|decompress|Peek|peek|Lookup)`)
+
+// onDecodePath reports whether fn is in errcorrupt/untrustedlen scope.
+func onDecodePath(pkgPath string, fn *ast.FuncDecl) bool {
+	if _, ok := funcHasDirective(fn, "decodepath"); ok {
+		return true
+	}
+	for _, suffix := range decodePathPkgs {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return decodeNameRe.MatchString(fn.Name.Name)
+		}
+	}
+	return false
+}
+
+func runErrCorrupt(pass *Pass) error {
+	eachFuncDecl(pass.Files, func(_ *ast.File, fn *ast.FuncDecl) {
+		if !onDecodePath(pass.Pkg.Path(), fn) {
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case calleeIs(pass.Info, call, "errors.New"):
+				pass.Reportf(call.Pos(),
+					"decode-path error does not wrap a sentinel: use fmt.Errorf(\"%%w: ...\", store.ErrCorrupt) so errors.Is can classify it")
+			case calleeIs(pass.Info, call, "fmt.Errorf"):
+				checkErrorf(pass, call)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkErrorf verifies a decode-path fmt.Errorf wraps something: the format
+// must be a string literal containing %w, and the %w operand must not itself
+// be a freshly built errors.New (wrapping a throwaway error is the same hole
+// with extra steps).
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		pass.Reportf(call.Pos(), "decode-path fmt.Errorf has a non-literal format; cannot verify it wraps a sentinel (%%w)")
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	idx := wrapVerbIndexes(format)
+	if len(idx) == 0 {
+		pass.Reportf(call.Pos(), "decode-path fmt.Errorf does not wrap a sentinel: no %%w in format %s", lit.Value)
+		return
+	}
+	for _, i := range idx {
+		if i+1 >= len(call.Args) {
+			continue // fmt vet territory: missing operand
+		}
+		if inner, ok := ast.Unparen(call.Args[i+1]).(*ast.CallExpr); ok && calleeIs(pass.Info, inner, "errors.New") {
+			pass.Reportf(call.Pos(), "decode-path fmt.Errorf wraps a fresh errors.New, not a shared sentinel")
+		}
+	}
+}
+
+// wrapVerbIndexes returns the operand indexes (0-based) of every %w verb in
+// a Printf-style format string.
+func wrapVerbIndexes(format string) []int {
+	var out []int
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if i+1 >= len(format) {
+			break
+		}
+		i++
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, width and precision to reach the verb.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == 'w' {
+			out = append(out, arg)
+		}
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAllocAnalyzer keeps the annotated hot paths allocation-free. PR 5's
+// benchmarks made "zero allocations per address" a load-bearing property of
+// the encode front end (ComputeInto, AddSlice, CodeSlice, Table.Match) and
+// the batched decode producers (ReadSlice, the span batchers); this
+// analyzer stops the property rotting silently.
+//
+// A function opts in with //atc:hotpath in its doc comment. Inside one, the
+// analyzer flags the allocating constructs:
+//
+//   - make/new and &composite literals, unless inside an init-once guard
+//     (an if whose condition tests nil, cap() or len() — the "grow only
+//     when too small" idiom);
+//   - any call into package fmt (Sprintf and friends allocate their
+//     result, and every operand is boxed);
+//   - function literals (closures capture and escape);
+//   - append calls whose destination is not an explicit reslice
+//     (x[:0], x[:n]) — appends that may grow need a capacity proof, which
+//     the analyzer cannot see, so they carry an //atc:ignore with the
+//     proof as the reason;
+//   - string<->[]byte conversions (they copy);
+//   - implicit conversions of non-pointer concrete values to interface
+//     parameters (boxing).
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "//atc:hotpath functions must not allocate: no make/new outside " +
+		"init-once guards, no fmt calls, no closures, no growing append, no boxing",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	eachFuncDecl(pass.Files, func(_ *ast.File, fn *ast.FuncDecl) {
+		if _, hot := funcHasDirective(fn, "hotpath"); !hot {
+			return
+		}
+		h := &hotWalker{pass: pass}
+		h.walk(fn.Body, false)
+	})
+	return nil
+}
+
+type hotWalker struct {
+	pass *Pass
+}
+
+// walk visits nodes; guarded reports whether an ancestor if-condition
+// establishes an init-once context (nil/cap/len test), which excuses
+// make/new.
+func (h *hotWalker) walk(n ast.Node, guarded bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.IfStmt:
+		h.walkExpr(n.Cond, guarded)
+		g := guarded || initOnceCond(n.Cond)
+		h.walk(n.Init, guarded)
+		h.walk(n.Body, g)
+		h.walk(n.Else, g)
+		return
+	case *ast.BlockStmt:
+		for _, st := range n.List {
+			h.walk(st, guarded)
+		}
+		return
+	case *ast.ForStmt:
+		h.walk(n.Init, guarded)
+		h.walkExpr(n.Cond, guarded)
+		h.walk(n.Post, guarded)
+		h.walk(n.Body, guarded)
+		return
+	case *ast.RangeStmt:
+		h.walkExpr(n.X, guarded)
+		h.walk(n.Body, guarded)
+		return
+	case *ast.SwitchStmt:
+		h.walk(n.Init, guarded)
+		h.walkExpr(n.Tag, guarded)
+		for _, c := range n.Body.List {
+			for _, st := range c.(*ast.CaseClause).Body {
+				h.walk(st, guarded)
+			}
+		}
+		return
+	case *ast.TypeSwitchStmt:
+		h.walk(n.Init, guarded)
+		h.walk(n.Assign, guarded)
+		for _, c := range n.Body.List {
+			for _, st := range c.(*ast.CaseClause).Body {
+				h.walk(st, guarded)
+			}
+		}
+		return
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CommClause)
+			h.walk(cc.Comm, guarded)
+			for _, st := range cc.Body {
+				h.walk(st, guarded)
+			}
+		}
+		return
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			h.walkExpr(e, guarded)
+		}
+		for _, e := range n.Lhs {
+			h.walkExpr(e, guarded)
+		}
+		return
+	case *ast.ExprStmt:
+		h.walkExpr(n.X, guarded)
+		return
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			h.walkExpr(e, guarded)
+		}
+		return
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						h.walkExpr(v, guarded)
+					}
+				}
+			}
+		}
+		return
+	case *ast.DeferStmt:
+		h.walkExpr(n.Call, guarded)
+		return
+	case *ast.GoStmt:
+		h.pass.Reportf(n.Pos(), "hot path spawns a goroutine; move concurrency setup out of the hot loop")
+		h.walkExpr(n.Call, guarded)
+		return
+	case *ast.SendStmt:
+		h.walkExpr(n.Chan, guarded)
+		h.walkExpr(n.Value, guarded)
+		return
+	case *ast.LabeledStmt:
+		h.walk(n.Stmt, guarded)
+		return
+	case ast.Stmt:
+		return
+	}
+}
+
+// walkExpr flags allocating constructs inside one expression.
+func (h *hotWalker) walkExpr(e ast.Expr, guarded bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			h.pass.Reportf(n.Pos(), "hot path builds a closure; closures capture and allocate")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && !guarded {
+					h.pass.Reportf(n.Pos(), "hot path allocates via &composite literal outside an init-once guard")
+				}
+			}
+		case *ast.CallExpr:
+			h.checkCall(n, guarded)
+		}
+		return true
+	})
+}
+
+func (h *hotWalker) checkCall(call *ast.CallExpr, guarded bool) {
+	info := h.pass.Info
+	// Conversions: string <-> []byte copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isStringByteConversion(info, call) {
+			h.pass.Reportf(call.Pos(), "hot path converts between string and []byte, which copies")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				if !guarded {
+					h.pass.Reportf(call.Pos(), "hot path calls %s outside an init-once guard (if x == nil / if cap(x) < n)", id.Name)
+				}
+			case "append":
+				if len(call.Args) > 0 {
+					if _, reslice := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !reslice && !guarded {
+						h.pass.Reportf(call.Pos(), "hot path append may grow its backing array; reslice (x[:0]) or record a capacity proof in an //atc:ignore reason")
+					}
+				}
+			}
+			return
+		}
+	}
+	f := calleeFunc(info, call)
+	if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		h.pass.Reportf(call.Pos(), "hot path calls fmt.%s, which allocates", f.Name())
+		return
+	}
+	h.checkBoxing(call)
+}
+
+// checkBoxing flags arguments whose concrete non-pointer values convert
+// implicitly to interface parameters — each such call boxes the value.
+func (h *hotWalker) checkBoxing(call *ast.CallExpr) {
+	info := h.pass.Info
+	sigTV, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.IsNil() {
+			continue
+		}
+		switch at.Type.Underlying().(type) {
+		case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+			continue // no boxing: already a pointer-shaped value
+		}
+		h.pass.Reportf(arg.Pos(), "hot path boxes %s into an interface argument", exprString(h.pass, arg))
+	}
+}
+
+// isStringByteConversion reports a string([]byte) or []byte(string)
+// conversion.
+func isStringByteConversion(info *types.Info, call *ast.CallExpr) bool {
+	to, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	from, ok := info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	return (isString(to.Type) && isByteSlice(from.Type)) || (isByteSlice(to.Type) && isString(from.Type))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// initOnceCond reports whether an if condition is an init-once guard: it
+// mentions nil or calls cap()/len(), the "allocate only when missing or too
+// small" idiom.
+func initOnceCond(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "nil" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

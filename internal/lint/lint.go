@@ -1,0 +1,197 @@
+// Package lint implements atcvet, the repo's static-analysis suite.
+//
+// PRs 2–5 built three load-bearing conventions that nothing machine-checked:
+// every error on an untrusted-input decode path wraps store.ErrCorrupt, every
+// length or count parsed from the wire is bounds-checked before it sizes an
+// allocation, and the encode/decode hot paths stay allocation-free with
+// pooled buffers returned on all paths. This package turns each convention
+// into an analyzer:
+//
+//   - errcorrupt   — decode-path errors must wrap a sentinel (%w)
+//   - untrustedlen — wire-derived sizes must be bounded before make/alloc
+//   - hotalloc     — //atc:hotpath functions must not allocate
+//   - poolreturn   — pool/free-list Gets must reach their Put on every path
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) but is built on the standard library only —
+// the module has no external dependencies, and the analyses here are all
+// intra-package, which the stdlib type checker covers. cmd/atcvet drives the
+// suite either standalone (loading packages via `go list -export`) or as a
+// `go vet -vettool` backend speaking the vet config-file protocol.
+//
+// Findings are suppressed per line or per function with
+//
+//	//atc:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// where the reason is mandatory: an exception without a recorded "why" is
+// exactly the silent convention-drift the suite exists to stop.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //atc:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package and a
+// sink for its diagnostics — the stdlib-shaped subset of analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Suite is the full atcvet analyzer set, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{ErrCorruptAnalyzer, UntrustedLenAnalyzer, HotAllocAnalyzer, PoolReturnAnalyzer}
+}
+
+// byName maps analyzer names for directive validation.
+func byName(as []*Analyzer) map[string]*Analyzer {
+	m := make(map[string]*Analyzer, len(as))
+	for _, a := range as {
+		m[a.Name] = a
+	}
+	return m
+}
+
+// RunPackage applies analyzers to one loaded package and returns the
+// surviving diagnostics sorted by position: suppressions (//atc:ignore) are
+// applied, and a malformed or unknown-analyzer directive is itself reported
+// as a diagnostic from the "atcvet" pseudo-analyzer so a typo cannot
+// silently disable a gate.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	kept := applySuppressions(pkg, analyzers, raw)
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos != kept[j].Pos {
+			return kept[i].Pos < kept[j].Pos
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// A directive is one parsed //atc:<name> comment.
+type directive struct {
+	name string // "ignore", "hotpath", "decodepath", "pool", "wire"
+	args string // raw text after the name, space-trimmed
+	pos  token.Pos
+}
+
+// parseDirectives extracts //atc: directives from a comment group.
+func parseDirectives(cg *ast.CommentGroup) []directive {
+	if cg == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, "//atc:")
+		if !ok {
+			continue
+		}
+		name, args, _ := strings.Cut(text, " ")
+		out = append(out, directive{name: name, args: strings.TrimSpace(args), pos: c.Pos()})
+	}
+	return out
+}
+
+// funcHasDirective reports whether fn's doc comment carries the named
+// directive, returning its arguments.
+func funcHasDirective(fn *ast.FuncDecl, name string) (string, bool) {
+	for _, d := range parseDirectives(fn.Doc) {
+		if d.name == name {
+			return d.args, true
+		}
+	}
+	return "", false
+}
+
+// eachFuncDecl visits every function declaration with a body.
+func eachFuncDecl(files []*ast.File, f func(file *ast.File, fn *ast.FuncDecl)) {
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				f(file, fn)
+			}
+		}
+	}
+}
+
+// calleeFunc resolves the called function object, or nil for builtins,
+// conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleeIs reports whether call invokes the function with the given
+// fully-qualified name, e.g. "errors.New" or "fmt.Errorf".
+func calleeIs(info *types.Info, call *ast.CallExpr, full string) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.FullName() == full
+}
+
+// exprString renders an expression for a diagnostic message.
+func exprString(p *Pass, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, p.Fset, e); err != nil {
+		return "<expr>"
+	}
+	return b.String()
+}

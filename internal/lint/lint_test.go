@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"atc/internal/lint"
+	"atc/internal/lint/linttest"
+)
+
+// Each analyzer has a fixture package demonstrating at least one true
+// positive, the clean idioms it must not flag, and one annotated
+// suppression.
+
+func TestErrCorruptFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/errcorrupt", lint.ErrCorruptAnalyzer)
+}
+
+func TestUntrustedLenFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/untrustedlen", lint.UntrustedLenAnalyzer)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotalloc", lint.HotAllocAnalyzer)
+}
+
+func TestPoolReturnFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/poolreturn", lint.PoolReturnAnalyzer)
+}

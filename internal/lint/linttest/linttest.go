@@ -1,0 +1,128 @@
+// Package linttest is the fixture harness for the atcvet analyzers — the
+// stdlib stand-in for golang.org/x/tools/go/analysis/analysistest. A
+// fixture is an ordinary compilable package under internal/lint/testdata;
+// lines that should be flagged carry a trailing
+//
+//	// want `regexp` [`regexp` ...]
+//
+// comment. Run loads the fixture with the same go-list loader the atcvet
+// driver uses, applies the analyzers, and fails the test on any diagnostic
+// without a matching want (or want without a matching diagnostic).
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"atc/internal/lint"
+)
+
+// wantRe extracts the backquoted patterns of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (relative paths resolve from
+// the test's working directory) and checks analyzers' diagnostics against
+// the fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.LoadPatterns(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags, err := lint.RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants parses every `// want ...` comment into per-line
+// expectations.
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				ms := wantRe.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: malformed want comment %q (patterns must be backquoted)", key, c.Text)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Diagnostics runs analyzers over one fixture and returns the rendered
+// "file:line:col: [analyzer] message" lines — for tests asserting on raw
+// output rather than want comments.
+func Diagnostics(t *testing.T, dir string, analyzers ...*lint.Analyzer) []string {
+	t.Helper()
+	pkgs, err := lint.LoadPatterns(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		diags, err := lint.RunPackage(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", dir, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message))
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolReturnAnalyzer enforces the PR 3/5 buffer-recycling discipline: a
+// value obtained from a free-list or pool getter must reach the matching
+// put on every path out of the function — including early error returns,
+// which is where the discipline historically leaks.
+//
+// Getters are recognized two ways: sync.Pool's Get method, and any
+// function or method annotated
+//
+//	//atc:pool put=<name>
+//
+// where <name> is the matching put (a method on the same receiver type, or
+// a package function). After `x := getter()`, each return statement is
+// checked in source order; the value counts as released once it was passed
+// to the put, deferred to it, returned, sent on a channel, stored into a
+// field/map/global, or handed to any other function (ownership transfer —
+// the analysis is intra-procedural and trusts the callee). A return
+// reached while x is still held is reported.
+var PoolReturnAnalyzer = &Analyzer{
+	Name: "poolreturn",
+	Doc: "pool/free-list Gets must reach their Put on every path out of " +
+		"the function, including error returns",
+	Run: runPoolReturn,
+}
+
+func runPoolReturn(pass *Pass) error {
+	getters := collectPoolGetters(pass)
+	eachFuncDecl(pass.Files, func(_ *ast.File, fn *ast.FuncDecl) {
+		checkPoolUse(pass, fn, getters)
+	})
+	return nil
+}
+
+// collectPoolGetters maps annotated getter functions to their declared put
+// names.
+func collectPoolGetters(pass *Pass) map[*types.Func]string {
+	out := map[*types.Func]string{}
+	eachFuncDecl(pass.Files, func(_ *ast.File, fn *ast.FuncDecl) {
+		args, ok := funcHasDirective(fn, "pool")
+		if !ok {
+			return
+		}
+		putName := ""
+		for _, field := range strings.Fields(args) {
+			if v, found := strings.CutPrefix(field, "put="); found {
+				putName = v
+			}
+		}
+		if putName == "" {
+			pass.Reportf(fn.Pos(), "//atc:pool directive needs put=<name>")
+			return
+		}
+		if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+			out[obj] = putName
+		}
+	})
+	return out
+}
+
+// poolAcquire is one tracked `x := getter()` acquisition.
+type poolAcquire struct {
+	v        *types.Var // the acquired value
+	putName  string     // releasing call name
+	released bool
+}
+
+// checkPoolUse walks one function in source order, tracking acquisitions
+// and verifying each return.
+func checkPoolUse(pass *Pass, fn *ast.FuncDecl, getters map[*types.Func]string) {
+	var acquired []*poolAcquire
+
+	release := func(v *types.Var) {
+		for _, a := range acquired {
+			if a.v == v {
+				a.released = true
+			}
+		}
+	}
+
+	// exprVars lists the tracked variables referenced in e.
+	exprVars := func(e ast.Expr) []*types.Var {
+		var out []*types.Var
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+					for _, a := range acquired {
+						if a.v == v {
+							out = append(out, v)
+						}
+					}
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	// handleCall releases values that flow into any call: either the
+	// matching put, or an ownership transfer to another function.
+	handleCall := func(call *ast.CallExpr) {
+		if isBuiltinCall(pass.Info, call) {
+			return // len/cap/append of the value is not a transfer
+		}
+		for _, arg := range call.Args {
+			for _, v := range exprVars(arg) {
+				release(v)
+			}
+		}
+		// Method puts with the value as receiver argument (rare) need no
+		// special case: the value appears in Args or not at all.
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// x := getter(...)
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if putName, ok := getterPut(pass.Info, call, getters); ok && len(n.Lhs) >= 1 {
+						if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok {
+							if v, ok := objOf(pass.Info, id).(*types.Var); ok {
+								acquired = append(acquired, &poolAcquire{v: v, putName: putName})
+								return true
+							}
+						}
+						// Result dropped or stored into a field: out of
+						// scope for the tracker (fields persist past the
+						// function).
+					}
+				}
+			}
+			// Storing a tracked value into a field/map/global escapes it.
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if _, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident); !isIdent {
+					for _, v := range exprVars(rhs) {
+						release(v)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			handleCall(n)
+		case *ast.SendStmt:
+			for _, v := range exprVars(n.Value) {
+				release(v)
+			}
+		case *ast.DeferStmt:
+			handleCall(n.Call)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				for _, v := range exprVars(r) {
+					release(v)
+				}
+			}
+			for _, a := range acquired {
+				if !a.released {
+					pass.Reportf(n.Pos(),
+						"return without releasing %s to the pool (missing %s on this path)", a.v.Name(), a.putName)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// getterPut resolves the put name when call invokes a recognized getter.
+func getterPut(info *types.Info, call *ast.CallExpr, getters map[*types.Func]string) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	if name, ok := getters[f]; ok {
+		return name, true
+	}
+	// sync.Pool.Get pairs with Put natively.
+	if f.Name() == "Get" && f.Pkg() != nil && f.Pkg().Path() == "sync" {
+		if recv := f.Signature().Recv(); recv != nil {
+			if named, ok := derefType(recv.Type()).(*types.Named); ok && named.Obj().Name() == "Pool" {
+				return "Put", true
+			}
+		}
+	}
+	return "", false
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}

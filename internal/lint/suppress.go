@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An ignoreSpan is one //atc:ignore directive resolved to the region it
+// suppresses: the directive's own line plus the following line (for a
+// directive placed above the flagged statement), or a whole function body
+// when the directive sits in the function's doc comment.
+type ignoreSpan struct {
+	analyzers []string // analyzer names covered; never empty
+	fromLine  int
+	toLine    int
+	file      *token.File
+}
+
+func (s ignoreSpan) covers(f *token.File, line int, analyzer string) bool {
+	if f != s.file || line < s.fromLine || line > s.toLine {
+		return false
+	}
+	for _, a := range s.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions filters diagnostics through //atc:ignore directives and
+// appends a diagnostic for every malformed or unknown-analyzer directive.
+// Directive-hygiene diagnostics carry the pseudo-analyzer name "atcvet" and
+// cannot themselves be ignored: a typoed suppression must fail loudly, not
+// silently widen.
+func applySuppressions(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []Diagnostic {
+	// Directives validate against the full suite, not just the analyzers in
+	// this run: a fixture or a partial run must not misreport a legitimate
+	// //atc:ignore for a sibling analyzer as unknown.
+	known := byName(append(Suite(), analyzers...))
+	var spans []ignoreSpan
+	var bad []Diagnostic
+
+	addDirective(pkg, known, &spans, &bad)
+
+	var kept []Diagnostic
+	for _, d := range raw {
+		pos := pkg.Fset.Position(d.Pos)
+		f := pkg.Fset.File(d.Pos)
+		suppressed := false
+		for _, s := range spans {
+			if s.covers(f, pos.Line, d.Analyzer) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, bad...)
+}
+
+// addDirective scans every comment in the package for //atc:ignore
+// directives, recording valid spans and reporting invalid directives.
+func addDirective(pkg *Package, known map[string]*Analyzer, spans *[]ignoreSpan, bad *[]Diagnostic) {
+	report := func(pos token.Pos, format string, args ...any) {
+		*bad = append(*bad, Diagnostic{Analyzer: "atcvet", Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, file := range pkg.Files {
+		tf := pkg.Fset.File(file.Pos())
+		// Function-doc directives suppress the whole body.
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, d := range parseDirectives(fn.Doc) {
+				if d.name != "ignore" {
+					continue
+				}
+				names, ok := parseIgnoreArgs(d.args, known, d.pos, report)
+				if !ok {
+					continue
+				}
+				*spans = append(*spans, ignoreSpan{
+					analyzers: names,
+					fromLine:  tf.Line(fn.Pos()),
+					toLine:    tf.Line(fn.End()),
+					file:      tf,
+				})
+			}
+		}
+		// Line directives suppress their own line and the next one.
+		for _, cg := range file.Comments {
+			for _, d := range parseDirectives(cg) {
+				if d.name != "ignore" {
+					continue
+				}
+				if inFuncDoc(file, d.pos) {
+					continue // handled above as a whole-function span
+				}
+				names, ok := parseIgnoreArgs(d.args, known, d.pos, report)
+				if !ok {
+					continue
+				}
+				line := tf.Line(d.pos)
+				*spans = append(*spans, ignoreSpan{
+					analyzers: names,
+					fromLine:  line,
+					toLine:    line + 1,
+					file:      tf,
+				})
+			}
+		}
+	}
+}
+
+// parseIgnoreArgs validates "analyzer[,analyzer...] reason" directive
+// arguments. Both an unknown analyzer name and a missing reason invalidate
+// the directive.
+func parseIgnoreArgs(args string, known map[string]*Analyzer, pos token.Pos, report func(token.Pos, string, ...any)) ([]string, bool) {
+	list, reason, _ := strings.Cut(args, " ")
+	if list == "" {
+		report(pos, "//atc:ignore needs an analyzer name and a reason")
+		return nil, false
+	}
+	names := strings.Split(list, ",")
+	for _, n := range names {
+		if _, ok := known[n]; !ok {
+			report(pos, "//atc:ignore names unknown analyzer %q", n)
+			return nil, false
+		}
+	}
+	if strings.TrimSpace(reason) == "" {
+		report(pos, "//atc:ignore %s has no reason; explain the exception", list)
+		return nil, false
+	}
+	return names, true
+}
+
+// inFuncDoc reports whether pos falls inside some function's doc comment.
+func inFuncDoc(file *ast.File, pos token.Pos) bool {
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+			if pos >= fn.Doc.Pos() && pos <= fn.Doc.End() {
+				return true
+			}
+		}
+	}
+	return false
+}

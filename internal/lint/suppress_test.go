@@ -1,0 +1,51 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"atc/internal/lint"
+	"atc/internal/lint/linttest"
+)
+
+// TestSuppressionHygiene runs the badignore fixture, which mixes a valid
+// suppression (must silence its finding), a typoed analyzer name and a
+// reasonless directive (both must surface as atcvet diagnostics alongside
+// the finding they failed to suppress), and a function-wide doc-comment
+// suppression.
+func TestSuppressionHygiene(t *testing.T) {
+	got := linttest.Diagnostics(t, "testdata/src/badignore", lint.Suite()...)
+
+	wantSubstrings := []string{
+		`names unknown analyzer "errcorupt"`,    // typo rejected
+		`//atc:ignore errcorrupt has no reason`, // reason mandatory
+	}
+	for _, want := range wantSubstrings {
+		if !containsSubstring(got, want) {
+			t.Errorf("diagnostics missing %q; got:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+
+	// The two invalid directives each leave their errors.New finding live:
+	// exactly two errcorrupt findings survive (parseTypo, parseNoReason);
+	// parseValid's and parseFuncWide's are suppressed.
+	count := 0
+	for _, line := range got {
+		if strings.Contains(line, "[errcorrupt]") {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("want 2 surviving errcorrupt findings (invalid directives suppress nothing), got %d:\n%s",
+			count, strings.Join(got, "\n"))
+	}
+}
+
+func containsSubstring(lines []string, sub string) bool {
+	for _, l := range lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// Package badignore exercises directive hygiene: a typoed or reasonless
+// //atc:ignore must fail loudly instead of silently suppressing nothing.
+// suppress_test asserts on the raw diagnostics rather than want comments,
+// since the findings land on the directive lines themselves.
+package badignore
+
+import "errors"
+
+// parseTypo names an analyzer that does not exist: the directive is
+// rejected and the finding it meant to cover still fires.
+//
+//atc:decodepath
+func parseTypo(b []byte) error {
+	if len(b) == 0 {
+		//atc:ignore errcorupt misspelled analyzer name
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// parseNoReason omits the mandatory reason.
+//
+//atc:decodepath
+func parseNoReason(b []byte) error {
+	if len(b) == 0 {
+		//atc:ignore errcorrupt
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// parseValid round-trips a correct suppression: no diagnostics at all.
+//
+//atc:decodepath
+func parseValid(b []byte) error {
+	if len(b) == 0 {
+		//atc:ignore errcorrupt fixture exercising the happy path of suppression
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// parseFuncWide suppresses for the whole function from the doc comment.
+//
+//atc:decodepath
+//atc:ignore errcorrupt seed-era parser kept verbatim for golden-trace compatibility
+func parseFuncWide(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty")
+	}
+	return errors.New("tail")
+}

@@ -1,0 +1,70 @@
+// Package errcorrupt is the analysistest-style fixture for the errcorrupt
+// analyzer. It compiles but deliberately violates the decode-path error
+// convention; flagged lines carry want comments.
+package errcorrupt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt mirrors store.ErrCorrupt for the fixture.
+var ErrCorrupt = errors.New("corrupt")
+
+// parseHeader is on the decode path by annotation and constructs errors
+// every wrong way.
+//
+//atc:decodepath
+func parseHeader(b []byte) error {
+	if len(b) < 4 {
+		return errors.New("short header") // want `does not wrap a sentinel`
+	}
+	if b[0] != 'A' {
+		return fmt.Errorf("bad magic %q", b[0]) // want `no %w in format`
+	}
+	if b[1] == 0 {
+		return fmt.Errorf("%w: zero version", errors.New("boom")) // want `wraps a fresh errors.New` `does not wrap a sentinel`
+	}
+	return nil
+}
+
+// parseNonLiteral cannot be verified: the format string is computed.
+//
+//atc:decodepath
+func parseNonLiteral(b []byte, format string) error {
+	if len(b) == 0 {
+		return fmt.Errorf(format, len(b)) // want `non-literal format`
+	}
+	return nil
+}
+
+// decodeClean wraps the sentinel and propagates wrapped errors: no
+// diagnostics.
+//
+//atc:decodepath
+func decodeClean(b []byte) error {
+	if len(b) < 2 {
+		return fmt.Errorf("%w: truncated at %d bytes", ErrCorrupt, len(b))
+	}
+	if err := parseHeader(b); err != nil {
+		return fmt.Errorf("header: %w", err)
+	}
+	return nil
+}
+
+// buildReport is not on the decode path: bare errors are fine here.
+func buildReport() error {
+	return errors.New("no trace configured")
+}
+
+// parseLegacy demonstrates the suppression round-trip: the violation is
+// acknowledged with a reason.
+//
+//atc:decodepath
+func parseLegacy(b []byte) error {
+	if len(b) == 0 {
+		//atc:ignore errcorrupt seed-format reader; caller wraps ErrCorrupt at the trace layer
+		return errors.New("legacy empty input")
+	}
+	return nil
+}

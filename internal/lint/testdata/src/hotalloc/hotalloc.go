@@ -1,0 +1,99 @@
+// Package hotalloc is the fixture for the hotalloc analyzer: functions
+// annotated //atc:hotpath must not allocate.
+package hotalloc
+
+import "fmt"
+
+type state struct {
+	buf     []byte
+	scratch []uint64
+}
+
+func sink(x any) { _ = x }
+
+// Accumulate is a clean hot loop: arithmetic, indexing, no allocation.
+//
+//atc:hotpath
+func (s *state) Accumulate(addrs []uint64) uint64 {
+	var total uint64
+	for _, a := range addrs {
+		total += a & 0xff
+	}
+	return total
+}
+
+// Describe allocates every way the analyzer knows about.
+//
+//atc:hotpath
+func (s *state) Describe(n int) string {
+	tmp := make([]byte, n) // want `calls make outside an init-once guard`
+	_ = tmp
+	return fmt.Sprintf("%d", n) // want `calls fmt.Sprintf, which allocates`
+}
+
+// Grow allocates only under a capacity guard: clean.
+//
+//atc:hotpath
+func (s *state) Grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n)
+	}
+	s.buf = s.buf[:n]
+}
+
+// Lazily allocates under a nil guard: clean.
+//
+//atc:hotpath
+func (s *state) Lazily() {
+	if s.scratch == nil {
+		s.scratch = make([]uint64, 16)
+	}
+}
+
+// AppendGrow may grow its backing array.
+//
+//atc:hotpath
+func AppendGrow(xs []uint64, v uint64) []uint64 {
+	return append(xs, v) // want `append may grow its backing array`
+}
+
+// AppendReuse reslices to zero first: clean.
+//
+//atc:hotpath
+func (s *state) AppendReuse(v uint64) {
+	s.scratch = append(s.scratch[:0], v)
+}
+
+// MakeClosure captures and escapes.
+//
+//atc:hotpath
+func MakeClosure(n int) func() int {
+	return func() int { return n } // want `builds a closure`
+}
+
+// Box converts a concrete value to an interface argument.
+//
+//atc:hotpath
+func Box(v uint64) {
+	sink(v) // want `boxes v into an interface argument`
+}
+
+// Stringify copies through a string conversion.
+//
+//atc:hotpath
+func Stringify(b []byte) string {
+	return string(b) // want `converts between string and \[\]byte`
+}
+
+// AppendProved carries its capacity proof in the suppression reason.
+//
+//atc:hotpath
+func (s *state) AppendProved(v uint64) {
+	//atc:ignore hotalloc scratch is preallocated to interval capacity by the constructor
+	s.scratch = append(s.scratch, v)
+}
+
+// cold is unannotated: allocations are fine.
+func cold(n int) []byte {
+	return append(make([]byte, 0, n), fmt.Sprintf("%d", n)...)
+}

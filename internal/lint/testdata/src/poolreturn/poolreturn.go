@@ -1,0 +1,95 @@
+// Package poolreturn is the fixture for the poolreturn analyzer: a value
+// from a pool getter must reach the matching put on every path.
+package poolreturn
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+var errBoom = errors.New("boom")
+
+// freeList is a bounded free list in the style of the decoder's batch
+// buffers.
+type freeList struct{ ch chan []byte }
+
+// get takes a buffer from the free list, or allocates.
+//
+//atc:pool put=put
+func (f *freeList) get() []byte {
+	select {
+	case b := <-f.ch:
+		return b[:0]
+	default:
+		return make([]byte, 0, 64)
+	}
+}
+
+// put returns a buffer to the free list.
+func (f *freeList) put(b []byte) {
+	select {
+	case f.ch <- b:
+	default:
+	}
+}
+
+// leakyEarlyReturn drops the buffer on the error path.
+func leakyEarlyReturn(f *freeList, fail bool) error {
+	buf := f.get()
+	if fail {
+		return errBoom // want `return without releasing buf`
+	}
+	f.put(buf)
+	return nil
+}
+
+// deferredPut releases on every path via defer: clean.
+func deferredPut(f *freeList, fail bool) error {
+	buf := f.get()
+	defer f.put(buf)
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// transferred hands the buffer to another function, which takes ownership:
+// clean by the analyzer's transfer rule.
+func transferred(f *freeList, w io.Writer) error {
+	buf := f.get()
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	f.put(buf)
+	return nil
+}
+
+// returned escapes the buffer to the caller: clean.
+func returned(f *freeList) []byte {
+	return f.get()
+}
+
+var bufPool sync.Pool
+
+// syncPoolLeak drops a sync.Pool value on the error path — the native
+// Get/Put pairing needs no annotation.
+func syncPoolLeak(fail bool) error {
+	x := bufPool.Get()
+	if fail {
+		return errBoom // want `missing Put on this path`
+	}
+	bufPool.Put(x)
+	return nil
+}
+
+// acknowledgedDrop records why the buffer is dropped.
+func acknowledgedDrop(f *freeList, fail bool) error {
+	buf := f.get()
+	if fail {
+		//atc:ignore poolreturn dropped deliberately: the free list refills from steady state and failure is terminal
+		return errBoom
+	}
+	f.put(buf)
+	return nil
+}

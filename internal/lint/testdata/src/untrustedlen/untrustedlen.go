@@ -1,0 +1,135 @@
+// Package untrustedlen is the fixture for the untrustedlen analyzer:
+// wire-derived sizes must be bounded before they size an allocation.
+package untrustedlen
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt mirrors store.ErrCorrupt for the fixture.
+var ErrCorrupt = errors.New("corrupt")
+
+const maxCount = 1 << 20
+
+// readUnbounded trusts a 4-byte header to size an allocation.
+//
+//atc:decodepath
+func readUnbounded(r io.Reader, hdr []byte) ([]byte, error) {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	buf := make([]byte, n) // want `unchecked wire-derived value n`
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// readScaled hides the tainted count inside an arithmetic expression and a
+// grow guard — the guard lower-bounds the allocation, it does not bound the
+// wire value.
+//
+//atc:decodepath
+func readScaled(hdr []byte, scratch []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if cap(scratch) < 8*n {
+		scratch = make([]byte, 8*n) // want `unchecked wire-derived value 8 \* n`
+	}
+	return scratch[:8*n]
+}
+
+// readGuarded bounds the count first: clean.
+//
+//atc:decodepath
+func readGuarded(r io.Reader, hdr []byte) ([]byte, error) {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n > maxCount {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrCorrupt, n)
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// readClamped uses the clamp idiom: clean.
+//
+//atc:decodepath
+func readClamped(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n > maxCount {
+		n = maxCount
+	}
+	return make([]byte, n)
+}
+
+// readMinClamp bounds through the min builtin: clean.
+//
+//atc:decodepath
+func readMinClamp(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	return make([]byte, min(n, maxCount))
+}
+
+// readPinned is bounded by an equality pin that exits on mismatch: clean.
+//
+//atc:decodepath
+func readPinned(hdr []byte, payload []byte) ([]byte, error) {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n != len(payload) {
+		return nil, fmt.Errorf("%w: count %d does not match payload %d", ErrCorrupt, n, len(payload))
+	}
+	out := make([]byte, n)
+	copy(out, payload)
+	return out, nil
+}
+
+// wireCount models core's readCount helper: its result is declared
+// wire-derived, so callers must bound it themselves.
+//
+//atc:wire
+func wireCount(r io.ByteReader) (int64, error) {
+	v, err := binary.ReadUvarint(r)
+	return int64(v), err
+}
+
+// useWireFunc consumes an //atc:wire function without a bound.
+//
+//atc:decodepath
+func useWireFunc(r io.ByteReader) ([]byte, error) {
+	n, err := wireCount(r)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil // want `unchecked wire-derived value n`
+}
+
+// header models a decoded struct with an annotated wire field.
+type header struct {
+	total int64 //atc:wire
+}
+
+// decodePrealloc sizes a slice straight from the wire field.
+//
+//atc:decodepath
+func (h *header) decodePrealloc() []uint64 {
+	return make([]uint64, 0, h.total) // want `unchecked wire-derived value h\.total`
+}
+
+// decodeBounded clamps the field first: clean.
+//
+//atc:decodepath
+func (h *header) decodeBounded() []uint64 {
+	n := h.total
+	if n > maxCount {
+		n = maxCount
+	}
+	return make([]uint64, 0, n)
+}
+
+// readSuppressed records its exception: the suppression round-trip.
+//
+//atc:decodepath
+func readSuppressed(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	//atc:ignore untrustedlen header produced by this process moments earlier, not wire input
+	return make([]byte, n)
+}

@@ -1,0 +1,491 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UntrustedLenAnalyzer generalizes the 2^48 plausibility caps PR 2 added by
+// hand: every length or count parsed from the wire (INFO/TOC/MANIFEST
+// fields, block headers) must be bounds-checked before it sizes an
+// allocation. Without the check, a 4-byte corrupt header can demand a
+// multi-gigabyte make before the first content byte is read.
+//
+// The analysis is an intra-procedural taint walk over functions on the
+// decode path (same scope rule as errcorrupt). Taint sources are direct
+// encoding/binary integer decodes (Uint16/32/64, ReadUvarint/ReadVarint),
+// calls to functions annotated //atc:wire, and reads of struct fields
+// annotated //atc:wire. A tainted value is sanitized by a comparison that
+// upper-bounds it: `if n > max { return ... }` (guard exits), `if n > max
+// { n = max }` (clamp), an equality pin against an untrusted-free value
+// that exits on mismatch, or use under `if n <= max { ... }`. Builtin
+// min() against an untainted bound also sanitizes. Sinks are make sizes
+// and io.CopyN limits.
+var UntrustedLenAnalyzer = &Analyzer{
+	Name: "untrustedlen",
+	Doc: "wire-derived lengths must be bounds-checked before they size an " +
+		"allocation (make, io.CopyN) on the decode path",
+	Run: runUntrustedLen,
+}
+
+func runUntrustedLen(pass *Pass) error {
+	wireFuncs, wireFields := collectWireAnnotations(pass)
+	eachFuncDecl(pass.Files, func(_ *ast.File, fn *ast.FuncDecl) {
+		if !onDecodePath(pass.Pkg.Path(), fn) {
+			return
+		}
+		w := &taintWalker{
+			pass:       pass,
+			wireFuncs:  wireFuncs,
+			wireFields: wireFields,
+			tainted:    map[*types.Var]bool{},
+		}
+		w.stmt(fn.Body)
+	})
+	return nil
+}
+
+// collectWireAnnotations finds //atc:wire on function declarations (the
+// function's results are wire-derived) and on struct fields (reads of the
+// field are wire-derived).
+func collectWireAnnotations(pass *Pass) (map[*types.Func]bool, map[*types.Var]bool) {
+	funcs := map[*types.Func]bool{}
+	fields := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if _, ok := funcHasDirective(fn, "wire"); ok {
+					if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+						funcs[obj] = true
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				tagged := false
+				for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+					for _, d := range parseDirectives(cg) {
+						if d.name == "wire" {
+							tagged = true
+						}
+					}
+				}
+				if !tagged {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj, ok := pass.Info.Defs[name].(*types.Var); ok {
+						fields[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return funcs, fields
+}
+
+// taintWalker tracks which local variables currently hold unbounded
+// wire-derived integers, in source order. It is deliberately flow-coarse:
+// loops are walked once, branches share the surrounding state, and a
+// sanitizing guard removes taint for everything after it. That trades
+// soundness corners for near-zero false positives on real decoder code.
+type taintWalker struct {
+	pass       *Pass
+	wireFuncs  map[*types.Func]bool
+	wireFields map[*types.Var]bool
+	tainted    map[*types.Var]bool
+}
+
+func (w *taintWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.stmt(st)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.scanExpr(s.Cond)
+		w.ifStmt(s)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.scanExpr(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		if w.taintedExpr(s.X) {
+			w.taintLHS(s.Key)
+			w.taintLHS(s.Value)
+		}
+		w.stmt(s.Body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.scanExpr(s.Tag)
+		for _, c := range s.Body.List {
+			for _, st := range c.(*ast.CaseClause).Body {
+				w.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			for _, st := range c.(*ast.CaseClause).Body {
+				w.stmt(st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				w.stmt(st)
+			}
+		}
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+						w.scanExpr(rhs)
+					}
+					w.setTaint(name, rhs != nil && w.taintedExpr(rhs))
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.scanExpr(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r)
+		}
+	case *ast.DeferStmt:
+		w.scanExpr(s.Call)
+	case *ast.GoStmt:
+		w.scanExpr(s.Call)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan)
+		w.scanExpr(s.Value)
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// assign updates taint for v := expr / v = expr forms and scans the RHS for
+// sinks. A multi-value `v, err := source()` taints the first variable.
+func (w *taintWalker) assign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		w.scanExpr(r)
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			w.taintOrClear(lhs, w.taintedExpr(s.Rhs[i]))
+		}
+		return
+	}
+	if len(s.Rhs) == 1 {
+		// Tuple assignment: taint the first result of a source call, leave
+		// the rest (usually an error) alone.
+		t := w.taintedExpr(s.Rhs[0])
+		for i, lhs := range s.Lhs {
+			w.taintOrClear(lhs, t && i == 0)
+		}
+	}
+}
+
+func (w *taintWalker) taintOrClear(lhs ast.Expr, tainted bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // field/index writes are not tracked
+	}
+	w.setTaint(id, tainted)
+}
+
+func (w *taintWalker) taintLHS(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		w.setTaint(id, true)
+	}
+}
+
+func (w *taintWalker) setTaint(id *ast.Ident, tainted bool) {
+	obj := w.pass.Info.Defs[id]
+	if obj == nil {
+		obj = w.pass.Info.Uses[id]
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if tainted {
+			w.tainted[v] = true
+		} else {
+			delete(w.tainted, v)
+		}
+	}
+}
+
+// ifStmt applies sanitizer semantics around an if statement's body.
+func (w *taintWalker) ifStmt(s *ast.IfStmt) {
+	boundedInside, boundedAfterIfExit := w.condBounds(s.Cond)
+
+	// Variables upper-bounded by the condition are clean inside the body.
+	restore := map[*types.Var]bool{}
+	for _, v := range boundedInside {
+		if w.tainted[v] {
+			restore[v] = true
+			delete(w.tainted, v)
+		}
+	}
+	assigned := assignedVars(w.pass, s.Body)
+	w.stmt(s.Body)
+	for v := range restore {
+		w.tainted[v] = true
+	}
+	w.stmt(s.Else)
+
+	// `if n > max { return err }` and `if n > max { n = max }` both leave n
+	// bounded for the rest of the function.
+	if terminates(s.Body) {
+		for _, v := range boundedAfterIfExit {
+			delete(w.tainted, v)
+		}
+	}
+	for _, v := range boundedAfterIfExit {
+		if assigned[v] {
+			delete(w.tainted, v)
+		}
+	}
+}
+
+// condBounds classifies the comparisons in a condition. For a comparison
+// with exactly one tainted side t and one untainted side u it returns:
+//
+//   - boundedInside: t's variables, when the condition implies t ≤ u holds
+//     in the body (t < u, t <= u, t == u and mirrored forms);
+//   - boundedAfterIfExit: t's variables, when the body running means t was
+//     out of bounds (t > u, t >= u, t != u and mirrored forms) — so taint
+//     clears after the if only if the body exits or reassigns.
+//
+// Conditions joined with && / || contribute all their comparisons; this
+// over-approximates sanitization slightly, which is the right direction for
+// a linter gating CI.
+func (w *taintWalker) condBounds(cond ast.Expr) (boundedInside, boundedAfterIfExit []*types.Var) {
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		be, ok := e.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch be.Op {
+		case token.LAND, token.LOR:
+			walk(be.X)
+			walk(be.Y)
+			return
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return
+		}
+		xt, yt := w.taintedExpr(be.X), w.taintedExpr(be.Y)
+		if xt == yt {
+			return // both tainted or neither: no bound established
+		}
+		tSide := be.X
+		op := be.Op
+		if yt {
+			tSide = be.Y
+			// Mirror the operator so taint is notionally on the left.
+			switch op {
+			case token.LSS:
+				op = token.GTR
+			case token.LEQ:
+				op = token.GEQ
+			case token.GTR:
+				op = token.LSS
+			case token.GEQ:
+				op = token.LEQ
+			}
+		}
+		vars := taintedVarsIn(w, tSide)
+		switch op {
+		case token.LSS, token.LEQ, token.EQL:
+			boundedInside = append(boundedInside, vars...)
+		case token.GTR, token.GEQ, token.NEQ:
+			boundedAfterIfExit = append(boundedAfterIfExit, vars...)
+		}
+	}
+	walk(cond)
+	return boundedInside, boundedAfterIfExit
+}
+
+// taintedVarsIn lists the currently tainted variables referenced by e.
+func taintedVarsIn(w *taintWalker, e ast.Expr) []*types.Var {
+	var out []*types.Var
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := w.pass.Info.Uses[id].(*types.Var); ok && w.tainted[v] {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// assignedVars collects variables assigned anywhere in a block (the clamp
+// pattern `if n > max { n = max }`).
+func assignedVars(pass *Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// terminates reports whether a block's final statement exits the function
+// or the enclosing loop: return, panic, break, continue, goto.
+func terminates(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// taintedExpr reports whether e produces an unbounded wire-derived value.
+func (w *taintWalker) taintedExpr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := w.pass.Info.Uses[e].(*types.Var)
+		return ok && w.tainted[v]
+	case *ast.ParenExpr:
+		return w.taintedExpr(e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ,
+			token.LAND, token.LOR:
+			return false // comparisons yield bools, not sizes
+		}
+		return w.taintedExpr(e.X) || w.taintedExpr(e.Y)
+	case *ast.UnaryExpr:
+		return w.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return w.taintedExpr(e.X)
+	case *ast.SelectorExpr:
+		if sel, ok := w.pass.Info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && w.wireFields[v] {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return w.taintedCall(e)
+	}
+	return false
+}
+
+// taintedCall reports whether a call (or conversion) yields wire-derived
+// data: binary integer decodes, //atc:wire functions, conversions of
+// tainted operands, and min/max where every operand is tainted (min against
+// an untainted bound is a sanitizer).
+func (w *taintWalker) taintedCall(call *ast.CallExpr) bool {
+	// Conversions propagate taint: int(n), uint64(n).
+	if tv, ok := w.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return w.taintedExpr(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := w.pass.Info.Uses[id].(*types.Builtin); ok && (id.Name == "min" || id.Name == "max") {
+			for _, a := range call.Args {
+				if !w.taintedExpr(a) {
+					return false
+				}
+			}
+			return len(call.Args) > 0
+		}
+	}
+	f := calleeFunc(w.pass.Info, call)
+	if f == nil {
+		return false
+	}
+	if w.wireFuncs[f] {
+		return true
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "encoding/binary" {
+		switch f.Name() {
+		case "Uint16", "Uint32", "Uint64", "ReadUvarint", "ReadVarint":
+			return true
+		}
+	}
+	return false
+}
+
+// scanExpr hunts for sinks inside an expression tree: make sizes and
+// io.CopyN limits fed by tainted values.
+func (w *taintWalker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" {
+				for _, sz := range call.Args[1:] {
+					if w.taintedExpr(sz) {
+						w.pass.Reportf(call.Pos(),
+							"make sized by unchecked wire-derived value %s; bound it against a maximum (reject with ErrCorrupt) before allocating", exprString(w.pass, sz))
+					}
+				}
+			}
+			return true
+		}
+		if calleeIs(w.pass.Info, call, "io.CopyN") && len(call.Args) == 3 && w.taintedExpr(call.Args[2]) {
+			w.pass.Reportf(call.Pos(),
+				"io.CopyN limit is an unchecked wire-derived value %s; bound it before copying", exprString(w.pass, call.Args[2]))
+		}
+		return true
+	})
+}

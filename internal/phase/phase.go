@@ -58,6 +58,8 @@ func (t *Table) Len() int { return len(t.entries) }
 
 // Match finds the stored chunk with the smallest distance to h. It returns
 // ok=false when no chunk is within the threshold. h must be finalized.
+//
+//atc:hotpath
 func (t *Table) Match(h *histogram.Set) (chunkID int, dist float64, ok bool) {
 	t.lookups++
 	best := -1
@@ -91,9 +93,12 @@ func (t *Table) Lookup(chunkID int) (*histogram.Set, bool) {
 // returned (nil when nothing was evicted) so callers recycling Sets —
 // the compressor's allocation-free front end — can reuse its storage; the
 // table holds no reference to it afterwards.
+//
+//atc:hotpath
 func (t *Table) Insert(chunkID int, h *histogram.Set) (evicted *histogram.Set) {
 	for i := range t.entries {
 		if t.entries[i].ChunkID == chunkID {
+			//atc:ignore hotalloc formatting a programming-error panic; this path never runs in a correct build
 			panic(fmt.Sprintf("phase: duplicate chunk id %d", chunkID))
 		}
 	}
@@ -103,6 +108,7 @@ func (t *Table) Insert(chunkID int, h *histogram.Set) (evicted *histogram.Set) {
 		t.entries = t.entries[:t.cap-1]
 		t.evictions++
 	}
+	//atc:ignore hotalloc growth is bounded by the table capacity: after the first t.cap inserts the eviction branch keeps len < cap and append never reallocates
 	t.entries = append(t.entries, Entry{ChunkID: chunkID, Hist: h})
 	return evicted
 }

@@ -9,6 +9,7 @@ package xcompress
 
 import (
 	"compress/flate"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -16,6 +17,11 @@ import (
 
 	"atc/internal/bsc"
 )
+
+// ErrUnknownBackend reports a backend name with no registration — from a
+// decoder's perspective this means the trace names a compressor this build
+// cannot provide, so callers on the decode path treat it like corruption.
+var ErrUnknownBackend = errors.New("xcompress: unknown backend")
 
 // Backend creates compressing writers and decompressing readers.
 type Backend interface {
@@ -47,7 +53,7 @@ func Lookup(name string) (Backend, error) {
 	defer mu.RUnlock()
 	b, ok := backends[name]
 	if !ok {
-		return nil, fmt.Errorf("xcompress: unknown backend %q (have %v)", name, namesLocked())
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownBackend, name, namesLocked())
 	}
 	return b, nil
 }
