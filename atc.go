@@ -290,9 +290,33 @@ func WithoutTranslations() ReadOption {
 }
 
 // WithChunkCache bounds the number of decompressed chunks cached in memory
-// during decoding (default 8).
+// during decoding (default 8). Ignored when WithSharedChunkCache provides
+// the cache itself.
 func WithChunkCache(n int) ReadOption {
 	return func(o *core.DecodeOptions) { o.ChunkCacheSize = n }
+}
+
+// ChunkCache holds decompressed chunks for a Reader, keyed by chunk ID.
+// Inject one with WithSharedChunkCache; see atc/internal/core for the
+// interface contract (cached slices are shared and immutable).
+type ChunkCache = core.ChunkCache
+
+// SharedChunkCache is a concurrency-safe LRU chunk cache meant to be
+// shared by a pool of Readers over one trace: a hot chunk decompresses
+// once per process instead of once per reader, and concurrent misses on
+// the same chunk deduplicate onto a single decompression.
+type SharedChunkCache = core.SharedChunkCache
+
+// NewSharedChunkCache returns a SharedChunkCache bounding n chunks
+// (minimum 1).
+func NewSharedChunkCache(n int) *SharedChunkCache { return core.NewSharedChunkCache(n) }
+
+// WithSharedChunkCache replaces the Reader's private chunk cache with a
+// caller-provided one — typically one NewSharedChunkCache shared by every
+// pooled Reader of the same trace. Do not share one cache across
+// different traces: chunk IDs would collide. Overrides WithChunkCache.
+func WithSharedChunkCache(c ChunkCache) ReadOption {
+	return func(o *core.DecodeOptions) { o.ChunkCache = c }
 }
 
 // WithReadahead bounds how many decoded batches a background pipeline
@@ -344,8 +368,11 @@ func newReader(path string, archive bool, opts []ReadOption) (*Reader, error) {
 }
 
 // NewReader opens a compressed trace for decoding. The path may name a
-// trace directory or a single-file .atc archive — a stat distinguishes
-// them — or be overridden entirely by WithReadStore.
+// trace directory, a single-file .atc archive — a stat distinguishes
+// them — or an http(s) URL of an archive hosted on any server honoring
+// Range requests (object storage, a CDN, cmd/atcstatic), read on demand
+// through a caching ranged reader without downloading the file. It can
+// also be overridden entirely by WithReadStore.
 func NewReader(path string, opts ...ReadOption) (*Reader, error) {
 	return newReader(path, false, opts)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
@@ -293,5 +295,71 @@ func TestPublicOpenArchiveRejectsDirectory(t *testing.T) {
 	}
 	if _, err := atc.OpenArchive(dir); err == nil {
 		t.Fatal("OpenArchive on a directory trace succeeded")
+	}
+}
+
+// TestPublicRemoteReader covers the URL form of NewReader: a segmented
+// archive hosted behind a Range-honoring HTTP server must decode — full
+// and ranged — byte-identically to the local file, with a shared chunk
+// cache deduplicating decompressions across two pooled readers.
+func TestPublicRemoteReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	addrs := make([]uint64, 30_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	path := filepath.Join(t.TempDir(), "trace.atc")
+	w, err := atc.CreateArchive(path, atc.WithBufferAddrs(500), atc.WithSegmentAddrs(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeFile(w, r, path)
+	}))
+	defer srv.Close()
+
+	local, err := atc.NewReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	shared := atc.NewSharedChunkCache(16)
+	var remote [2]*atc.Reader
+	for i := range remote {
+		r, err := atc.NewReader(srv.URL, atc.WithSharedChunkCache(shared))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		remote[i] = r
+	}
+	want, err := local.DecodeRange(7_000, 13_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range remote {
+		got, err := r.DecodeRange(7_000, 13_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("remote reader %d: %d addrs, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("remote reader %d diverges at %d", i, j)
+			}
+		}
+	}
+	// The window [7000, 13000) straddles segments 1..3: three chunk
+	// decompressions across the pool, the second reader fully cache-fed.
+	if n := remote[0].ChunkReads() + remote[1].ChunkReads(); n != 3 {
+		t.Fatalf("pooled chunk reads = %d, want 3 (shared cache)", n)
 	}
 }

@@ -16,6 +16,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -789,6 +791,57 @@ func BenchmarkDecodeRangeDirCold(b *testing.B)     { benchmarkDecodeRange(b, fal
 func BenchmarkDecodeRangeDirWarm(b *testing.B)     { benchmarkDecodeRange(b, false, true) }
 func BenchmarkDecodeRangeArchiveCold(b *testing.B) { benchmarkDecodeRange(b, true, false) }
 func BenchmarkDecodeRangeArchiveWarm(b *testing.B) { benchmarkDecodeRange(b, true, true) }
+
+// benchmarkDecodeRangeRemote is benchmarkDecodeRange over a RemoteStore:
+// the archive sits behind a local Range-speaking HTTP server and every
+// chunk read goes through the remote block cache. Cold reopens the reader
+// each iteration — a fresh block cache, so the window's blocks are
+// fetched from the origin every time; warm reuses one reader, so after
+// the first iteration both the block cache and the chunk cache are hot
+// and the origin is never touched again.
+func benchmarkDecodeRangeRemote(b *testing.B, warm bool) {
+	path := rangeBenchTrace(b, true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeFile(w, r, path)
+	}))
+	b.Cleanup(srv.Close)
+	from := int64(segBenchAddrs*3 - segBenchAddrs/2)
+	to := from + segBenchAddrs
+	var persistent *atc.Reader
+	if warm {
+		r, err := atc.NewReader(srv.URL, atc.WithReadahead(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		persistent = r
+	}
+	b.SetBytes((to - from) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := persistent
+		if !warm {
+			var err error
+			r, err = atc.NewReader(srv.URL, atc.WithReadahead(-1))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		got, err := r.DecodeRange(from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int64(len(got)) != to-from {
+			b.Fatalf("range returned %d addrs, want %d", len(got), to-from)
+		}
+		if !warm {
+			r.Close()
+		}
+	}
+}
+
+func BenchmarkDecodeRangeRemoteCold(b *testing.B) { benchmarkDecodeRangeRemote(b, false) }
+func BenchmarkDecodeRangeRemoteWarm(b *testing.B) { benchmarkDecodeRangeRemote(b, true) }
 
 // BenchmarkDecodeRangeVsFullDecode quantifies the point of the chunk
 // index: fetching one two-segment window without decoding the rest of

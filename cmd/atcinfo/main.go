@@ -1,13 +1,15 @@
-// Command atcinfo inspects a compressed trace — a directory or a
-// single-file .atc archive, auto-detected: mode, parameters, record mix,
-// per-blob sizes and the effective bits per address. With -chunks it
-// prints the chunk index the decoder navigates by: every record's
-// absolute address range, its backing chunk (the source chunk for lossy
-// imitations) and the compressed blob size.
+// Command atcinfo inspects a compressed trace — a directory, a
+// single-file .atc archive, or an http(s) URL of an archive in object
+// storage, auto-detected: mode, parameters, record mix, per-blob sizes
+// and the effective bits per address. With -chunks it prints the chunk
+// index the decoder navigates by: every record's absolute address range,
+// its backing chunk (the source chunk for lossy imitations) and the
+// compressed blob size. Remote archives are inspected in place over HTTP
+// Range reads — metadata costs a few ranged GETs, never a download.
 //
 // Usage:
 //
-//	atcinfo [-chunks] <directory | file.atc>
+//	atcinfo [-chunks] <directory | file.atc | http(s)://...>
 package main
 
 import (
@@ -24,7 +26,7 @@ func main() {
 	archive := flag.Bool("archive", false, "require a single-file .atc archive (no directory fallback)")
 	chunks := flag.Bool("chunks", false, "list the chunk index: per record, its address range, backing chunk and compressed size")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: atcinfo [flags] <directory | file.atc>\n")
+		fmt.Fprintf(os.Stderr, "usage: atcinfo [flags] <directory | file.atc | http(s)://...>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,6 +45,8 @@ func main() {
 	// Report the layout that was actually opened, not a re-derived guess.
 	layout := "custom"
 	switch d.Store().(type) {
+	case *store.RemoteStore:
+		layout = "remote archive"
 	case *store.ArchiveStore:
 		layout = "archive"
 	case *store.DirStore:

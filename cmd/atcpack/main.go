@@ -9,6 +9,11 @@
 //	atcpack -unpack trace.atc trace-dir  # expand an archive into a directory
 //	atcpack -verify src dst              # either direction, then re-compare
 //
+// The -unpack source may also be an http(s) URL: the archive is then read
+// in place over HTTP Range requests (read-only), so a trace parked in
+// object storage can be expanded locally without an explicit download
+// step. URLs are refused as destinations — atcpack never writes remotely.
+//
 // The destination must not already hold a trace (a non-empty archive file
 // or a directory with a MANIFEST is refused).
 package main
@@ -34,6 +39,12 @@ func main() {
 		os.Exit(2)
 	}
 	src, dst := flag.Arg(0), flag.Arg(1)
+	if store.IsRemoteURL(dst) {
+		fatal(fmt.Errorf("destination %s is a URL; atcpack only writes locally", dst))
+	}
+	if store.IsRemoteURL(src) && !*unpack {
+		fatal(fmt.Errorf("source %s is a URL; remote archives can only be unpacked (-unpack)", src))
+	}
 
 	if *unpack {
 		if err := convert(openArchiveSrc(src), createDirDst(dst), *verify); err != nil {
@@ -55,6 +66,9 @@ func openDirSrc(dir string) opener {
 }
 
 func openArchiveSrc(path string) opener {
+	if store.IsRemoteURL(path) {
+		return func() (store.Store, error) { return store.OpenRemote(path, store.RemoteOptions{}) }
+	}
 	return func() (store.Store, error) { return store.OpenArchive(path) }
 }
 

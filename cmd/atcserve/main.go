@@ -1,14 +1,23 @@
 // Command atcserve is an HTTP daemon serving random-access reads over
 // compressed address traces — the serving tier the chunk-index decoder
 // and the archive store's O(1) blob lookup were built for. Each trace
-// (a directory, a single-file .atc archive, or an archive loaded into
-// memory with -mem) is registered under its base name and served through
-// a pool of pre-opened Readers, so concurrent range requests never share
-// decoder state while sharing one open store per trace.
+// (a directory, a single-file .atc archive, an archive loaded into
+// memory with -mem, or an http(s) URL of an archive in object storage)
+// is registered under its base name and served through a pool of
+// pre-opened Readers, so concurrent range requests never share decoder
+// state while sharing one open store — and, by default, one shared chunk
+// cache — per trace.
 //
 // Usage:
 //
-//	atcserve [-addr :8405] [-readers 4] [-mem] <trace>...
+//	atcserve [-addr :8405] [-readers 4] [-mem] [-remote <url>] <trace>...
+//
+// Remote traces (-remote, or http(s):// positional arguments) are read
+// over HTTP Range requests through a block cache (-remote-block,
+// -remote-blocks) without ever downloading the archive: atcserve is then
+// a stateless tier in front of object storage — any instance can serve
+// any trace, and instances can scale horizontally with no local state
+// beyond warm caches.
 //
 // Endpoints:
 //
@@ -21,12 +30,22 @@
 //	                                     (the bin2atc/atc2bin wire format),
 //	                                     or JSON with ?format=json
 //
+// Responses carry HTTP cache validators: /addrs payloads are immutable
+// (ETag + Cache-Control: public, max-age, so CDNs absorb repeat traffic),
+// /meta and /traces revalidate on every use (Cache-Control: no-cache).
+// When every pooled reader stays busy past -max-wait the request is
+// refused with 429 and a Retry-After, keeping overload visible instead of
+// queueing without bound.
+//
 // Example session:
 //
 //	tracegen -model 429.mcf -n 1000000 | bin2atc -archive -lossless mcf.atc
 //	atcserve mcf.atc &
 //	curl localhost:8405/traces/mcf/meta
 //	curl "localhost:8405/traces/mcf/addrs?from=500000&to=500100&format=json"
+//
+//	# the same archive served straight from object storage:
+//	atcserve -remote https://bucket.example.com/traces/mcf.atc
 package main
 
 import (
@@ -36,10 +55,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"path"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -51,29 +73,49 @@ import (
 	"atc/internal/trace"
 )
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
 	addr := flag.String("addr", ":8405", "listen address")
 	readers := flag.Int("readers", 4, "pooled readers per trace (max concurrent range decodes)")
-	cache := flag.Int("cache", 0, "decompressed-chunk cache size per reader (default 8)")
+	cache := flag.Int("cache", 0, "private decompressed-chunk cache size per reader (default 8; only used when -shared-cache is 0)")
+	sharedCache := flag.Int("shared-cache", 64, "per-trace chunk cache shared by all pooled readers, in chunks (0 reverts to private per-reader caches)")
 	mem := flag.Bool("mem", false, "load .atc archives fully into memory and serve from RAM")
 	maxRange := flag.Int64("max-range", 16<<20, "largest [from, to) window served per request, in addresses")
+	maxWait := flag.Duration("max-wait", 2*time.Second, "longest a request waits for a pooled reader before 429")
+	var remotes multiFlag
+	flag.Var(&remotes, "remote", "serve a remote .atc archive by URL over HTTP Range reads (repeatable)")
+	remoteBlock := flag.Int("remote-block", store.DefaultRemoteBlockSize, "remote fetch granularity, bytes per ranged GET")
+	remoteBlocks := flag.Int("remote-blocks", store.DefaultRemoteCacheBlocks, "remote block cache size per trace, in blocks")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: atcserve [flags] <directory | file.atc>...\n")
+		fmt.Fprintf(os.Stderr, "usage: atcserve [flags] <directory | file.atc | http(s)://...>...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 {
+	sources := append(flag.Args(), remotes...)
+	if len(sources) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	srv := &server{pools: map[string]*tracePool{}, maxRange: *maxRange}
-	for _, path := range flag.Args() {
+	cfg := poolConfig{
+		mem:         *mem,
+		readers:     *readers,
+		cache:       *cache,
+		sharedCache: *sharedCache,
+		remote:      store.RemoteOptions{BlockSize: *remoteBlock, CacheBlocks: *remoteBlocks},
+	}
+	srv := &server{pools: map[string]*tracePool{}, maxRange: *maxRange, maxWait: *maxWait}
+	for _, path := range sources {
 		name := traceName(path)
 		if _, dup := srv.pools[name]; dup {
 			log.Fatalf("atcserve: duplicate trace name %q (from %s)", name, path)
 		}
-		pool, err := openTrace(name, path, *mem, *readers, *cache)
+		pool, err := openTrace(name, path, cfg)
 		if err != nil {
 			log.Fatalf("atcserve: %s: %v", path, err)
 		}
@@ -106,10 +148,15 @@ func main() {
 	}
 }
 
-// traceName derives the registration name from a path: the base name,
-// with a .atc extension stripped.
-func traceName(path string) string {
-	name := filepath.Base(filepath.Clean(path))
+// traceName derives the registration name from a path or URL: the base
+// name, with a .atc extension stripped.
+func traceName(p string) string {
+	name := filepath.Base(filepath.Clean(p))
+	if store.IsRemoteURL(p) {
+		if u, err := url.Parse(p); err == nil {
+			name = path.Base(u.Path)
+		}
+	}
 	return strings.TrimSuffix(name, ".atc")
 }
 
@@ -127,8 +174,19 @@ type traceMeta struct {
 	// ChunkReads counts chunk-blob decompressions across the trace's
 	// pooled readers since startup (chunk-cache hits do not count) — the
 	// serving tier's cache-effectiveness observable: requests served
-	// from pooled readers' chunk caches leave it unchanged.
+	// from pooled readers' chunk caches leave it unchanged. With the
+	// shared chunk cache on (the default), it counts each hot chunk once
+	// per process, not once per reader.
 	ChunkReads int64 `json:"chunkReads"`
+	// SharedCacheHits/SharedCacheLoads report the per-trace shared chunk
+	// cache's traffic (absent when -shared-cache 0 reverts to private
+	// per-reader caches).
+	SharedCacheHits  int64 `json:"sharedCacheHits,omitempty"`
+	SharedCacheLoads int64 `json:"sharedCacheLoads,omitempty"`
+	// RemoteFetches/RemoteBytes report the remote block reader's origin
+	// traffic for -remote traces (absent for local ones).
+	RemoteFetches int64 `json:"remoteFetches,omitempty"`
+	RemoteBytes   int64 `json:"remoteBytes,omitempty"`
 }
 
 // indexEntry is the JSON shape of one chunk-index span (?index=1).
@@ -152,6 +210,16 @@ type tracePool struct {
 	// all references every pooled reader for metrics: Reader.ChunkReads
 	// is an atomic counter, safe to sum while a reader is borrowed.
 	all []*atc.Reader
+	// shared is the trace's cross-reader chunk cache (nil with
+	// -shared-cache 0); remote the backing remote store (nil for local
+	// traces). Both feed live counters into metaNow.
+	shared *atc.SharedChunkCache
+	remote *store.RemoteStore
+	// etag is the trace's strong HTTP validator, derived from the
+	// immutable decode identity (name, mode, totals, chunk index) at open;
+	// etagHex is the same digest unquoted, for composing per-range
+	// validators.
+	etag, etagHex string
 }
 
 // chunkReads sums chunk-blob decompressions across the pool's readers.
@@ -163,47 +231,82 @@ func (p *tracePool) chunkReads() int64 {
 	return n
 }
 
-// openTrace opens the store once (directory, archive, or archive bytes in
-// RAM) and pre-opens n pooled readers against it, failing fast on a trace
-// that does not decode.
-func openTrace(name, path string, mem bool, n, cache int) (*tracePool, error) {
+// poolConfig carries per-trace pool tuning from flags to openTrace.
+type poolConfig struct {
+	mem     bool
+	readers int
+	// cache sizes the private per-reader chunk cache (addresses the
+	// historical -cache flag); it only applies when sharedCache is 0.
+	cache int
+	// sharedCache sizes the per-trace chunk cache shared by every pooled
+	// reader, in chunks; 0 disables sharing.
+	sharedCache int
+	remote      store.RemoteOptions
+}
+
+// openTrace opens the store once (directory, archive, archive bytes in
+// RAM, or a remote archive URL) and pre-opens the pooled readers against
+// it, failing fast on a trace that does not decode. With sharedCache > 0
+// every reader decodes through one SharedChunkCache, so a hot chunk
+// decompresses once per process rather than once per reader.
+func openTrace(name, path string, cfg poolConfig) (*tracePool, error) {
+	n := cfg.readers
 	if n < 1 {
 		n = 1
 	}
-	fi, err := os.Stat(path)
-	if err != nil {
-		return nil, err
-	}
 	var st atc.Store
+	var remote *store.RemoteStore
 	switch {
-	case fi.IsDir():
-		if mem {
-			return nil, fmt.Errorf("-mem serves single-file archives, not directories (pack %s with atcpack first)", path)
+	case store.IsRemoteURL(path):
+		if cfg.mem {
+			return nil, fmt.Errorf("-mem applies to local archives only (remote traces already read on demand)")
 		}
-		st = store.OpenDir(path)
-	case mem:
-		data, err := os.ReadFile(path)
+		rst, err := store.OpenRemote(path, cfg.remote)
 		if err != nil {
 			return nil, err
 		}
-		ast, err := store.OpenArchiveReaderAt(bytes.NewReader(data), int64(len(data)))
-		if err != nil {
-			return nil, err
-		}
-		st = ast
+		st, remote = rst, rst
 	default:
-		ast, err := store.OpenArchive(path)
+		fi, err := os.Stat(path)
 		if err != nil {
 			return nil, err
 		}
-		st = ast
+		switch {
+		case fi.IsDir():
+			if cfg.mem {
+				return nil, fmt.Errorf("-mem serves single-file archives, not directories (pack %s with atcpack first)", path)
+			}
+			st = store.OpenDir(path)
+		case cfg.mem:
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			ast, err := store.OpenArchiveReaderAt(bytes.NewReader(data), int64(len(data)))
+			if err != nil {
+				return nil, err
+			}
+			st = ast
+		default:
+			ast, err := store.OpenArchive(path)
+			if err != nil {
+				return nil, err
+			}
+			st = ast
+		}
 	}
-	p := &tracePool{name: name, st: st, readers: make(chan *atc.Reader, n)}
-	for i := 0; i < n; i++ {
+	p := &tracePool{name: name, st: st, remote: remote, readers: make(chan *atc.Reader, n)}
+	readerOpts := []atc.ReadOption{
 		// Readahead is disabled: a range server decodes exactly the chunks
 		// a request asks for, and prefetch past the window would be waste.
-		r, err := atc.NewReader(path,
-			atc.WithReadStore(st), atc.WithReadahead(-1), atc.WithChunkCache(cache))
+		atc.WithReadStore(st), atc.WithReadahead(-1), atc.WithChunkCache(cfg.cache),
+	}
+	if cfg.sharedCache > 0 {
+		p.shared = atc.NewSharedChunkCache(cfg.sharedCache)
+		readerOpts = append(readerOpts, atc.WithSharedChunkCache(p.shared))
+	}
+	for i := 0; i < n; i++ {
+		r, err := atc.NewReader(path, readerOpts...)
 		if err != nil {
 			p.close()
 			return nil, err
@@ -230,16 +333,65 @@ func openTrace(name, path string, mem bool, n, cache int) (*tracePool, error) {
 		p.meta.IntervalLen = r.IntervalLen()
 		p.meta.Epsilon = r.Epsilon()
 	}
+	p.etagHex = traceETagHex(p.meta, p.index)
+	p.etag = `"` + p.etagHex + `"`
 	p.readers <- r
 	return p, nil
 }
 
-// acquire borrows a pooled reader, honoring request cancellation while
-// every reader is busy.
-func (p *tracePool) acquire(ctx context.Context) (*atc.Reader, error) {
+// traceETagHex digests the trace's immutable decode identity — name,
+// mode/format metadata, totals and the full chunk index — into a strong
+// HTTP validator. Live counters (chunkReads, cache stats) are deliberately
+// excluded: the validator must name the payload bytes a range request
+// yields, and those depend only on this identity.
+func traceETagHex(meta traceMeta, index []atc.ChunkSpan) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%d|%d|%g",
+		meta.Name, meta.Mode, meta.FormatVersion, meta.TotalAddrs,
+		meta.Records, meta.Chunks, meta.SegmentAddrs, meta.IntervalLen, meta.Epsilon)
+	for _, sp := range index {
+		fmt.Fprintf(h, "|%d:%d:%d:%t", sp.Start, sp.End, sp.ChunkID, sp.Imitation)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// etagMatches reports whether an If-None-Match header names etag: any
+// member of its comma-separated list, with weak W/ prefixes ignored for
+// the GET-revalidation comparison, or the wildcard.
+func etagMatches(header, etag string) bool {
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c), "W/"))
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// errBusy reports reader-pool admission failure: every pooled reader
+// stayed busy past the bounded wait.
+var errBusy = errors.New("every pooled reader is busy")
+
+// acquire borrows a pooled reader. Rather than queueing without bound, a
+// request waits at most maxWait for a reader to free up and then fails
+// with errBusy (surfaced as 429 + Retry-After): under sustained overload
+// the queue stays short and clients get backpressure they can act on.
+func (p *tracePool) acquire(ctx context.Context, maxWait time.Duration) (*atc.Reader, error) {
 	select {
 	case r := <-p.readers:
 		return r, nil
+	default:
+	}
+	if maxWait <= 0 {
+		return nil, errBusy
+	}
+	t := time.NewTimer(maxWait)
+	defer t.Stop()
+	select {
+	case r := <-p.readers:
+		return r, nil
+	case <-t.C:
+		return nil, errBusy
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -264,7 +416,31 @@ func (p *tracePool) close() {
 type server struct {
 	pools    map[string]*tracePool
 	maxRange int64
+	maxWait  time.Duration
 }
+
+// HTTP caching contract. A served trace is immutable for the life of the
+// process — its decode identity is digested into a strong ETag at open —
+// so the endpoints split cleanly:
+//
+//   - /traces/{name}/addrs: the payload for a given (trace, from, to,
+//     format) never changes. Responses carry a per-range strong ETag and
+//     "Cache-Control: public, max-age=31536000, immutable", so browsers
+//     and CDNs in front of a stateless atcserve tier absorb repeat range
+//     traffic entirely; If-None-Match revalidations answer 304 without
+//     touching the reader pool.
+//   - /traces/{name}/meta and /traces: the body embeds live counters
+//     (chunkReads, cache and remote-fetch stats), so responses are
+//     "Cache-Control: no-cache" — cacheable but revalidated on every
+//     use. /meta's ETag deliberately covers only the immutable identity,
+//     not the counters: a 304 may serve slightly stale counters, which is
+//     the documented trade for cheap revalidation of the part consumers
+//     key decisions off (the trace identity). Counter-polling clients
+//     should send no validator.
+//
+// If a trace is ever re-registered with different content, its ETag
+// changes with the identity digest, invalidating every cached range.
+const addrsCacheControl = "public, max-age=31536000, immutable"
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -294,6 +470,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (p *tracePool) metaNow() traceMeta {
 	m := p.meta
 	m.ChunkReads = p.chunkReads()
+	if p.shared != nil {
+		st := p.shared.Stats()
+		m.SharedCacheHits, m.SharedCacheLoads = st.Hits, st.Loads
+	}
+	if p.remote != nil {
+		st := p.remote.ReaderStats()
+		m.RemoteFetches, m.RemoteBytes = st.Fetches, st.BytesFetched
+	}
 	return m
 }
 
@@ -302,12 +486,23 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	for _, p := range s.pools {
 		metas = append(metas, p.metaNow())
 	}
+	// Live counters in the body: revalidate on every use (see the caching
+	// contract above addrsCacheControl).
+	w.Header().Set("Cache-Control", "no-cache")
 	writeJSON(w, map[string]any{"traces": metas})
 }
 
 func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	p := s.pool(w, r)
 	if p == nil {
+		return
+	}
+	// no-cache with an identity-only ETag: see the caching contract above
+	// addrsCacheControl for why counters are excluded from the validator.
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Etag", p.etag)
+	if etagMatches(r.Header.Get("If-None-Match"), p.etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	if v := r.URL.Query().Get("index"); v == "" || v == "0" || v == "false" {
@@ -374,8 +569,23 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 			to-from, s.maxRange), http.StatusRequestEntityTooLarge)
 		return
 	}
-	rd, err := p.acquire(r.Context())
+	format := r.URL.Query().Get("format")
+	// The payload for (trace, from, to, format) is immutable: a matching
+	// validator answers 304 before a pooled reader is even acquired.
+	etag := fmt.Sprintf(`"%s-%d-%d-%s"`, p.etagHex, from, to, format)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("Etag", etag)
+		w.Header().Set("Cache-Control", addrsCacheControl)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	rd, err := p.acquire(r.Context(), s.maxWait)
 	if err != nil {
+		if errors.Is(err, errBusy) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "every pooled reader is busy; retry shortly", http.StatusTooManyRequests)
+			return
+		}
 		http.Error(w, "busy: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -383,12 +593,16 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Atc-From", strconv.FormatInt(from, 10))
 	w.Header().Set("X-Atc-To", strconv.FormatInt(to, 10))
 	w.Header().Set("X-Atc-Count", strconv.FormatInt(to-from, 10))
-	if r.URL.Query().Get("format") == "json" {
+	if format == "json" {
 		addrs, err := rd.DecodeRange(from, to)
 		if err != nil {
 			writeDecodeError(w, p.name, err)
 			return
 		}
+		// Cache headers only on the success path: error responses must not
+		// be cached as immutable.
+		w.Header().Set("Etag", etag)
+		w.Header().Set("Cache-Control", addrsCacheControl)
 		writeJSON(w, map[string]any{"name": p.name, "from": from, "to": to, "addrs": addrs})
 		return
 	}
@@ -405,6 +619,8 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, p.name, err)
 		return
 	}
+	w.Header().Set("Etag", etag)
+	w.Header().Set("Cache-Control", addrsCacheControl)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt((to-from)*8, 10))
 	tw := trace.NewWriter(w)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,8 +13,10 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"atc"
+	"atc/internal/store"
 	"atc/internal/trace"
 )
 
@@ -38,11 +41,11 @@ func serveTestTrace(t *testing.T, readers int, maxRange int64) ([]uint64, *httpt
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	pool, err := openTrace("unit", path, false, readers, 0)
+	pool, err := openTrace("unit", path, poolConfig{readers: readers})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": pool}, maxRange: maxRange}).handler())
+	srv := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": pool}, maxRange: maxRange, maxWait: 5 * time.Second}).handler())
 	t.Cleanup(func() {
 		srv.Close()
 		pool.close()
@@ -258,11 +261,14 @@ func TestServeMaxRangeCap(t *testing.T) {
 }
 
 func TestOpenTraceErrors(t *testing.T) {
-	if _, err := openTrace("missing", filepath.Join(t.TempDir(), "missing.atc"), false, 1, 0); err == nil {
+	if _, err := openTrace("missing", filepath.Join(t.TempDir(), "missing.atc"), poolConfig{readers: 1}); err == nil {
 		t.Fatal("openTrace on a missing path succeeded")
 	}
-	if _, err := openTrace("dir", t.TempDir(), true, 1, 0); err == nil {
+	if _, err := openTrace("dir", t.TempDir(), poolConfig{readers: 1, mem: true}); err == nil {
 		t.Fatal("openTrace -mem on a directory succeeded")
+	}
+	if _, err := openTrace("rem", "http://127.0.0.1:1/x.atc", poolConfig{readers: 1, mem: true}); err == nil {
+		t.Fatal("openTrace -mem on a URL succeeded")
 	}
 }
 
@@ -323,11 +329,11 @@ func TestServeCorruptTrace502(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pool, err := openTrace("unit", dir, false, 1, 0)
+	pool, err := openTrace("unit", dir, poolConfig{readers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": pool}, maxRange: 1 << 20}).handler())
+	srv := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": pool}, maxRange: 1 << 20, maxWait: time.Second}).handler())
 	defer func() {
 		srv.Close()
 		pool.close()
@@ -341,5 +347,292 @@ func TestServeCorruptTrace502(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadGateway {
 		t.Fatalf("corrupt chunk: status %d, want 502; body: %s", resp.StatusCode, body)
+	}
+}
+
+// TestServeCacheHeaders pins the HTTP caching contract: /addrs payloads
+// are immutable (strong per-range ETag, public max-age, 304 on
+// revalidation without touching the pool), /meta and /traces revalidate
+// on every use (no-cache), with /meta's identity-only ETag answering 304.
+func TestServeCacheHeaders(t *testing.T) {
+	_, srv := serveTestTrace(t, 1, 1<<20)
+	resp, err := http.Get(srv.URL + "/traces/unit/addrs?from=100&to=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("Etag")
+	if etag == "" {
+		t.Fatal("addrs response has no ETag")
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != addrsCacheControl {
+		t.Fatalf("addrs Cache-Control = %q, want %q", cc, addrsCacheControl)
+	}
+	// A different range must carry a different validator.
+	resp2, err := http.Get(srv.URL + "/traces/unit/addrs?from=100&to=201")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if other := resp2.Header.Get("Etag"); other == etag {
+		t.Fatalf("distinct ranges share ETag %q", etag)
+	}
+	// Revalidation with the validator: 304, empty body.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/traces/unit/addrs?from=100&to=200", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("revalidation: status %d, %d body bytes, want 304 and none", resp3.StatusCode, len(body))
+	}
+
+	for _, path := range []string{"/traces", "/traces/unit/meta"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+			t.Fatalf("%s Cache-Control = %q, want no-cache", path, cc)
+		}
+	}
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/traces/unit/meta", nil)
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaTag := resp4.Header.Get("Etag")
+	io.Copy(io.Discard, resp4.Body)
+	resp4.Body.Close()
+	if metaTag == "" {
+		t.Fatal("meta response has no ETag")
+	}
+	req.Header.Set("If-None-Match", metaTag)
+	resp5, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusNotModified {
+		t.Fatalf("meta revalidation: status %d, want 304", resp5.StatusCode)
+	}
+}
+
+// TestServeBusy429 pins pool admission: with the only pooled reader held
+// and a tiny max-wait, a range request is refused with 429 + Retry-After
+// instead of queueing unboundedly, and succeeds again once the reader
+// returns.
+func TestServeBusy429(t *testing.T) {
+	addrs := make([]uint64, 2_000)
+	for i := range addrs {
+		addrs[i] = uint64(i)
+	}
+	path := filepath.Join(t.TempDir(), "unit.atc")
+	w, err := atc.CreateArchive(path,
+		atc.WithMode(atc.Lossless), atc.WithSegmentAddrs(1000), atc.WithBufferAddrs(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := openTrace("unit", path, poolConfig{readers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": pool}, maxRange: 1 << 20, maxWait: 10 * time.Millisecond}).handler())
+	defer func() {
+		srv.Close()
+		pool.close()
+	}()
+	held := <-pool.readers // every reader is now busy
+	resp, err := http.Get(srv.URL + "/traces/unit/addrs?from=0&to=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("busy pool: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	pool.readers <- held
+	resp, err = http.Get(srv.URL + "/traces/unit/addrs?from=0&to=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeRemoteByteIdentity is the tentpole's end-to-end guarantee: the
+// same archive served locally and through a RemoteStore (over a real
+// Range-speaking HTTP server) yields byte-identical /addrs responses,
+// and the remote pool's meta reports origin fetch counters.
+func TestServeRemoteByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	addrs := make([]uint64, 40_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	path := filepath.Join(t.TempDir(), "unit.atc")
+	w, err := atc.CreateArchive(path,
+		atc.WithMode(atc.Lossless), atc.WithSegmentAddrs(5000), atc.WithBufferAddrs(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeFile(w, r, path)
+	}))
+	defer origin.Close()
+
+	localPool, err := openTrace("unit", path, poolConfig{readers: 2, sharedCache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remotePool, err := openTrace("unit", origin.URL+"/unit.atc", poolConfig{
+		readers: 2, sharedCache: 16,
+		remote: store.RemoteOptions{BlockSize: 32 << 10, CacheBlocks: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": localPool}, maxRange: 1 << 20, maxWait: time.Second}).handler())
+	remote := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": remotePool}, maxRange: 1 << 20, maxWait: time.Second}).handler())
+	defer func() {
+		local.Close()
+		remote.Close()
+		localPool.close()
+		remotePool.close()
+	}()
+
+	for _, q := range []string{
+		"from=0&to=1000", "from=4990&to=5010", "from=17000&to=23000", "from=39000&to=40000",
+	} {
+		want := fetchBytes(t, local.URL+"/traces/unit/addrs?"+q)
+		got := fetchBytes(t, remote.URL+"/traces/unit/addrs?"+q)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("range %s: remote bytes diverge from local (%d vs %d bytes)", q, len(got), len(want))
+		}
+	}
+	meta := fetchMeta(t, remote.URL+"/traces/unit/meta")
+	if meta.RemoteFetches == 0 || meta.RemoteBytes == 0 {
+		t.Fatalf("remote meta counters = %+v, want nonzero origin traffic", meta)
+	}
+}
+
+func fetchBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func fetchMeta(t *testing.T, url string) traceMeta {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var meta traceMeta
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+// TestServeSharedCacheExactlyOnce wires the shared chunk cache through the
+// whole serving stack: many concurrent requests for one hot window across
+// a multi-reader pool decompress each covered chunk exactly once
+// process-wide, observable through /meta's chunkReads.
+func TestServeSharedCacheExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	addrs := make([]uint64, 40_000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	path := filepath.Join(t.TempDir(), "unit.atc")
+	w, err := atc.CreateArchive(path,
+		atc.WithMode(atc.Lossless), atc.WithSegmentAddrs(5000), atc.WithBufferAddrs(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := openTrace("unit", path, poolConfig{readers: 4, sharedCache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&server{pools: map[string]*tracePool{"unit": pool}, maxRange: 1 << 20, maxWait: 5 * time.Second}).handler())
+	defer func() {
+		srv.Close()
+		pool.close()
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The hot window [4000, 7000) straddles segments 0 and 1.
+			resp, err := http.Get(srv.URL + "/traces/unit/addrs?from=4000&to=7000")
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	meta := fetchMeta(t, srv.URL+"/traces/unit/meta")
+	if meta.ChunkReads != 2 {
+		t.Fatalf("chunkReads = %d, want 2 (exactly one decompression per covered chunk across 16 requests x 4 readers)", meta.ChunkReads)
+	}
+	if meta.SharedCacheLoads != 2 || meta.SharedCacheHits == 0 {
+		t.Fatalf("shared cache stats = loads %d hits %d, want 2 loads and nonzero hits", meta.SharedCacheLoads, meta.SharedCacheHits)
 	}
 }

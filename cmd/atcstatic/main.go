@@ -1,0 +1,46 @@
+// Command atcstatic serves a directory of files over HTTP with full
+// Range-request support — the minimal S3-stand-in origin a RemoteStore
+// needs. net/http's file server answers ranged GETs with 206 and honors
+// If-Match/If-None-Match preconditions against strong validators, which
+// is exactly the contract atcserve -remote, atcinfo and atcpack rely on;
+// generic one-line static servers (python3 -m http.server) serve whole
+// files only and cannot back a remote store.
+//
+// It exists for local development and CI smoke tests of the remote read
+// path; production traces belong behind real object storage or a CDN.
+//
+// Usage:
+//
+//	atcstatic [-addr 127.0.0.1:8406] [dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8406", "listen address")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: atcstatic [-addr host:port] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	dir := "."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		dir = flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		log.Fatalf("atcstatic: %s is not a directory", dir)
+	}
+	log.Printf("serving %s on %s (ranged reads supported)", dir, *addr)
+	log.Fatal(http.ListenAndServe(*addr, http.FileServer(http.Dir(dir))))
+}

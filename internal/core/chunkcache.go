@@ -1,0 +1,212 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkCache holds decompressed chunks ([]uint64 address slices) keyed by
+// chunk ID. The Decompressor consults it on every chunk load; which chunks
+// enter the cache is the caller's pinning policy, which chunks leave is
+// the implementation's eviction policy.
+//
+// Cached slices are shared, immutable data: neither the cache nor its
+// callers may mutate a slice after Put. The default implementation (a
+// private bounded FIFO per Decompressor) is not safe for concurrent use —
+// it is only touched from the decoder's dispatcher goroutine. A cache
+// shared between Decompressors (DecodeOptions.ChunkCache) must be safe for
+// concurrent use; SharedChunkCache is the provided implementation.
+type ChunkCache interface {
+	// Get returns the cached chunk, or ok=false on a miss.
+	Get(id int) ([]uint64, bool)
+	// Put inserts a chunk, evicting per the implementation's policy.
+	Put(id int, addrs []uint64)
+}
+
+// chunkLoader is an optional ChunkCache extension: GetOrLoad combines
+// lookup, miss-loading and insertion in one call so the cache can
+// deduplicate concurrent loads of the same chunk (singleflight). The
+// Decompressor prefers it when present — with N pooled readers hammering
+// one hot window, the chunk decompresses once, not once per reader.
+type chunkLoader interface {
+	// GetOrLoad returns the cached chunk or invokes load exactly once per
+	// concurrent miss cohort, inserting the result when pin is set.
+	GetOrLoad(id int, pin bool, load func() ([]uint64, error)) ([]uint64, error)
+}
+
+// fifoChunkCache is the historical per-Decompressor cache: a bounded FIFO,
+// single-goroutine use only.
+type fifoChunkCache struct {
+	cap  int
+	m    map[int][]uint64
+	fifo []int
+}
+
+func newFIFOChunkCache(capacity int) *fifoChunkCache {
+	return &fifoChunkCache{cap: capacity, m: map[int][]uint64{}}
+}
+
+// Get returns the cached chunk without touching eviction order (FIFO).
+//
+//atc:hotpath
+func (c *fifoChunkCache) Get(id int) ([]uint64, bool) {
+	addrs, ok := c.m[id]
+	return addrs, ok
+}
+
+// Put inserts a chunk, evicting the oldest insertion once full.
+func (c *fifoChunkCache) Put(id int, addrs []uint64) {
+	if _, ok := c.m[id]; ok {
+		return
+	}
+	if len(c.fifo) >= c.cap {
+		oldest := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.m, oldest)
+	}
+	c.m[id] = addrs
+	c.fifo = append(c.fifo, id)
+}
+
+// SharedChunkCache is a concurrency-safe LRU chunk cache designed to be
+// shared across a pool of Decompressors over one trace (atcserve's reader
+// pool): a hot chunk decompresses once per process instead of once per
+// reader. Concurrent misses on the same chunk deduplicate onto a single
+// load (singleflight) — later arrivals block until the first loader
+// finishes and share its result.
+type SharedChunkCache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       list.List
+	m        map[int]*list.Element
+	inflight map[int]*chunkFlight
+
+	hits  atomic.Int64
+	loads atomic.Int64
+}
+
+// chunkFlight is one in-progress chunk load; done closes once addrs/err
+// are set.
+type chunkFlight struct {
+	done  chan struct{}
+	addrs []uint64
+	err   error
+}
+
+type chunkEntry struct {
+	id    int
+	addrs []uint64
+}
+
+// NewSharedChunkCache returns a shared LRU cache bounding capacity chunks
+// (minimum 1).
+func NewSharedChunkCache(capacity int) *SharedChunkCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SharedChunkCache{
+		cap:      capacity,
+		m:        map[int]*list.Element{},
+		inflight: map[int]*chunkFlight{},
+	}
+}
+
+// Get returns the cached chunk, marking it most recently used.
+func (c *SharedChunkCache) Get(id int) ([]uint64, bool) {
+	c.mu.Lock()
+	e, ok := c.m[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	addrs := e.Value.(*chunkEntry).addrs
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return addrs, true
+}
+
+// Put inserts a chunk, evicting from the least recently used end.
+func (c *SharedChunkCache) Put(id int, addrs []uint64) {
+	c.mu.Lock()
+	c.putLocked(id, addrs)
+	c.mu.Unlock()
+}
+
+func (c *SharedChunkCache) putLocked(id int, addrs []uint64) {
+	if e, ok := c.m[id]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*chunkEntry).addrs = addrs
+		return
+	}
+	c.m[id] = c.ll.PushFront(&chunkEntry{id: id, addrs: addrs})
+	for len(c.m) > c.cap {
+		e := c.ll.Back()
+		delete(c.m, e.Value.(*chunkEntry).id)
+		c.ll.Remove(e)
+	}
+}
+
+// GetOrLoad implements the singleflight load path: on a miss the first
+// caller runs load while concurrent callers for the same chunk wait and
+// share the result. Failed loads are not cached — every waiter sees the
+// error, and the next request retries.
+func (c *SharedChunkCache) GetOrLoad(id int, pin bool, load func() ([]uint64, error)) ([]uint64, error) {
+	c.mu.Lock()
+	if e, ok := c.m[id]; ok {
+		c.ll.MoveToFront(e)
+		addrs := e.Value.(*chunkEntry).addrs
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return addrs, nil
+	}
+	if f, ok := c.inflight[id]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		c.hits.Add(1)
+		return f.addrs, nil
+	}
+	f := &chunkFlight{done: make(chan struct{})}
+	c.inflight[id] = f
+	c.mu.Unlock()
+	f.addrs, f.err = load()
+	c.mu.Lock()
+	delete(c.inflight, id)
+	if f.err == nil && pin {
+		c.putLocked(id, f.addrs)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	c.loads.Add(1)
+	return f.addrs, nil
+}
+
+// SharedChunkCacheStats counts a SharedChunkCache's traffic.
+type SharedChunkCacheStats struct {
+	// Hits counts lookups served from the cache or deduplicated onto a
+	// concurrent load.
+	Hits int64
+	// Loads counts successful chunk decompressions (the misses).
+	Loads int64
+	// Resident is the number of chunks currently cached.
+	Resident int
+}
+
+// Stats reports hit/load counters and current occupancy.
+func (c *SharedChunkCache) Stats() SharedChunkCacheStats {
+	c.mu.Lock()
+	resident := len(c.m)
+	c.mu.Unlock()
+	return SharedChunkCacheStats{
+		Hits:     c.hits.Load(),
+		Loads:    c.loads.Load(),
+		Resident: resident,
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFIFOChunkCache(t *testing.T) {
+	c := newFIFOChunkCache(2)
+	c.Put(1, []uint64{1})
+	c.Put(2, []uint64{2})
+	c.Put(1, []uint64{9}) // duplicate Put must not double-insert or evict
+	if a, ok := c.Get(1); !ok || a[0] != 1 {
+		t.Fatalf("Get(1) = %v, %v", a, ok)
+	}
+	c.Put(3, []uint64{3}) // evicts 1 — oldest insertion, even though just read
+	if _, ok := c.Get(1); ok {
+		t.Fatal("FIFO kept the read-touched entry; eviction must be insertion-ordered")
+	}
+	if _, ok := c.Get(2); !ok {
+		t.Fatal("entry 2 missing")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("entry 3 missing")
+	}
+}
+
+func TestSharedChunkCacheLRU(t *testing.T) {
+	c := NewSharedChunkCache(2)
+	c.Put(1, []uint64{1})
+	c.Put(2, []uint64{2})
+	c.Get(1)              // touch: 2 is now least recently used
+	c.Put(3, []uint64{3}) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU evicted the recently used entry instead of the stale one")
+	}
+	if a, ok := c.Get(1); !ok || a[0] != 1 {
+		t.Fatalf("Get(1) = %v, %v", a, ok)
+	}
+	st := c.Stats()
+	if st.Resident != 2 {
+		t.Fatalf("Resident = %d, want 2", st.Resident)
+	}
+	if NewSharedChunkCache(0).cap != 1 {
+		t.Fatal("capacity floor not applied")
+	}
+}
+
+func TestSharedChunkCacheSingleflight(t *testing.T) {
+	c := NewSharedChunkCache(8)
+	var mu sync.Mutex
+	loads := 0
+	gate := make(chan struct{})
+	const readers = 16
+	var wg sync.WaitGroup
+	results := make([][]uint64, readers)
+	for i := 0; i < readers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], _ = c.GetOrLoad(7, true, func() ([]uint64, error) {
+				mu.Lock()
+				loads++
+				mu.Unlock()
+				<-gate
+				return []uint64{42}, nil
+			})
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if loads != 1 {
+		t.Fatalf("load ran %d times, want 1 (singleflight)", loads)
+	}
+	for i, r := range results {
+		if len(r) != 1 || r[0] != 42 {
+			t.Fatalf("reader %d got %v", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Loads != 1 || st.Hits != readers-1 {
+		t.Fatalf("stats = %+v, want 1 load and %d hits", st, readers-1)
+	}
+}
+
+func TestSharedChunkCacheLoadError(t *testing.T) {
+	c := NewSharedChunkCache(8)
+	boom := errors.New("boom")
+	if _, err := c.GetOrLoad(1, true, func() ([]uint64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Failed loads are not cached: the next call retries and can succeed.
+	a, err := c.GetOrLoad(1, true, func() ([]uint64, error) { return []uint64{5}, nil })
+	if err != nil || a[0] != 5 {
+		t.Fatalf("retry after failed load = %v, %v", a, err)
+	}
+}
+
+func TestSharedChunkCacheUnpinnedLoad(t *testing.T) {
+	c := NewSharedChunkCache(8)
+	loads := 0
+	load := func() ([]uint64, error) { loads++; return []uint64{1}, nil }
+	if _, err := c.GetOrLoad(3, false, load); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("unpinned load entered the cache")
+	}
+	if _, err := c.GetOrLoad(3, false, load); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 2 {
+		t.Fatalf("loads = %d, want 2 (unpinned loads bypass insertion)", loads)
+	}
+}
+
+// TestSharedCacheExactlyOncePerPool is the tentpole's core guarantee: a
+// pool of Decompressors sharing one SharedChunkCache and hammering the
+// same hot window decompresses each touched chunk exactly once across the
+// whole pool — under the race detector, with every reader running
+// concurrently.
+func TestSharedCacheExactlyOncePerPool(t *testing.T) {
+	addrs := rangeTrace()
+	dir := t.TempDir()
+	if _, err := WriteTrace(dir, addrs, Options{Mode: Lossless, BufferAddrs: 200, SegmentAddrs: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	shared := NewSharedChunkCache(32)
+	const readers = 8
+	pool := make([]*Decompressor, readers)
+	for i := range pool {
+		d, err := Open(dir, DecodeOptions{ChunkCache: shared})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		pool[i] = d
+	}
+	// The hot window [2000, 5000) straddles segments 1, 2 and 3 (1500
+	// addresses each: spans [1500,3000), [3000,4500), [4500,6000)).
+	const from, to = 2000, 5000
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*rounds)
+	for _, d := range pool {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got, err := d.DecodeRange(from, to)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j, v := range got {
+					if v != addrs[from+j] {
+						errs <- errors.New("decoded window diverges")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, d := range pool {
+		total += d.ChunkReads()
+	}
+	if total != 3 {
+		t.Fatalf("pool-wide chunk reads = %d, want 3 (one per chunk under the window, exactly once across %d readers x %d rounds)",
+			total, readers, rounds)
+	}
+	if st := shared.Stats(); st.Loads != 3 {
+		t.Fatalf("shared cache loads = %d, want 3", st.Loads)
+	}
+}

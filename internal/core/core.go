@@ -1116,9 +1116,13 @@ func (iw *infoWriter) flush() error {
 
 // StoreSize reports the total compressed size of a trace at path — the
 // summed file sizes for a directory trace, the whole file size (header,
-// payloads and TOC) for a single-file archive. It is the numerator of the
-// paper's bits-per-address metric.
+// payloads and TOC) for a single-file archive, the probed object size for
+// an http(s) URL. It is the numerator of the paper's bits-per-address
+// metric.
 func StoreSize(path string) (int64, error) {
+	if store.IsRemoteURL(path) {
+		return store.RemoteSize(path)
+	}
 	fi, err := os.Stat(path)
 	if err != nil {
 		return 0, err

@@ -32,8 +32,15 @@ type DecodeOptions struct {
 	// memory (default 8). Sequential lossy decoding pins imitated chunks
 	// here; random access (Seek/DecodeRange) pins every chunk it touches,
 	// so repeated range reads over a working set this large never re-read
-	// the store.
+	// the store. Ignored when ChunkCache is set.
 	ChunkCacheSize int
+	// ChunkCache overrides the private per-Decompressor chunk cache
+	// (a bounded FIFO of ChunkCacheSize chunks) with a caller-provided
+	// one — typically a SharedChunkCache shared across a pool of readers
+	// over the same trace, so a hot chunk decompresses once per process
+	// instead of once per reader. A shared cache must be safe for
+	// concurrent use; see ChunkCache's contract.
+	ChunkCache ChunkCache
 	// Readahead bounds the number of decoded batches a background
 	// pipeline decompresses ahead of Decode, overlapping back-end
 	// decompression with consumption. For lossy and segmented lossless
@@ -165,8 +172,13 @@ type Decompressor struct {
 	// that drains them, bounding the pipeline's total allocation.
 	batchFree chan []uint64
 
-	cache     map[int][]uint64
-	cacheFIFO []int
+	// cache holds decompressed chunks. With the default private FIFO it is
+	// only touched from the goroutine that owns decoding (the dispatcher
+	// when readahead runs); a caller-provided shared cache is concurrency-
+	// safe by contract. loader is the cache's optional singleflight
+	// extension, captured once at Open.
+	cache  ChunkCache
+	loader chunkLoader
 
 	// chunkReads counts chunk-blob decompressions (not cache hits) — the
 	// observable that range decoding touches only the chunks it must.
@@ -202,6 +214,15 @@ func Open(path string, opts DecodeOptions) (*Decompressor, error) {
 	if st == nil {
 		ownStore = true
 		switch fi, err := os.Stat(path); {
+		case store.IsRemoteURL(path):
+			// An http(s) URL opens as a remote single-file archive read
+			// over ranged GETs (the stat above fails on URLs; its error is
+			// superseded by this branch).
+			rst, err := store.OpenRemote(path, store.RemoteOptions{})
+			if err != nil {
+				return nil, err
+			}
+			st = rst
 		case opts.Archive, err == nil && !fi.IsDir():
 			ast, err := store.OpenArchive(path)
 			if err != nil {
@@ -214,7 +235,12 @@ func Open(path string, opts DecodeOptions) (*Decompressor, error) {
 			st = store.OpenDir(path)
 		}
 	}
-	d := &Decompressor{st: st, ownStore: ownStore, opts: opts, cache: map[int][]uint64{}}
+	cache := opts.ChunkCache
+	if cache == nil {
+		cache = newFIFOChunkCache(opts.ChunkCacheSize)
+	}
+	d := &Decompressor{st: st, ownStore: ownStore, opts: opts, cache: cache}
+	d.loader, _ = cache.(chunkLoader)
 	closeStore := func() {
 		if ownStore {
 			st.Close()
@@ -1330,12 +1356,20 @@ func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
 }
 
 // loadChunk returns the decoded addresses of a chunk, consulting the
-// cache. pin keeps a freshly read chunk resident (bounded FIFO): the
-// sequential lossy pipeline pins chunks so imitations avoid re-reading
-// them, and random access pins everything it touches so a hot range
-// working set decompresses once.
+// cache. pin keeps a freshly read chunk resident (subject to the cache's
+// eviction policy): the sequential lossy pipeline pins chunks so
+// imitations avoid re-reading them, and random access pins everything it
+// touches so a hot range working set decompresses once. When the cache
+// supports singleflight loads (a shared cache does), the whole
+// miss-load-insert sequence goes through it so concurrent readers of one
+// chunk trigger a single decompression.
 func (d *Decompressor) loadChunk(id int, pin bool) ([]uint64, error) {
-	if addrs, ok := d.cache[id]; ok {
+	if d.loader != nil {
+		return d.loader.GetOrLoad(id, pin, func() ([]uint64, error) {
+			return d.readChunkFile(id)
+		})
+	}
+	if addrs, ok := d.cache.Get(id); ok {
 		return addrs, nil
 	}
 	addrs, err := d.readChunkFile(id)
@@ -1343,13 +1377,7 @@ func (d *Decompressor) loadChunk(id int, pin bool) ([]uint64, error) {
 		return nil, err
 	}
 	if pin {
-		if len(d.cacheFIFO) >= d.opts.ChunkCacheSize {
-			oldest := d.cacheFIFO[0]
-			d.cacheFIFO = d.cacheFIFO[1:]
-			delete(d.cache, oldest)
-		}
-		d.cache[id] = addrs
-		d.cacheFIFO = append(d.cacheFIFO, id)
+		d.cache.Put(id, addrs)
 	}
 	return addrs, nil
 }

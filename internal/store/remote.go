@@ -1,0 +1,555 @@
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteStore opens a single-file .atc archive held behind an HTTP(S) URL
+// — an object-storage bucket, a CDN, any server honoring `Range` requests
+// (S3-compatible semantics) — without downloading it. All reads go through
+// a caching RangeReaderAt: block-aligned ranged GETs, a bounded LRU block
+// cache, adjacent-read coalescing and in-flight deduplication, so a
+// serving tier in front of object storage touches the origin once per
+// block, not once per read.
+//
+// The store is read-only: Create and Remove fail exactly as they do on any
+// archive opened for reading. The archive's TOC is fetched and fully
+// validated at open (footer + TOC are one or two ranged GETs), after which
+// every blob is served through the shared block cache.
+//
+// Consistency: the object's size and ETag are captured at open. Every
+// later response is checked against them — and an `If-Match` header asks
+// the server to enforce it — so an object replaced mid-session surfaces as
+// ErrCorrupt instead of a silent splice of old and new bytes.
+type RemoteStore struct {
+	*ArchiveStore
+	ra *RangeReaderAt
+}
+
+// ErrRemote reports a failed remote fetch — a transport error or an HTTP
+// error status. It does not implicate the stored bytes; corruption and
+// mid-session object replacement surface as ErrCorrupt instead.
+var ErrRemote = errors.New("atc: remote store fetch failed")
+
+// errTransient marks an ErrRemote worth retrying (5xx, transport hiccups).
+// It wraps ErrRemote so callers classifying with errors.Is see one class.
+var errTransient = fmt.Errorf("%w (transient)", ErrRemote)
+
+// Remote tuning defaults; see RemoteOptions.
+const (
+	DefaultRemoteBlockSize   = 256 << 10 // 256 KiB per ranged GET
+	DefaultRemoteCacheBlocks = 64        // 16 MiB cached at the default block size
+	DefaultRemoteRetries     = 2         // 3 attempts in total
+	DefaultRemoteRetryDelay  = 100 * time.Millisecond
+)
+
+// RemoteOptions tunes OpenRemote. The zero value selects the defaults.
+type RemoteOptions struct {
+	// BlockSize is the fetch granularity in bytes: every ranged GET is
+	// aligned to and sized in whole blocks (the final block of the object
+	// may be short). Default DefaultRemoteBlockSize.
+	BlockSize int
+	// CacheBlocks bounds the LRU block cache, in blocks. Default
+	// DefaultRemoteCacheBlocks.
+	CacheBlocks int
+	// Retries is the number of additional attempts after a transient
+	// failure (HTTP 5xx or a transport error). Default
+	// DefaultRemoteRetries.
+	Retries int
+	// RetryDelay is the backoff before the first retry, doubling per
+	// attempt. Default DefaultRemoteRetryDelay.
+	RetryDelay time.Duration
+	// Client overrides the HTTP client (timeouts, proxies, auth
+	// round-trippers for private buckets). Default http.DefaultClient.
+	Client *http.Client
+}
+
+// IsRemoteURL reports whether path names a remote archive — an http(s)
+// URL rather than a filesystem path. Open-style entry points use it to
+// route a path to OpenRemote.
+func IsRemoteURL(path string) bool {
+	return strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://")
+}
+
+// OpenRemote opens the single-file archive at url for reading. The
+// object's size and ETag are probed up front (HEAD, with a one-byte
+// ranged-GET fallback for servers that refuse HEAD) and the archive TOC is
+// validated exactly as OpenArchive would.
+func OpenRemote(url string, opts RemoteOptions) (*RemoteStore, error) {
+	if !IsRemoteURL(url) {
+		return nil, fmt.Errorf("%w: not an http(s) URL: %q", ErrRemote, url)
+	}
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultRemoteBlockSize
+	}
+	if opts.CacheBlocks <= 0 {
+		opts.CacheBlocks = DefaultRemoteCacheBlocks
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = DefaultRemoteRetries
+	}
+	if opts.RetryDelay <= 0 {
+		opts.RetryDelay = DefaultRemoteRetryDelay
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	size, etag, err := probeRemote(opts.Client, url, opts.Retries, opts.RetryDelay)
+	if err != nil {
+		return nil, err
+	}
+	ra := &RangeReaderAt{
+		url:        url,
+		client:     opts.Client,
+		size:       size,
+		etag:       etag,
+		blockSize:  int64(opts.BlockSize),
+		retries:    opts.Retries,
+		retryDelay: opts.RetryDelay,
+		cache:      blockLRU{cap: opts.CacheBlocks, m: map[int64]*list.Element{}},
+		inflight:   map[int64]*blockFetch{},
+	}
+	ast, err := OpenArchiveReaderAt(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	ast.path = url
+	return &RemoteStore{ArchiveStore: ast, ra: ra}, nil
+}
+
+// URL reports the archive's remote location.
+func (s *RemoteStore) URL() string { return s.ra.url }
+
+// ReaderStats reports the underlying RangeReaderAt's fetch counters.
+func (s *RemoteStore) ReaderStats() RemoteStats { return s.ra.Stats() }
+
+// Close releases the store. No connection state is pinned per store — the
+// HTTP client's idle pool is shared — so this only finalizes the embedded
+// archive bookkeeping.
+func (s *RemoteStore) Close() error { return s.ArchiveStore.Close() }
+
+// RemoteSize probes the size of a remote object without opening it as an
+// archive — one HEAD (or one-byte ranged GET). It backs StoreSize-style
+// metrics for http(s) trace paths.
+func RemoteSize(url string) (int64, error) {
+	if !IsRemoteURL(url) {
+		return 0, fmt.Errorf("%w: not an http(s) URL: %q", ErrRemote, url)
+	}
+	size, _, err := probeRemote(http.DefaultClient, url, DefaultRemoteRetries, DefaultRemoteRetryDelay)
+	return size, err
+}
+
+// RemoteStats counts a RangeReaderAt's traffic.
+type RemoteStats struct {
+	// Fetches is the number of HTTP requests issued (including retries
+	// and the open-time probe's ranged fallback, excluding HEAD).
+	Fetches int64
+	// BytesFetched is the payload bytes successfully fetched.
+	BytesFetched int64
+	// BlockHits is the number of block lookups served from the cache.
+	BlockHits int64
+}
+
+// RangeReaderAt is a caching io.ReaderAt over one remote object. Reads are
+// decomposed into aligned blocks; missing adjacent blocks coalesce into a
+// single ranged GET, concurrent fetches of one block deduplicate onto a
+// single request, and fetched blocks land in a bounded LRU. It is safe for
+// concurrent use — the access pattern of the archive decoder's readahead
+// fan-out.
+type RangeReaderAt struct {
+	url        string
+	client     *http.Client
+	size       int64
+	etag       string
+	blockSize  int64
+	retries    int
+	retryDelay time.Duration
+
+	mu       sync.Mutex
+	cache    blockLRU
+	inflight map[int64]*blockFetch
+
+	fetches      atomic.Int64
+	bytesFetched atomic.Int64
+	blockHits    atomic.Int64
+}
+
+// blockFetch is one in-flight block: done closes once data/err are set, so
+// readers needing a block another goroutine is already fetching wait here
+// instead of issuing a duplicate request.
+type blockFetch struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Size reports the remote object's length captured at open.
+func (r *RangeReaderAt) Size() int64 { return r.size }
+
+// ETag reports the validator captured at open ("" when the server sent
+// none; consistency then degrades to size checks).
+func (r *RangeReaderAt) ETag() string { return r.etag }
+
+// Stats reports fetch counters.
+func (r *RangeReaderAt) Stats() RemoteStats {
+	return RemoteStats{
+		Fetches:      r.fetches.Load(),
+		BytesFetched: r.bytesFetched.Load(),
+		BlockHits:    r.blockHits.Load(),
+	}
+}
+
+// ReadAt implements io.ReaderAt over the block cache.
+func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative read offset %d", ErrRemote, off)
+	}
+	if off >= r.size {
+		if len(p) == 0 {
+			return 0, nil
+		}
+		return 0, io.EOF
+	}
+	short := false
+	if off+int64(len(p)) > r.size {
+		p = p[:r.size-off]
+		short = true
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	first := off / r.blockSize
+	last := (off + int64(len(p)) - 1) / r.blockSize
+	// blocks gathers each needed block's payload; cache references are
+	// taken under the lock and stay valid after eviction (payloads are
+	// immutable once fetched).
+	blocks := make([][]byte, last-first+1)
+	type waiter struct {
+		i int
+		f *blockFetch
+	}
+	var waits []waiter
+	var runs [][2]int64 // inclusive block ranges this call claimed to fetch
+	r.mu.Lock()
+	for b := first; b <= last; b++ {
+		i := int(b - first)
+		if data, ok := r.cache.get(b); ok {
+			r.blockHits.Add(1)
+			blocks[i] = data
+			continue
+		}
+		if f, ok := r.inflight[b]; ok {
+			waits = append(waits, waiter{i, f})
+			continue
+		}
+		// Claim this block and every adjacent unclaimed miss up to the
+		// read's end: the run is served by one coalesced ranged GET.
+		start := b
+		for {
+			r.inflight[b] = &blockFetch{done: make(chan struct{})}
+			if b == last {
+				break
+			}
+			if _, cached := r.cache.m[b+1]; cached {
+				break
+			}
+			if _, busy := r.inflight[b+1]; busy {
+				break
+			}
+			b++
+		}
+		runs = append(runs, [2]int64{start, b})
+	}
+	r.mu.Unlock()
+	// Fetch the claimed runs. Every claimed block must be resolved even
+	// after a failure — other readers may be parked on its done channel —
+	// so later runs are failed explicitly rather than skipped.
+	var fetchErr error
+	for _, run := range runs {
+		if fetchErr != nil {
+			r.failRun(run[0], run[1], fetchErr)
+			continue
+		}
+		if err := r.fetchRun(run[0], run[1], first, blocks); err != nil {
+			fetchErr = err
+		}
+	}
+	if fetchErr != nil {
+		return 0, fetchErr
+	}
+	for _, w := range waits {
+		<-w.f.done
+		if w.f.err != nil {
+			return 0, w.f.err
+		}
+		r.blockHits.Add(1) // deduplicated onto another reader's fetch
+		blocks[w.i] = w.f.data
+	}
+	// Assemble the caller's window from the gathered blocks.
+	n := 0
+	for i, data := range blocks {
+		blockOff := (first + int64(i)) * r.blockSize
+		lo := int64(0)
+		if off > blockOff {
+			lo = off - blockOff
+		}
+		hi := int64(len(data))
+		if end := off + int64(len(p)) - blockOff; end < hi {
+			hi = end
+		}
+		if lo > hi {
+			lo = hi
+		}
+		n += copy(p[n:], data[lo:hi])
+	}
+	if n != len(p) {
+		return n, fmt.Errorf("%w: remote read at %d assembled %d of %d bytes", ErrCorrupt, off, n, len(p))
+	}
+	if short {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// fetchRun fetches blocks [start, end] in one ranged GET, resolves their
+// in-flight registrations, inserts them into the LRU and fills the calling
+// ReadAt's assembly slots.
+func (r *RangeReaderAt) fetchRun(start, end, first int64, blocks [][]byte) error {
+	off := start * r.blockSize
+	length := (end+1)*r.blockSize - off
+	if off+length > r.size {
+		length = r.size - off
+	}
+	data, err := r.fetchRange(off, length)
+	r.mu.Lock()
+	for b := start; b <= end; b++ {
+		f := r.inflight[b]
+		delete(r.inflight, b)
+		if err != nil {
+			f.err = err
+		} else {
+			lo := (b - start) * r.blockSize
+			hi := lo + r.blockSize
+			if hi > int64(len(data)) {
+				hi = int64(len(data))
+			}
+			f.data = data[lo:hi]
+			r.cache.put(b, f.data)
+			if i := int(b - first); i >= 0 && i < len(blocks) {
+				blocks[i] = f.data
+			}
+		}
+		close(f.done)
+	}
+	r.mu.Unlock()
+	return err
+}
+
+// failRun resolves claimed-but-unfetched blocks with err so waiters on
+// them never hang after an earlier run in the same ReadAt failed.
+func (r *RangeReaderAt) failRun(start, end int64, err error) {
+	r.mu.Lock()
+	for b := start; b <= end; b++ {
+		f := r.inflight[b]
+		delete(r.inflight, b)
+		f.err = err
+		close(f.done)
+	}
+	r.mu.Unlock()
+}
+
+// fetchRange GETs the byte range [off, off+n), retrying transient failures
+// (5xx, transport errors) with doubling backoff. Validation failures — a
+// changed ETag, an inconsistent total size, a server ignoring Range — are
+// permanent and surface immediately.
+func (r *RangeReaderAt) fetchRange(off, n int64) ([]byte, error) {
+	delay := r.retryDelay
+	for attempt := 0; ; attempt++ {
+		data, err := r.fetchOnce(off, n)
+		if err == nil || !errors.Is(err, errTransient) || attempt >= r.retries {
+			return data, err
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+// fetchOnce issues one ranged GET and validates the response against the
+// identity captured at open.
+func (r *RangeReaderAt) fetchOnce(off, n int64) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, r.url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+n-1))
+	if r.etag != "" {
+		// Ask the server to enforce the open-time identity: S3 (and
+		// net/http's ServeContent) answer 412 when the object changed.
+		req.Header.Set("If-Match", r.etag)
+	}
+	r.fetches.Add(1)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: GET %s: %v", errTransient, r.url, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusPartialContent:
+	case resp.StatusCode == http.StatusOK:
+		return nil, fmt.Errorf("%w: %s ignored the Range request (an S3-compatible ranged-read server is required)", ErrRemote, r.url)
+	case resp.StatusCode == http.StatusPreconditionFailed:
+		return nil, fmt.Errorf("%w: remote archive %s changed mid-session (ETag %s no longer matches)", ErrCorrupt, r.url, r.etag)
+	case resp.StatusCode == http.StatusRequestedRangeNotSatisfiable:
+		return nil, fmt.Errorf("%w: remote archive %s shrank mid-session (range [%d,+%d) unsatisfiable)", ErrCorrupt, r.url, off, n)
+	case resp.StatusCode >= 500:
+		return nil, fmt.Errorf("%w: GET %s: %s", errTransient, r.url, resp.Status)
+	default:
+		return nil, fmt.Errorf("%w: GET %s: %s", ErrRemote, r.url, resp.Status)
+	}
+	if etag := resp.Header.Get("Etag"); etag != "" && r.etag != "" && etag != r.etag {
+		return nil, fmt.Errorf("%w: remote archive %s changed mid-session (ETag %s, had %s)", ErrCorrupt, r.url, etag, r.etag)
+	}
+	gotOff, total, err := parseContentRange(resp.Header.Get("Content-Range"))
+	if err != nil {
+		return nil, err
+	}
+	if gotOff != off || total != r.size {
+		return nil, fmt.Errorf("%w: remote archive %s served range at %d of %d bytes, want %d of %d (object replaced mid-session?)",
+			ErrCorrupt, r.url, gotOff, total, off, r.size)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(resp.Body, data); err != nil {
+		return nil, fmt.Errorf("%w: GET %s: short body: %v", errTransient, r.url, err)
+	}
+	r.bytesFetched.Add(n)
+	return data, nil
+}
+
+// parseContentRange parses a "bytes a-b/total" Content-Range header. The
+// total is required — "*" would leave mid-session size validation blind.
+func parseContentRange(h string) (off, total int64, err error) {
+	span, ok := strings.CutPrefix(h, "bytes ")
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: remote response Content-Range %q unparseable", ErrCorrupt, h)
+	}
+	rng, totalStr, ok := strings.Cut(span, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: remote response Content-Range %q unparseable", ErrCorrupt, h)
+	}
+	offStr, _, ok := strings.Cut(rng, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: remote response Content-Range %q unparseable", ErrCorrupt, h)
+	}
+	off, err = strconv.ParseInt(offStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: remote response Content-Range %q unparseable", ErrCorrupt, h)
+	}
+	total, err = strconv.ParseInt(totalStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: remote response Content-Range total %q unparseable", ErrCorrupt, totalStr)
+	}
+	return off, total, nil
+}
+
+// probeRemote learns the object's size and ETag: HEAD when the server
+// supports it, else a one-byte ranged GET whose Content-Range carries the
+// total. Transient failures retry like data fetches.
+func probeRemote(client *http.Client, url string, retries int, delay time.Duration) (int64, string, error) {
+	for attempt := 0; ; attempt++ {
+		size, etag, err := probeOnce(client, url)
+		if err == nil || !errors.Is(err, errTransient) || attempt >= retries {
+			return size, etag, err
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+func probeOnce(client *http.Client, url string) (int64, string, error) {
+	if resp, err := client.Head(url); err == nil {
+		etag := resp.Header.Get("Etag")
+		size := resp.ContentLength
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK && size >= 0:
+			return size, etag, nil
+		case resp.StatusCode >= 500:
+			return 0, "", fmt.Errorf("%w: HEAD %s: %s", errTransient, url, resp.Status)
+		}
+		// HEAD refused or size-less: fall through to the ranged probe.
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	req.Header.Set("Range", "bytes=0-0")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: GET %s: %v", errTransient, url, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusPartialContent:
+	case resp.StatusCode >= 500:
+		return 0, "", fmt.Errorf("%w: GET %s: %s", errTransient, url, resp.Status)
+	case resp.StatusCode == http.StatusOK:
+		return 0, "", fmt.Errorf("%w: %s does not support Range requests (an S3-compatible ranged-read server is required)", ErrRemote, url)
+	default:
+		return 0, "", fmt.Errorf("%w: GET %s: %s", ErrRemote, url, resp.Status)
+	}
+	_, total, err := parseContentRange(resp.Header.Get("Content-Range"))
+	if err != nil {
+		return 0, "", err
+	}
+	return total, resp.Header.Get("Etag"), nil
+}
+
+// blockLRU is the bounded block cache; all access is under RangeReaderAt.mu.
+type blockLRU struct {
+	cap int
+	ll  list.List
+	m   map[int64]*list.Element
+}
+
+type lruBlock struct {
+	id   int64
+	data []byte
+}
+
+// get returns a cached block and marks it most recently used.
+//
+//atc:hotpath
+func (c *blockLRU) get(id int64) ([]byte, bool) {
+	e, ok := c.m[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruBlock).data, true
+}
+
+// put inserts a block, evicting from the least recently used end.
+func (c *blockLRU) put(id int64, data []byte) {
+	if e, ok := c.m[id]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruBlock).data = data
+		return
+	}
+	c.m[id] = c.ll.PushFront(&lruBlock{id: id, data: data})
+	for len(c.m) > c.cap {
+		e := c.ll.Back()
+		delete(c.m, e.Value.(*lruBlock).id)
+		c.ll.Remove(e)
+	}
+}
