@@ -90,6 +90,7 @@ import (
 	"io"
 
 	"atc/internal/core"
+	"atc/internal/obs"
 	"atc/internal/store"
 )
 
@@ -431,6 +432,19 @@ func (r *Reader) ChunkIndex() []ChunkSpan { return r.d.ChunkIndex() }
 // tiers and for tests asserting that range decodes touch only the chunks
 // they must.
 func (r *Reader) ChunkReads() int64 { return r.d.ChunkReads() }
+
+// DecodeTrace records per-stage wall time (admission wait, index walk,
+// fetch, decompress, translate, deliver) and chunk-touch counts for one
+// decode request. Attach one with SetDecodeTrace; the zero value is
+// ready to use. See atc/internal/obs for the stage definitions.
+type DecodeTrace = obs.Trace
+
+// SetDecodeTrace attaches a per-request trace recorder: subsequent
+// synchronous decodes (DecodeRange and friends) accumulate stage timings
+// and chunk-touch counts into t. Pass nil to detach. Must not be called
+// while a decode is in flight — the intended lifetime is one ranged
+// request on a pooled Reader, attached before the decode and read after.
+func (r *Reader) SetDecodeTrace(t *DecodeTrace) { r.d.SetTrace(t) }
 
 // Position reports the absolute trace position, in addresses, of the next
 // value Decode will return.

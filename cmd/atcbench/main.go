@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"atc/internal/experiment"
+	"atc/internal/obs"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
+		metrics    = flag.Bool("metrics", false, "after the experiments, print the process metrics registry (Prometheus text format) to stderr")
 	)
 	flag.Parse()
 	if *cpuprofile != "" || *memprofile != "" {
@@ -222,6 +224,15 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "atcbench: done in %s\n", time.Since(start).Round(time.Millisecond))
+	if *metrics {
+		// Final registry state: encode/decode counters and latency
+		// histograms accumulated across every selected experiment — the
+		// same series atcserve exports live on /metrics. Stderr so it
+		// never interleaves with the experiment tables on stdout.
+		if err := obs.Default().WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "atcbench:", err)
+		}
+	}
 }
 
 // finishProfiles terminates any active -cpuprofile/-memprofile outputs.

@@ -28,7 +28,15 @@
 //	                                     [from, to): raw 64-bit
 //	                                     little-endian values by default
 //	                                     (the bin2atc/atc2bin wire format),
-//	                                     or JSON with ?format=json
+//	                                     or JSON with ?format=json; add
+//	                                     ?trace=1 for per-stage decode
+//	                                     timings (an ATC-Trace header, and
+//	                                     an embedded trace object in JSON)
+//
+// With -debug-addr set, a second listener serves operational diagnostics:
+// /metrics (Prometheus text format), /debug/obs (JSON metrics dump) and
+// /debug/pprof. Requests are logged structurally (log/slog) with request
+// id, trace, range, status, duration and chunks touched.
 //
 // Responses carry HTTP cache validators: /addrs payloads are immutable
 // (ETag + Cache-Control: public, max-age, so CDNs absorb repeat traffic),
@@ -56,8 +64,9 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -65,10 +74,12 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"atc"
+	"atc/internal/obs"
 	"atc/internal/store"
 	"atc/internal/trace"
 )
@@ -79,8 +90,14 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+// logger is the process-wide structured logger; main reconfigures it from
+// flags before any output. Package scope so helpers shared with tests
+// (writeDecodeError) can log without threading a logger through.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 func main() {
 	addr := flag.String("addr", ":8405", "listen address")
+	debugAddr := flag.String("debug-addr", "", "diagnostics listen address serving /metrics, /debug/obs and /debug/pprof (disabled when empty)")
 	readers := flag.Int("readers", 4, "pooled readers per trace (max concurrent range decodes)")
 	cache := flag.Int("cache", 0, "private decompressed-chunk cache size per reader (default 8; only used when -shared-cache is 0)")
 	sharedCache := flag.Int("shared-cache", 64, "per-trace chunk cache shared by all pooled readers, in chunks (0 reverts to private per-reader caches)")
@@ -101,6 +118,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	cfg := poolConfig{
 		mem:         *mem,
@@ -108,20 +129,27 @@ func main() {
 		cache:       *cache,
 		sharedCache: *sharedCache,
 		remote:      store.RemoteOptions{BlockSize: *remoteBlock, CacheBlocks: *remoteBlocks},
+		reg:         obs.Default(),
 	}
-	srv := &server{pools: map[string]*tracePool{}, maxRange: *maxRange, maxWait: *maxWait}
+	srv := &server{
+		pools:    map[string]*tracePool{},
+		maxRange: *maxRange,
+		maxWait:  *maxWait,
+		log:      logger,
+		met:      newServeMetrics(obs.Default()),
+	}
 	for _, path := range sources {
 		name := traceName(path)
 		if _, dup := srv.pools[name]; dup {
-			log.Fatalf("atcserve: duplicate trace name %q (from %s)", name, path)
+			fatal("duplicate trace name", "name", name, "source", path)
 		}
 		pool, err := openTrace(name, path, cfg)
 		if err != nil {
-			log.Fatalf("atcserve: %s: %v", path, err)
+			fatal("open trace", "source", path, "err", err)
 		}
 		srv.pools[name] = pool
-		log.Printf("serving %q: %s, %d addresses, %d records (%s)",
-			name, pool.meta.Mode, pool.meta.TotalAddrs, pool.meta.Records, path)
+		logger.Info("serving trace", "name", name, "mode", pool.meta.Mode,
+			"addrs", pool.meta.TotalAddrs, "records", pool.meta.Records, "source", path)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -129,23 +157,59 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugHandler()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener", "err", err)
+			}
+		}()
+		logger.Info("debug listening", "addr", *debugAddr)
+	}
 	select {
 	case err := <-errc:
-		log.Fatalf("atcserve: %v", err)
+		fatal("serve", "err", err)
 	case <-ctx.Done():
 	}
-	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// release every pooled reader and its backing store.
-	log.Printf("shutting down")
+	// Graceful shutdown: stop accepting, drain in-flight requests (10s
+	// deadline), then release every pooled reader and its backing store.
+	// The drain outcome is logged either way: how many in-flight requests
+	// completed, and — when the deadline expires — how many were aborted.
+	inFlightStart := srv.inFlight.Load()
+	logger.Info("shutting down", "inFlight", inFlightStart)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		log.Printf("atcserve: shutdown: %v", err)
+	err := httpSrv.Shutdown(shutCtx)
+	aborted := srv.inFlight.Load()
+	drained := inFlightStart - aborted
+	if err != nil {
+		logger.Warn("shutdown deadline expired", "drained", drained, "aborted", aborted, "err", err)
+	} else {
+		logger.Info("shutdown complete", "drained", drained, "served", srv.reqSeq.Load())
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	for _, pool := range srv.pools {
 		pool.close()
 	}
+}
+
+// debugHandler wires the diagnostics mux: Prometheus metrics, the obs
+// JSON dump, and net/http/pprof (registered explicitly — the debug
+// listener serves its own mux, not DefaultServeMux).
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	mux.Handle("GET /debug/obs", obs.Default().DebugHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // traceName derives the registration name from a path or URL: the base
@@ -242,6 +306,10 @@ type poolConfig struct {
 	// reader, in chunks; 0 disables sharing.
 	sharedCache int
 	remote      store.RemoteOptions
+	// reg, when set, receives per-trace labeled func metrics (chunk reads,
+	// shared-cache and remote counters) at open. Nil in tests that build
+	// pools directly.
+	reg *obs.Registry
 }
 
 // openTrace opens the store once (directory, archive, archive bytes in
@@ -336,7 +404,32 @@ func openTrace(name, path string, cfg poolConfig) (*tracePool, error) {
 	p.etagHex = traceETagHex(p.meta, p.index)
 	p.etag = `"` + p.etagHex + `"`
 	p.readers <- r
+	if cfg.reg != nil {
+		p.register(cfg.reg)
+	}
 	return p, nil
+}
+
+// register exposes the pool's live counters as per-trace labeled func
+// metrics: thin views over the same atomics /meta reports, so the two
+// surfaces can never disagree.
+func (p *tracePool) register(reg *obs.Registry) {
+	lbl := obs.Label{Key: "trace", Value: p.name}
+	reg.CounterFunc("atc_trace_chunk_reads_total",
+		"chunk-blob decompressions across the trace's pooled readers",
+		p.chunkReads, lbl)
+	if p.shared != nil {
+		p.shared.Register(reg, lbl)
+	}
+	if p.remote != nil {
+		rr := p.remote
+		reg.CounterFunc("atc_trace_remote_fetches_total",
+			"ranged GETs issued for this trace's remote archive",
+			func() int64 { return rr.ReaderStats().Fetches }, lbl)
+		reg.CounterFunc("atc_trace_remote_fetch_bytes_total",
+			"payload bytes fetched for this trace's remote archive",
+			func() int64 { return rr.ReaderStats().BytesFetched }, lbl)
+	}
 }
 
 // traceETagHex digests the trace's immutable decode identity — name,
@@ -417,6 +510,152 @@ type server struct {
 	pools    map[string]*tracePool
 	maxRange int64
 	maxWait  time.Duration
+	// log and met are defaulted lazily by handler() so tests building a
+	// bare &server{pools: ...} literal keep working.
+	log *slog.Logger
+	met *serveMetrics
+	// reqSeq numbers requests for log correlation; inFlight counts
+	// requests between middleware entry and exit, read by the shutdown
+	// path to report drained vs aborted work.
+	reqSeq   atomic.Int64
+	inFlight atomic.Int64
+}
+
+// serveMetrics is the HTTP tier's registry slice: per-route counters by
+// status class, per-route latency histograms, admission gauges and the
+// cache/backpressure outcome counters. Every series is pre-registered so
+// the hot path only ever touches atomics.
+type serveMetrics struct {
+	requests map[string][6]*obs.Counter // route -> status class 0..5 (1xx..5xx; 0 = other)
+	latency  map[string]*obs.Histogram
+	inFlight *obs.Gauge
+	waiting  *obs.Gauge
+	poolWait *obs.Histogram
+	notMod   *obs.Counter
+	throttle *obs.Counter
+}
+
+// serveRoutes are the metric label values for the three endpoints.
+var serveRoutes = []string{"list", "meta", "addrs"}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	m := &serveMetrics{
+		requests: map[string][6]*obs.Counter{},
+		latency:  map[string]*obs.Histogram{},
+		inFlight: reg.Gauge("atc_http_in_flight_requests", "requests currently being served"),
+		waiting:  reg.Gauge("atc_http_pool_waiting_requests", "requests currently waiting for a pooled reader"),
+		poolWait: reg.Histogram("atc_http_pool_wait_seconds",
+			"time spent acquiring a pooled reader (including immediate grants)", obs.DurationBuckets),
+		notMod: reg.Counter("atc_http_not_modified_total",
+			"conditional requests answered 304 from a matching validator"),
+		throttle: reg.Counter("atc_http_throttled_total",
+			"requests refused 429 because every pooled reader stayed busy past -max-wait"),
+	}
+	for _, route := range serveRoutes {
+		var byClass [6]*obs.Counter
+		for class := range byClass {
+			cls := "other"
+			if class > 0 {
+				cls = strconv.Itoa(class) + "xx"
+			}
+			byClass[class] = reg.Counter("atc_http_requests_total", "HTTP requests served by route and status class",
+				obs.Label{Key: "route", Value: route}, obs.Label{Key: "class", Value: cls})
+		}
+		m.requests[route] = byClass
+		m.latency[route] = reg.Histogram("atc_http_request_seconds",
+			"HTTP request latency by route", obs.DurationBuckets,
+			obs.Label{Key: "route", Value: route})
+	}
+	return m
+}
+
+// statusWriter captures the status code and body size a handler produced.
+// An unset status means the handler wrote the body directly: 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// reqStats is per-request context the /addrs handler fills in for the
+// request log line: the decode window, pool-wait time, and the decode
+// trace whose chunk counters the log reports.
+type reqStats struct {
+	trace    string
+	from, to int64
+	ranged   bool
+	wait     time.Duration
+	dec      *obs.Trace
+}
+
+type reqStatsKey struct{}
+
+// statsFrom returns the request's reqStats, installed by instrument.
+func statsFrom(r *http.Request) *reqStats {
+	rs, _ := r.Context().Value(reqStatsKey{}).(*reqStats)
+	return rs
+}
+
+// instrument wraps a route handler with the serving tier's observability:
+// request counting by status class, latency histograms, the in-flight
+// gauge, and one structured log line per request.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		s.inFlight.Add(1)
+		s.met.inFlight.Inc()
+		start := time.Now()
+		rs := &reqStats{}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(context.WithValue(r.Context(), reqStatsKey{}, rs)))
+		dur := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		class := 0
+		if status >= 100 && status < 600 {
+			class = status / 100
+		}
+		s.met.requests[route][class].Inc()
+		s.met.latency[route].ObserveDuration(dur)
+		if status == http.StatusNotModified {
+			s.met.notMod.Inc()
+		}
+		s.met.inFlight.Dec()
+		s.inFlight.Add(-1)
+
+		args := []any{
+			"id", id, "route", route, "status", status,
+			"dur", dur.Round(time.Microsecond), "bytes", sw.bytes,
+		}
+		if rs.trace != "" {
+			args = append(args, "trace", rs.trace)
+		}
+		if rs.ranged {
+			args = append(args, "from", rs.from, "to", rs.to, "wait", rs.wait.Round(time.Microsecond))
+		}
+		if rs.dec != nil {
+			args = append(args, "chunks", rs.dec.ChunkLoads(), "cacheHits", rs.dec.CacheHits())
+		}
+		s.log.Info("request", args...)
+	}
 }
 
 // HTTP caching contract. A served trace is immutable for the life of the
@@ -443,10 +682,17 @@ type server struct {
 const addrsCacheControl = "public, max-age=31536000, immutable"
 
 func (s *server) handler() http.Handler {
+	// Lazy defaults keep test servers built as bare struct literals valid.
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if s.met == nil {
+		s.met = newServeMetrics(obs.Default())
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /traces", s.handleList)
-	mux.HandleFunc("GET /traces/{name}/meta", s.handleMeta)
-	mux.HandleFunc("GET /traces/{name}/addrs", s.handleAddrs)
+	mux.HandleFunc("GET /traces", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /traces/{name}/meta", s.instrument("meta", s.handleMeta))
+	mux.HandleFunc("GET /traces/{name}/addrs", s.instrument("addrs", s.handleAddrs))
 	return mux
 }
 
@@ -534,7 +780,7 @@ func parseAddr(q, def string) (int64, error) {
 func writeDecodeError(w http.ResponseWriter, name string, err error) {
 	switch {
 	case errors.Is(err, atc.ErrCorrupt):
-		log.Printf("atcserve: %s: corrupt trace: %v", name, err)
+		logger.Error("corrupt trace", "trace", name, "err", err)
 		http.Error(w, "corrupt trace: "+err.Error(), http.StatusBadGateway)
 	case errors.Is(err, atc.ErrOutOfRange):
 		http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
@@ -543,11 +789,22 @@ func writeDecodeError(w http.ResponseWriter, name string, err error) {
 	}
 }
 
+// wantTrace reports whether the request opted into per-stage decode
+// timing, via the ?trace=1 query parameter or an ATC-Trace header.
+func wantTrace(r *http.Request) bool {
+	if v := r.URL.Query().Get("trace"); v != "" && v != "0" && v != "false" {
+		return true
+	}
+	return r.Header.Get("Atc-Trace") != ""
+}
+
 func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 	p := s.pool(w, r)
 	if p == nil {
 		return
 	}
+	rs := statsFrom(r)
+	rs.trace = p.name
 	total := p.meta.TotalAddrs
 	from, err := parseAddr(r.URL.Query().Get("from"), "0")
 	if err != nil {
@@ -559,6 +816,7 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	rs.from, rs.to, rs.ranged = from, to, true
 	if from < 0 || to < from || to > total {
 		http.Error(w, fmt.Sprintf("range [%d, %d) outside trace [0, %d)", from, to, total),
 			http.StatusRequestedRangeNotSatisfiable)
@@ -570,18 +828,33 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	format := r.URL.Query().Get("format")
+	traced := wantTrace(r)
 	// The payload for (trace, from, to, format) is immutable: a matching
-	// validator answers 304 before a pooled reader is even acquired.
+	// validator answers 304 before a pooled reader is even acquired. A
+	// traced response is diagnostic, not the immutable payload — its
+	// timings differ on every decode — so it skips the validator short-cut
+	// and carries no cache headers at all.
 	etag := fmt.Sprintf(`"%s-%d-%d-%s"`, p.etagHex, from, to, format)
-	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+	if !traced && etagMatches(r.Header.Get("If-None-Match"), etag) {
 		w.Header().Set("Etag", etag)
 		w.Header().Set("Cache-Control", addrsCacheControl)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	// Admission: the wait for a pooled reader is itself a decode stage —
+	// a saturated pool shows up in the trace, not just in the 429 counter.
+	tr := &obs.Trace{}
+	rs.dec = tr
+	waitStart := time.Now()
+	s.met.waiting.Inc()
 	rd, err := p.acquire(r.Context(), s.maxWait)
+	s.met.waiting.Dec()
+	rs.wait = time.Since(waitStart)
+	tr.AddNS(obs.StageWait, rs.wait.Nanoseconds())
+	s.met.poolWait.ObserveDuration(rs.wait)
 	if err != nil {
 		if errors.Is(err, errBusy) {
+			s.met.throttle.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "every pooled reader is busy; retry shortly", http.StatusTooManyRequests)
 			return
@@ -589,7 +862,13 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "busy: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	defer p.release(rd)
+	// The per-request recorder rides the borrowed reader for the decode
+	// and must be detached before the reader returns to the pool.
+	rd.SetDecodeTrace(tr)
+	defer func() {
+		rd.SetDecodeTrace(nil)
+		p.release(rd)
+	}()
 	w.Header().Set("X-Atc-From", strconv.FormatInt(from, 10))
 	w.Header().Set("X-Atc-To", strconv.FormatInt(to, 10))
 	w.Header().Set("X-Atc-Count", strconv.FormatInt(to-from, 10))
@@ -601,6 +880,13 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 		}
 		// Cache headers only on the success path: error responses must not
 		// be cached as immutable.
+		if traced {
+			w.Header().Set("Cache-Control", "no-store")
+			w.Header().Set("Atc-Trace", tr.Header())
+			writeJSON(w, map[string]any{"name": p.name, "from": from, "to": to,
+				"addrs": addrs, "trace": tr.Summary()})
+			return
+		}
 		w.Header().Set("Etag", etag)
 		w.Header().Set("Cache-Control", addrsCacheControl)
 		writeJSON(w, map[string]any{"name": p.name, "from": from, "to": to, "addrs": addrs})
@@ -613,19 +899,54 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 	// memory, not the whole window. The first batch decodes before any
 	// header is written, keeping decode failures a clean 500; a later
 	// failure truncates the body short of Content-Length, which clients
-	// detect.
+	// detect. A traced response decodes the whole window before writing the
+	// Atc-Trace header, so the header covers every stage (headers cannot
+	// follow the first body byte); the batching still bounds memory.
 	buf, err := rd.DecodeRange(from, min64(from+serveBatchAddrs, to))
 	if err != nil {
 		writeDecodeError(w, p.name, err)
 		return
 	}
-	w.Header().Set("Etag", etag)
-	w.Header().Set("Cache-Control", addrsCacheControl)
+	if traced {
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Etag", etag)
+		w.Header().Set("Cache-Control", addrsCacheControl)
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt((to-from)*8, 10))
 	tw := trace.NewWriter(w)
 	for pos := from; ; {
-		if err := tw.WriteSlice(buf); err != nil {
+		if pos == from && traced {
+			// Finish decoding before the first write commits the headers.
+			rest := [][]uint64{}
+			for next := from + int64(len(buf)); next < to; {
+				batch, err := rd.DecodeRange(next, min64(next+serveBatchAddrs, to))
+				if err != nil {
+					writeDecodeError(w, p.name, err)
+					return
+				}
+				rest = append(rest, batch)
+				next += int64(len(batch))
+			}
+			w.Header().Set("Atc-Trace", tr.Header())
+			start := time.Now()
+			if err := tw.WriteSlice(buf); err != nil {
+				return
+			}
+			for _, batch := range rest {
+				if err := tw.WriteSlice(batch); err != nil {
+					return
+				}
+			}
+			tw.Flush()
+			tr.AddNS(obs.StageDeliver, time.Since(start).Nanoseconds())
+			return
+		}
+		start := time.Now()
+		err := tw.WriteSlice(buf)
+		tr.AddNS(obs.StageDeliver, time.Since(start).Nanoseconds())
+		if err != nil {
 			return // client went away; nothing useful to report mid-body
 		}
 		pos += int64(len(buf))

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"atc/internal/obs"
 )
 
 // ChunkCache holds decompressed chunks ([]uint64 address slices) keyed by
@@ -64,6 +66,7 @@ func (c *fifoChunkCache) Put(id int, addrs []uint64) {
 		oldest := c.fifo[0]
 		c.fifo = c.fifo[1:]
 		delete(c.m, oldest)
+		metChunkCacheEvict.Inc()
 	}
 	c.m[id] = addrs
 	c.fifo = append(c.fifo, id)
@@ -82,8 +85,9 @@ type SharedChunkCache struct {
 	m        map[int]*list.Element
 	inflight map[int]*chunkFlight
 
-	hits  atomic.Int64
-	loads atomic.Int64
+	hits      atomic.Int64
+	loads     atomic.Int64
+	evictions atomic.Int64
 }
 
 // chunkFlight is one in-progress chunk load; done closes once addrs/err
@@ -124,6 +128,7 @@ func (c *SharedChunkCache) Get(id int) ([]uint64, bool) {
 	addrs := e.Value.(*chunkEntry).addrs
 	c.mu.Unlock()
 	c.hits.Add(1)
+	metChunkCacheHits.Inc()
 	return addrs, true
 }
 
@@ -145,6 +150,8 @@ func (c *SharedChunkCache) putLocked(id int, addrs []uint64) {
 		e := c.ll.Back()
 		delete(c.m, e.Value.(*chunkEntry).id)
 		c.ll.Remove(e)
+		c.evictions.Add(1)
+		metChunkCacheEvict.Inc()
 	}
 }
 
@@ -159,6 +166,7 @@ func (c *SharedChunkCache) GetOrLoad(id int, pin bool, load func() ([]uint64, er
 		addrs := e.Value.(*chunkEntry).addrs
 		c.mu.Unlock()
 		c.hits.Add(1)
+		metChunkCacheHits.Inc()
 		return addrs, nil
 	}
 	if f, ok := c.inflight[id]; ok {
@@ -168,6 +176,7 @@ func (c *SharedChunkCache) GetOrLoad(id int, pin bool, load func() ([]uint64, er
 			return nil, f.err
 		}
 		c.hits.Add(1)
+		metChunkCacheHits.Inc()
 		return f.addrs, nil
 	}
 	f := &chunkFlight{done: make(chan struct{})}
@@ -195,18 +204,44 @@ type SharedChunkCacheStats struct {
 	Hits int64
 	// Loads counts successful chunk decompressions (the misses).
 	Loads int64
+	// Evictions counts chunks pushed out of the LRU end.
+	Evictions int64
 	// Resident is the number of chunks currently cached.
 	Resident int
 }
 
-// Stats reports hit/load counters and current occupancy.
+// Stats reports hit/load/eviction counters and current occupancy.
 func (c *SharedChunkCache) Stats() SharedChunkCacheStats {
 	c.mu.Lock()
 	resident := len(c.m)
 	c.mu.Unlock()
 	return SharedChunkCacheStats{
-		Hits:     c.hits.Load(),
-		Loads:    c.loads.Load(),
-		Resident: resident,
+		Hits:      c.hits.Load(),
+		Loads:     c.loads.Load(),
+		Evictions: c.evictions.Load(),
+		Resident:  resident,
 	}
+}
+
+// Register exposes the cache's counters on r as labeled func metrics —
+// thin views over the same atomics Stats reads, typically labeled with
+// the trace the cache serves. Re-registering the same labels replaces
+// the callbacks, so re-opening a trace pool under one name is safe.
+func (c *SharedChunkCache) Register(r *obs.Registry, labels ...obs.Label) {
+	r.CounterFunc("atc_chunk_cache_hits_total",
+		"chunk lookups served from the shared cache or deduplicated onto an in-flight load",
+		func() int64 { return c.hits.Load() }, labels...)
+	r.CounterFunc("atc_chunk_cache_loads_total",
+		"chunk decompressions through the shared cache (misses)",
+		func() int64 { return c.loads.Load() }, labels...)
+	r.CounterFunc("atc_chunk_cache_evictions_total",
+		"chunks evicted from the shared cache",
+		func() int64 { return c.evictions.Load() }, labels...)
+	r.GaugeFunc("atc_chunk_cache_resident_chunks",
+		"chunks currently resident in the shared cache",
+		func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return int64(len(c.m))
+		}, labels...)
 }

@@ -91,6 +91,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"atc/internal/bytesort"
 	"atc/internal/histogram"
@@ -387,6 +388,7 @@ func (c *Compressor) startWorkers(n, queue int) {
 		go func() {
 			defer c.workerWG.Done()
 			for job := range c.jobs {
+				metEncodeQueue.Dec()
 				if c.workerErr() == nil {
 					if err := c.writeChunk(job.id, job.addrs); err != nil {
 						c.setWorkerErr(err)
@@ -506,6 +508,7 @@ func (c *Compressor) classifyHist(addrs []uint64, hist *histogram.Set) (id int, 
 			tr := histogram.BuildTranslations(chunkHist, hist, c.opts.Epsilon)
 			c.records = append(c.records, record{tag: recImitate, chunkID: matchID, trans: tr})
 			c.nImit++
+			metEncodeImit.Inc()
 			c.recycleSet(hist)
 			return 0, false, nil
 		}
@@ -545,6 +548,7 @@ func (c *Compressor) classify(addrs []uint64, hist *histogram.Set) {
 		c.recycleBuf(addrs)
 		return
 	}
+	metEncodeQueue.Inc()
 	c.jobs <- chunkJob{id: id, addrs: addrs}
 }
 
@@ -776,6 +780,7 @@ func (c *Compressor) endSegment() error {
 		// Hand the buffer itself to the pool and continue filling a
 		// recycled one: no copying of up-to-128 MB segments on the hot
 		// path, and no fresh allocation once the free list is primed.
+		metEncodeQueue.Inc()
 		c.jobs <- chunkJob{id: id, addrs: c.segment}
 		bufCap := c.opts.SegmentAddrs
 		if bufCap > segmentBufCap {
@@ -896,6 +901,7 @@ func (c *Compressor) endInterval(final bool) error {
 // immutable Compressor fields (st, opts, backend, createChunkFile); the
 // store's Create is concurrent-safe by contract.
 func (c *Compressor) writeChunk(id int, addrs []uint64) error {
+	start := time.Now()
 	f, err := c.createChunkFile(c.chunkName(id))
 	if err != nil {
 		return fmt.Errorf("atc: %w", err)
@@ -927,7 +933,12 @@ func (c *Compressor) writeChunk(id int, addrs []uint64) error {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	metCompressSec.ObserveDuration(time.Since(start))
+	metEncodeChunks.Inc()
+	return nil
 }
 
 // Close flushes all state — draining the worker pool first — writes INFO

@@ -13,9 +13,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"atc/internal/bytesort"
 	"atc/internal/histogram"
+	"atc/internal/obs"
 	"atc/internal/store"
 	"atc/internal/xcompress"
 )
@@ -183,6 +185,11 @@ type Decompressor struct {
 	// chunkReads counts chunk-blob decompressions (not cache hits) — the
 	// observable that range decoding touches only the chunks it must.
 	chunkReads atomic.Int64
+
+	// traceRec, when non-nil, receives per-stage timings and chunk-touch
+	// counts for the request in flight (SetTrace). Written only between
+	// decodes; read from the sync decode path.
+	traceRec *obs.Trace
 
 	// Readahead pipeline. When ahead is non-nil a producer goroutine owns
 	// the decoding state (losslessDec, cache) and streams batches into
@@ -718,6 +725,7 @@ func (d *Decompressor) sliceSpanBatches(sp span, chunk []uint64, slot chan ahead
 func (d *Decompressor) streamSpanBatches(sp span, slot chan aheadBatch) {
 	want := sp.end - sp.start
 	d.chunkReads.Add(1)
+	metChunkLoads.Inc()
 	f, err := d.st.Open(d.chunkName(sp.rec.chunkID))
 	if err != nil {
 		//atc:ignore hotalloc corruption reporting on the terminal error path; the span aborts here
@@ -1035,6 +1043,14 @@ func (d *Decompressor) Position() int64 { return d.cursor }
 // pipeline is running.
 func (d *Decompressor) ChunkReads() int64 { return d.chunkReads.Load() }
 
+// SetTrace attaches a per-request trace recorder: subsequent synchronous
+// decodes (DecodeRange and friends) accumulate stage timings and
+// chunk-touch counts into t. Pass nil to detach. Must not be called
+// while a decode is in flight — the intended lifetime is one ranged
+// request on a pooled reader, attached before the decode and detached
+// (or read) after.
+func (d *Decompressor) SetTrace(t *obs.Trace) { d.traceRec = t }
+
 // ChunkIndex returns a copy of the chunk index: one entry per record, in
 // trace order, each mapping its address range to its backing chunk.
 func (d *Decompressor) ChunkIndex() []ChunkSpan {
@@ -1127,7 +1143,18 @@ func (d *Decompressor) DecodeRangeAppend(dst []uint64, from, to int64) ([]uint64
 		}
 		return dst, nil
 	}
-	for i := d.spanIndex(from); i < len(d.index) && d.index[i].start < to; i++ {
+	// Per-request tracing: the index walk and the copy-out are timed only
+	// when a recorder is attached — too fine-grained to time every call.
+	tr := d.traceRec
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	start := d.spanIndex(from)
+	if tr != nil {
+		tr.Add(obs.StageIndex, time.Since(t0))
+	}
+	for i := start; i < len(d.index) && d.index[i].start < to; i++ {
 		sp := d.index[i]
 		addrs, err := d.materializeSpan(sp, true)
 		if err != nil {
@@ -1141,7 +1168,13 @@ func (d *Decompressor) DecodeRangeAppend(dst []uint64, from, to int64) ([]uint64
 		if to < hi {
 			hi = to
 		}
+		if tr != nil {
+			t0 = time.Now()
+		}
 		dst = append(dst, addrs[lo:hi-sp.start]...)
+		if tr != nil {
+			tr.Add(obs.StageDeliver, time.Since(t0))
+		}
 	}
 	return dst, nil
 }
@@ -1321,11 +1354,13 @@ func (d *Decompressor) materializeInterval(rec record, pin bool) ([]uint64, erro
 	case recChunk:
 		return chunk, nil
 	case recImitate:
+		start := time.Now()
 		out := make([]uint64, len(chunk))
 		copy(out, chunk)
 		if !d.opts.IgnoreTranslations {
 			rec.trans.ApplySlice(out)
 		}
+		d.observeTranslate(time.Since(start))
 		return out, nil
 	default:
 		return nil, fmt.Errorf("%w: bad record tag %d", ErrCorrupt, rec.tag)
@@ -1339,12 +1374,17 @@ func (d *Decompressor) materializeInterval(rec record, pin bool) ([]uint64, erro
 // shared io.ReaderAt with no per-chunk open(2).
 func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
 	d.chunkReads.Add(1)
+	metChunkLoads.Inc()
+	start := time.Now()
 	f, err := d.st.Open(d.chunkName(id))
 	if err != nil {
 		return nil, fmt.Errorf("%w: missing chunk %d: %v", ErrCorrupt, id, err)
 	}
 	defer f.Close()
-	cr, err := d.backend.NewReader(bufio.NewReaderSize(f, 1<<16))
+	// Time spent inside the blob's Read calls is fetch (store/remote
+	// I/O); the rest of the wall time here is backend decompression.
+	tf := &timedReader{r: f}
+	cr, err := d.backend.NewReader(bufio.NewReaderSize(tf, 1<<16))
 	if err != nil {
 		return nil, err
 	}
@@ -1352,6 +1392,11 @@ func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: chunk %d: %v", ErrCorrupt, id, err)
 	}
+	decNS := time.Since(start).Nanoseconds() - tf.ns
+	if decNS < 0 {
+		decNS = 0
+	}
+	d.observeChunkStages(tf.ns, decNS)
 	return addrs, nil
 }
 
@@ -1365,11 +1410,26 @@ func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
 // chunk trigger a single decompression.
 func (d *Decompressor) loadChunk(id int, pin bool) ([]uint64, error) {
 	if d.loader != nil {
-		return d.loader.GetOrLoad(id, pin, func() ([]uint64, error) {
+		loaded := false
+		addrs, err := d.loader.GetOrLoad(id, pin, func() ([]uint64, error) {
+			loaded = true
 			return d.readChunkFile(id)
 		})
+		// Served without invoking our load — a cache (or in-flight
+		// dedup) hit from this request's point of view. The shared
+		// cache bumps the process-wide hit counter itself.
+		if err == nil && !loaded {
+			if tr := d.traceRec; tr != nil {
+				tr.CacheHit()
+			}
+		}
+		return addrs, err
 	}
 	if addrs, ok := d.cache.Get(id); ok {
+		metChunkCacheHits.Inc()
+		if tr := d.traceRec; tr != nil {
+			tr.CacheHit()
+		}
 		return addrs, nil
 	}
 	addrs, err := d.readChunkFile(id)

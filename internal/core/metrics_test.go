@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"atc/internal/obs"
+)
+
+// TestDecodeTraceStages checks the per-request recorder end to end on the
+// sync decode path: chunk loads are counted exactly (against the existing
+// ChunkReads observable), fetch/decompress time is attributed, and a
+// cached re-read reports hits instead of loads.
+func TestDecodeTraceStages(t *testing.T) {
+	addrs := rangeTrace()
+	for _, m := range rangeModes {
+		t.Run(m.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if _, err := WriteTrace(dir, addrs, m.opts); err != nil {
+				t.Fatal(err)
+			}
+			d, err := Open(dir, DecodeOptions{ChunkCacheSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+
+			tr := &obs.Trace{}
+			d.SetTrace(tr)
+			before := d.ChunkReads()
+			got, err := d.DecodeRange(2500, 5500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.SetTrace(nil)
+			if len(got) != 3000 {
+				t.Fatalf("decoded %d addrs, want 3000", len(got))
+			}
+			loads := d.ChunkReads() - before
+			if tr.ChunkLoads() != loads {
+				t.Fatalf("trace counted %d chunk loads, reader counted %d", tr.ChunkLoads(), loads)
+			}
+			if m.opts.SegmentAddrs < 0 {
+				// Legacy lossless streams through losslessDec — no
+				// chunk-index spans, so no per-chunk stage attribution.
+				return
+			}
+			if loads == 0 {
+				t.Fatal("window decoded without any chunk load")
+			}
+			if tr.StageNS(obs.StageFetch)+tr.StageNS(obs.StageDecompress) <= 0 {
+				t.Fatalf("no fetch/decompress time recorded: %s", tr.Header())
+			}
+			if tr.TotalNS() <= 0 {
+				t.Fatalf("empty trace: %s", tr.Header())
+			}
+
+			// Same window again: the pinned chunks must come from cache.
+			tr2 := &obs.Trace{}
+			d.SetTrace(tr2)
+			if _, err := d.DecodeRange(2500, 5500); err != nil {
+				t.Fatal(err)
+			}
+			d.SetTrace(nil)
+			if tr2.ChunkLoads() != 0 {
+				t.Fatalf("cached re-read loaded %d chunks", tr2.ChunkLoads())
+			}
+			if tr2.CacheHits() == 0 {
+				t.Fatal("cached re-read recorded no cache hits")
+			}
+		})
+	}
+}
+
+// TestSharedCacheRegister checks the thin-view func metrics a shared
+// cache exposes on a registry.
+func TestSharedCacheRegister(t *testing.T) {
+	c := NewSharedChunkCache(1)
+	c.Put(1, []uint64{1})
+	c.Get(1)
+	c.Put(2, []uint64{2}) // evicts 1
+	r := obs.NewRegistry()
+	c.Register(r, obs.Label{Key: "trace", Value: "unit"})
+	st := c.Stats()
+	if st.Hits != 1 || st.Evictions != 1 || st.Resident != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`atc_chunk_cache_hits_total{trace="unit"} 1`,
+		`atc_chunk_cache_evictions_total{trace="unit"} 1`,
+		`atc_chunk_cache_resident_chunks{trace="unit"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}

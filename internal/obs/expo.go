@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): `# HELP` / `# TYPE` comments, then
+// one sample line per series, with histogram families expanded into
+// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	// Snapshot the family list; sample values are read from atomics (or
+	// callbacks) outside the lock so a slow func metric can't block
+	// registration.
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	// Series slices only ever grow; copy the headers under the lock.
+	type famSnap struct {
+		f     *family
+		insts []*instrument
+	}
+	snaps := make([]famSnap, len(fams))
+	for i, f := range fams {
+		snaps[i] = famSnap{f: f, insts: append([]*instrument(nil), f.insts...)}
+	}
+	r.mu.Unlock()
+
+	for _, s := range snaps {
+		f := s.f
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, in := range s.insts {
+			if f.kind == kindHistogram {
+				writeHistogram(bw, f.name, in)
+				continue
+			}
+			bw.WriteString(f.name)
+			if in.labelStr != "" {
+				bw.WriteByte('{')
+				bw.WriteString(in.labelStr)
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(in.value(), 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, name string, in *instrument) {
+	bounds, cum := in.hist.Buckets()
+	for i, ub := range bounds {
+		writeBucketLine(bw, name, in.labelStr, formatBound(ub), cum[i])
+	}
+	writeBucketLine(bw, name, in.labelStr, "+Inf", cum[len(cum)-1])
+
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	if in.labelStr != "" {
+		bw.WriteByte('{')
+		bw.WriteString(in.labelStr)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatFloat(in.hist.Sum(), 'g', -1, 64))
+	bw.WriteByte('\n')
+
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	if in.labelStr != "" {
+		bw.WriteByte('{')
+		bw.WriteString(in.labelStr)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(in.hist.Count(), 10))
+	bw.WriteByte('\n')
+}
+
+func writeBucketLine(bw *bufio.Writer, name, labelStr, le string, cum int64) {
+	bw.WriteString(name)
+	bw.WriteString(`_bucket{`)
+	if labelStr != "" {
+		bw.WriteString(labelStr)
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+}
+
+func formatBound(ub float64) string {
+	return strconv.FormatFloat(ub, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler serves the registry in Prometheus text format (a /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// debugSample is one series in the /debug/obs JSON dump.
+type debugSample struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value,omitempty"`
+	Sum    float64           `json:"sum,omitempty"`
+	Count  int64             `json:"count,omitempty"`
+}
+
+type debugFamily struct {
+	Type    string        `json:"type"`
+	Help    string        `json:"help,omitempty"`
+	Metrics []debugSample `json:"metrics"`
+}
+
+// DebugHandler serves a JSON dump of the registry (a /debug/obs
+// endpoint): family name → {type, help, metrics:[{labels, value|sum+count}]}.
+func (r *Registry) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		r.mu.Lock()
+		out := make(map[string]debugFamily, len(r.order))
+		type pending struct {
+			name  string
+			insts []*instrument
+			fam   *family
+		}
+		pend := make([]pending, 0, len(r.order))
+		for _, name := range r.order {
+			f := r.families[name]
+			pend = append(pend, pending{name: name, insts: append([]*instrument(nil), f.insts...), fam: f})
+		}
+		r.mu.Unlock()
+
+		for _, p := range pend {
+			df := debugFamily{Type: p.fam.kind.String(), Help: p.fam.help}
+			for _, in := range p.insts {
+				s := debugSample{}
+				if len(in.labels) > 0 {
+					s.Labels = make(map[string]string, len(in.labels))
+					for _, l := range in.labels {
+						s.Labels[l.Key] = l.Value
+					}
+				}
+				if p.fam.kind == kindHistogram {
+					s.Sum = in.hist.Sum()
+					s.Count = in.hist.Count()
+				} else {
+					s.Value = in.value()
+				}
+				df.Metrics = append(df.Metrics, s)
+			}
+			out[p.name] = df
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text-format output for a small
+// registry: family ordering, HELP/TYPE lines, label rendering, histogram
+// bucket expansion with cumulative counts, _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("atc_requests_total", "requests served",
+		Label{Key: "route", Value: "addrs"})
+	c.Add(7)
+	g := r.Gauge("atc_in_flight", "requests in flight")
+	g.Set(2)
+	h := r.Histogram("atc_request_seconds", "request latency", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(3)
+	r.CounterFunc("atc_reads_total", "reads", func() int64 { return 11 },
+		Label{Key: "trace", Value: `ha"rd\n`})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP atc_requests_total requests served
+# TYPE atc_requests_total counter
+atc_requests_total{route="addrs"} 7
+# HELP atc_in_flight requests in flight
+# TYPE atc_in_flight gauge
+atc_in_flight 2
+# HELP atc_request_seconds request latency
+# TYPE atc_request_seconds histogram
+atc_request_seconds_bucket{le="0.01"} 1
+atc_request_seconds_bucket{le="0.1"} 3
+atc_request_seconds_bucket{le="+Inf"} 4
+atc_request_seconds_sum 3.105
+atc_request_seconds_count 4
+# HELP atc_reads_total reads
+# TYPE atc_reads_total counter
+atc_reads_total{trace="ha\"rd\\n"} 11
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// sampleLine matches a valid Prometheus text-format sample:
+// name{labels} value — with an int or float value.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+// TestExpositionParses validates every non-comment line of a registry
+// with all metric kinds against the text-format grammar.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p_total", "h", Label{Key: "a", Value: "b"}).Add(3)
+	r.Gauge("p_gauge", "h").Set(-4)
+	h := r.Histogram("p_seconds", "h", DurationBuckets, Label{Key: "stage", Value: "fetch"})
+	h.Observe(0.25)
+	h.Observe(1e-6)
+	r.GaugeFunc("p_fn", "h", func() int64 { return 9 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("invalid sample line: %q", line)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("d_total", "help here", Label{Key: "route", Value: "meta"}).Add(5)
+	h := r.Histogram("d_seconds", "h", []float64{1})
+	h.Observe(0.5)
+	rec := httptest.NewRecorder()
+	r.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out map[string]struct {
+		Type    string `json:"type"`
+		Help    string `json:"help"`
+		Metrics []struct {
+			Labels map[string]string `json:"labels"`
+			Value  int64             `json:"value"`
+			Sum    float64           `json:"sum"`
+			Count  int64             `json:"count"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("debug dump not JSON: %v\n%s", err, rec.Body.String())
+	}
+	d := out["d_total"]
+	if d.Type != "counter" || d.Help != "help here" ||
+		len(d.Metrics) != 1 || d.Metrics[0].Value != 5 ||
+		d.Metrics[0].Labels["route"] != "meta" {
+		t.Fatalf("d_total dump = %+v", d)
+	}
+	hs := out["d_seconds"]
+	if hs.Type != "histogram" || len(hs.Metrics) != 1 ||
+		hs.Metrics[0].Sum != 0.5 || hs.Metrics[0].Count != 1 {
+		t.Fatalf("d_seconds dump = %+v", hs)
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DurationBuckets is the default upper-bound set for latency histograms:
+// 50µs to 30s, roughly geometric. Values are seconds.
+var DurationBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// SizeBuckets is the default upper-bound set for byte-size histograms:
+// 1 KiB to 256 MiB in powers of four.
+var SizeBuckets = []float64{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+}
+
+// CountBuckets is the default upper-bound set for small-cardinality
+// histograms (blocks per fetch run, chunks per request).
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics: counts[i] holds observations <= bounds[i], counts[len(bounds)]
+// the +Inf overflow. Observe is lock-free and allocation-free; the bucket
+// scan is linear, which beats binary search at the ~20-bucket sizes used
+// here. Create via Registry.Histogram (or newHistogram in tests).
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; per-bucket, not cumulative
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be sorted ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Bucket upper bounds are inclusive
+// (v <= bound), matching Prometheus `le` semantics.
+//
+//atc:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+//
+//atc:hotpath
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each
+// bound, Prometheus-style (the final +Inf count equals Count()). The
+// snapshot is not atomic across buckets — counts read during concurrent
+// Observes may be momentarily short — which is fine for monitoring.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	cumulative = make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return h.bounds, cumulative
+}

@@ -1,0 +1,333 @@
+// Package obs is the serving stack's observability layer: a process-wide
+// metrics registry (atomic counters, gauges, fixed-bucket histograms) with
+// Prometheus text-format exposition, and a per-request decode trace
+// recorder (trace.go).
+//
+// The package is stdlib-only and dependency-free so every layer — core,
+// store, the commands — can import it without cycles. All mutation ops on
+// the hot path (Counter.Inc/Add, Gauge ops, Histogram.Observe, Trace.Add)
+// are allocation-free and annotated //atc:hotpath so the repo's atcvet
+// suite enforces that property; registration and exposition are not hot
+// and may allocate freely.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value metric dimension. Labels are sorted by key at
+// registration, so the same set in any order names the same series.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// usable standalone; Registry.Counter returns one registered for
+// exposition.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+//
+//atc:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters are monotonic: n must be >= 0 (not checked on the
+// hot path).
+//
+//atc:hotpath
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an int64 metric that can go up and down. The zero value is
+// usable standalone.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+//
+//atc:hotpath
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+//
+//atc:hotpath
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+//
+//atc:hotpath
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the current value.
+//
+//atc:hotpath
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// instrument is one labeled series within a family. Exactly one of
+// counter/gauge/hist/fn is set (fn doubles for CounterFunc and GaugeFunc).
+type instrument struct {
+	labels   []Label // sorted by key
+	labelStr string  // pre-rendered `k1="v1",k2="v2"`, "" when unlabeled
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+	fn       func() int64
+}
+
+func (in *instrument) value() int64 {
+	switch {
+	case in.fn != nil:
+		return in.fn()
+	case in.counter != nil:
+		return in.counter.Value()
+	case in.gauge != nil:
+		return in.gauge.Value()
+	}
+	return 0
+}
+
+// family groups every series sharing a metric name. All members have the
+// same kind, help text and (for histograms) bucket bounds.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	bounds   []float64 // histogram families only
+	insts    []*instrument
+	byLabels map[string]*instrument
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Families appear in registration order, series within a family
+// in registration order. The zero Registry is not usable; call
+// NewRegistry, or use the process-wide Default registry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry. Most code should use Default;
+// fresh registries exist for tests and per-scope exposition.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that package-level metrics in
+// core, store and the commands register into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the registered counter for name+labels, creating it on
+// first use. Repeat calls with the same name and label set return the
+// same *Counter, so package-level registration is idempotent across
+// instances. Panics if name is already registered with a different kind,
+// or if name/labels are not valid Prometheus identifiers.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	in := r.register(kindCounter, name, help, nil, nil, labels)
+	if in.counter == nil {
+		panic(fmt.Sprintf("obs: %s registered as a func metric", name))
+	}
+	return in.counter
+}
+
+// Gauge returns the registered gauge for name+labels, creating it on
+// first use (same identity rules as Counter).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	in := r.register(kindGauge, name, help, nil, nil, labels)
+	if in.gauge == nil {
+		panic(fmt.Sprintf("obs: %s registered as a func metric", name))
+	}
+	return in.gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for pre-existing instance counters
+// (pool chunk reads, shared-cache stats) that stay authoritative.
+// Re-registering the same name+labels replaces the callback (last one
+// wins), so re-opening a trace under the same name is safe.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	in := r.register(kindCounter, name, help, nil, fn, labels)
+	r.mu.Lock()
+	in.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time (same replacement semantics as CounterFunc).
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	in := r.register(kindGauge, name, help, nil, fn, labels)
+	r.mu.Lock()
+	in.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the registered histogram for name+labels, creating
+// it on first use with the given upper bucket bounds (which must be
+// sorted ascending; a final +Inf bucket is implicit). Every series in a
+// family shares one bounds slice — registering the same name with
+// different bounds panics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	in := r.register(kindHistogram, name, help, bounds, nil, labels)
+	return in.hist
+}
+
+// register finds or creates the family and the labeled series within it.
+// The kind-specific slot is created under r.mu, so concurrent first
+// registrations of the same series return the same instrument state.
+func (r *Registry) register(kind metricKind, name, help string, bounds []float64, fn func() int64, labels []Label) *instrument {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	labels = append([]Label(nil), labels...)
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on %s", l.Key, name))
+		}
+	}
+	ls := renderLabels(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{
+			name:     name,
+			help:     help,
+			kind:     kind,
+			bounds:   bounds,
+			byLabels: make(map[string]*instrument),
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s already registered as %s, not %s", name, f.kind, kind))
+	}
+	if kind == kindHistogram && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: %s already registered with different buckets", name))
+	}
+	in := f.byLabels[ls]
+	if in == nil {
+		in = &instrument{labels: labels, labelStr: ls, fn: fn}
+		switch {
+		case kind == kindHistogram:
+			in.hist = newHistogram(f.bounds)
+		case fn != nil:
+		case kind == kindCounter:
+			in.counter = &Counter{}
+		case kind == kindGauge:
+			in.gauge = &Gauge{}
+		}
+		f.byLabels[ls] = in
+		f.insts = append(f.insts, in)
+	}
+	return in
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validName reports whether s is a legal Prometheus metric/label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels produces the canonical `k="v",…` form used both as the
+// series identity key and verbatim in exposition.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the
+// Prometheus text format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h", Label{Key: "x", Value: "1"})
+	b := r.Counter("dup_total", "h", Label{Key: "x", Value: "1"})
+	if a != b {
+		t.Fatal("same name+labels returned different counters")
+	}
+	other := r.Counter("dup_total", "h", Label{Key: "x", Value: "2"})
+	if a == other {
+		t.Fatal("different labels returned the same counter")
+	}
+	// Label order must not matter for identity.
+	h1 := r.Histogram("hist", "h", CountBuckets,
+		Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	h2 := r.Histogram("hist", "h", CountBuckets,
+		Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	if h1 != h2 {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("kind_total", "h")
+	mustPanic("kind mismatch", func() { r.Gauge("kind_total", "h") })
+	mustPanic("invalid name", func() { r.Counter("9starts_with_digit", "h") })
+	mustPanic("invalid name chars", func() { r.Counter("has space", "h") })
+	mustPanic("invalid label key", func() {
+		r.Counter("lbl_total", "h", Label{Key: "bad-key", Value: "v"})
+	})
+	r.Histogram("hb", "h", []float64{1, 2})
+	mustPanic("bounds mismatch", func() { r.Histogram("hb", "h", []float64{1, 3}) })
+	mustPanic("unsorted bounds", func() { r.Histogram("hu", "h", []float64{2, 1}) })
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 5, 10})
+	// Upper bounds are inclusive, per Prometheus `le` semantics.
+	for _, v := range []float64{0.5, 1} { // -> bucket le=1
+		h.Observe(v)
+	}
+	h.Observe(1.01) // -> le=5
+	h.Observe(5)    // -> le=5
+	h.Observe(10)   // -> le=10
+	h.Observe(10.5) // -> +Inf
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("bounds=%d cum=%d, want 3/4", len(bounds), len(cum))
+	}
+	want := []int64{2, 4, 5, 6} // cumulative
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	var wantSum float64
+	for _, v := range []float64{0.5, 1, 1.01, 5, 10, 10.5} {
+		wantSum += v // same rounding order as the CAS adds
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestConcurrentIncrement(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "h")
+	g := r.Gauge("race_gauge", "h")
+	h := r.Histogram("race_hist", "h", []float64{1, 2, 3})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(w % 4))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+	// Sum of integer observations must be exact despite the CAS float add.
+	var wantSum float64
+	for w := 0; w < workers; w++ {
+		wantSum += float64(w%4) * per
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("hist sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestFuncMetricReplace(t *testing.T) {
+	r := NewRegistry()
+	v := int64(3)
+	r.CounterFunc("fn_total", "h", func() int64 { return v })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn_total 3") {
+		t.Fatalf("missing fn_total 3 in:\n%s", sb.String())
+	}
+	// Re-registration replaces the callback (last one wins), so
+	// re-opening a pool under the same trace name is safe.
+	r.CounterFunc("fn_total", "h", func() int64 { return 42 })
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn_total 42") {
+		t.Fatalf("replacement callback not used:\n%s", sb.String())
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(StageWait, 2*time.Millisecond)
+	tr.AddNS(StageFetch, 1_000_000)
+	tr.ChunkLoad()
+	tr.ChunkLoad()
+	tr.CacheHit()
+	if tr.StageNS(StageWait) != 2_000_000 {
+		t.Fatalf("wait = %d", tr.StageNS(StageWait))
+	}
+	if tr.TotalNS() != 3_000_000 {
+		t.Fatalf("total = %d", tr.TotalNS())
+	}
+	s := tr.Summary()
+	if len(s.Stages) != int(NumStages) || s.TotalNS != 3_000_000 ||
+		s.ChunkLoads != 2 || s.CacheHits != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	hdr := tr.Header()
+	for _, want := range []string{"wait=2ms", "fetch=1ms", "decompress=0s", "chunks=2", "hits=1"} {
+		if !strings.Contains(hdr, want) {
+			t.Fatalf("header %q missing %q", hdr, want)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := []string{"wait", "index", "fetch", "decompress", "translate", "deliver"}
+	for i, w := range want {
+		if got := Stage(i).String(); got != w {
+			t.Fatalf("Stage(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage should stringify as unknown")
+	}
+}
+
+// TestObsAllocationFree is the hard guarantee behind BenchmarkObsOverhead:
+// hot-path mutation ops must not allocate.
+func TestObsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "h")
+	g := r.Gauge("alloc_gauge", "h")
+	h := r.Histogram("alloc_hist", "h", DurationBuckets)
+	tr := &Trace{}
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Inc()
+		g.Dec()
+		g.Set(7)
+		h.Observe(0.004)
+		h.ObserveDuration(3 * time.Millisecond)
+		tr.Add(StageFetch, time.Microsecond)
+		tr.AddNS(StageDeliver, 100)
+		tr.ChunkLoad()
+		tr.CacheHit()
+	}); n != 0 {
+		t.Fatalf("hot-path ops allocated %v times per run, want 0", n)
+	}
+}

@@ -159,6 +159,8 @@ type RemoteStats struct {
 	BytesFetched int64
 	// BlockHits is the number of block lookups served from the cache.
 	BlockHits int64
+	// Retries is the number of transient failures retried with backoff.
+	Retries int64
 }
 
 // RangeReaderAt is a caching io.ReaderAt over one remote object. Reads are
@@ -183,6 +185,7 @@ type RangeReaderAt struct {
 	fetches      atomic.Int64
 	bytesFetched atomic.Int64
 	blockHits    atomic.Int64
+	retried      atomic.Int64
 }
 
 // blockFetch is one in-flight block: done closes once data/err are set, so
@@ -207,6 +210,7 @@ func (r *RangeReaderAt) Stats() RemoteStats {
 		Fetches:      r.fetches.Load(),
 		BytesFetched: r.bytesFetched.Load(),
 		BlockHits:    r.blockHits.Load(),
+		Retries:      r.retried.Load(),
 	}
 }
 
@@ -246,6 +250,7 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 		i := int(b - first)
 		if data, ok := r.cache.get(b); ok {
 			r.blockHits.Add(1)
+			metRemoteBlockHits.Inc()
 			blocks[i] = data
 			continue
 		}
@@ -272,6 +277,9 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 		runs = append(runs, [2]int64{start, b})
 	}
 	r.mu.Unlock()
+	for _, run := range runs {
+		metRemoteRunBlocks.Observe(float64(run[1] - run[0] + 1))
+	}
 	// Fetch the claimed runs. Every claimed block must be resolved even
 	// after a failure — other readers may be parked on its done channel —
 	// so later runs are failed explicitly rather than skipped.
@@ -294,6 +302,7 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 			return 0, w.f.err
 		}
 		r.blockHits.Add(1) // deduplicated onto another reader's fetch
+		metRemoteBlockHits.Inc()
 		blocks[w.i] = w.f.data
 	}
 	// Assemble the caller's window from the gathered blocks.
@@ -380,6 +389,8 @@ func (r *RangeReaderAt) fetchRange(off, n int64) ([]byte, error) {
 		if err == nil || !errors.Is(err, errTransient) || attempt >= r.retries {
 			return data, err
 		}
+		r.retried.Add(1)
+		metRemoteRetries.Inc()
 		time.Sleep(delay)
 		delay *= 2
 	}
@@ -388,6 +399,8 @@ func (r *RangeReaderAt) fetchRange(off, n int64) ([]byte, error) {
 // fetchOnce issues one ranged GET and validates the response against the
 // identity captured at open.
 func (r *RangeReaderAt) fetchOnce(off, n int64) ([]byte, error) {
+	start := time.Now()
+	defer func() { metRemoteFetchSec.ObserveDuration(time.Since(start)) }()
 	req, err := http.NewRequest(http.MethodGet, r.url, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
@@ -399,6 +412,7 @@ func (r *RangeReaderAt) fetchOnce(off, n int64) ([]byte, error) {
 		req.Header.Set("If-Match", r.etag)
 	}
 	r.fetches.Add(1)
+	metRemoteFetches.Inc()
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("%w: GET %s: %v", errTransient, r.url, err)
@@ -433,6 +447,7 @@ func (r *RangeReaderAt) fetchOnce(off, n int64) ([]byte, error) {
 		return nil, fmt.Errorf("%w: GET %s: short body: %v", errTransient, r.url, err)
 	}
 	r.bytesFetched.Add(n)
+	metRemoteBytes.Add(n)
 	return data, nil
 }
 
