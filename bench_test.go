@@ -25,6 +25,8 @@ import (
 	"atc"
 	"atc/internal/bytesort"
 	"atc/internal/experiment"
+	"atc/internal/histogram"
+	"atc/internal/phase"
 	"atc/internal/vpc"
 )
 
@@ -594,6 +596,214 @@ func benchmarkReadaheadImitation(b *testing.B, batch int) {
 
 func BenchmarkReadaheadBatchedImitation(b *testing.B)   { benchmarkReadaheadImitation(b, 0) }
 func BenchmarkReadaheadWholeSpanImitation(b *testing.B) { benchmarkReadaheadImitation(b, -1) }
+
+// BenchmarkReadaheadBatchedReused is BenchmarkReadaheadBatched with one
+// long-lived Reader rewound between iterations instead of reopened: the
+// steady state of a consumer making repeated passes. The backend-reader
+// pool is warm after the first pass, so B/op here is the pipeline's true
+// per-pass churn with decompression working state recycled (the reopened
+// variant pays the pool's cold fill every iteration).
+func BenchmarkReadaheadBatchedReused(b *testing.B) {
+	addrs := benchTraceN(b, "429.mcf", segBenchSegments*segBenchAddrs)
+	mem := atc.NewMemStore()
+	w, err := atc.NewWriter("bench", atc.WithStore(mem),
+		atc.WithMode(atc.Lossless),
+		atc.WithBackend("bsc"),
+		atc.WithSegmentAddrs(segBenchAddrs),
+		atc.WithBufferAddrs(segBenchAddrs/10),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	r, err := atc.NewReader("bench", atc.WithReadStore(mem),
+		atc.WithReadahead(4), atc.WithBatchAddrs(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		var n int
+		for {
+			_, err := r.Decode()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(addrs) {
+			b.Fatalf("decoded %d addrs, want %d", n, len(addrs))
+		}
+	}
+}
+
+// --- PR 9: phase-table match pruning ---
+
+// matchBenchTable fills a phase table to capacity with pairwise-distinct
+// interval histograms (footprint sizes crossed with hot-subset mixtures)
+// and returns a probe matching none of them: the worst case, where the
+// exhaustive path pays the full 8×256 distance against every entry and the
+// pruned path must reject almost all of them from summaries alone.
+func matchBenchTable(b *testing.B, capacity int) (*phase.Table, *histogram.Set) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2009))
+	t := phase.New(capacity, 0.1)
+	const intervalLen = 4096
+	addrs := make([]uint64, intervalLen)
+	for p := 0; p < capacity; p++ {
+		footprint := 16 << uint(p%24)
+		hot := footprint/16 + 1
+		stride := 2 + p/24
+		for i := range addrs {
+			v := rng.Intn(footprint)
+			if p >= 24 && i%stride == 0 {
+				v = rng.Intn(hot)
+			}
+			addrs[i] = uint64(p)<<40 + uint64(v)
+		}
+		t.Insert(p+1, histogram.Compute(addrs))
+	}
+	if t.Len() != capacity {
+		b.Fatalf("table holds %d entries, want %d", t.Len(), capacity)
+	}
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(48)) // footprint between table entries 32 and 64
+	}
+	probe := histogram.Compute(addrs)
+	if _, _, ok := t.MatchExhaustive(probe); ok {
+		b.Fatal("probe unexpectedly matches a table entry")
+	}
+	return t, probe
+}
+
+func benchmarkMatch(b *testing.B, capacity int, exhaustive bool) {
+	t, probe := matchBenchTable(b, capacity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		if exhaustive {
+			_, _, ok = t.MatchExhaustive(probe)
+		} else {
+			_, _, ok = t.Match(probe)
+		}
+		if ok {
+			b.Fatal("unexpected match")
+		}
+	}
+}
+
+func BenchmarkMatchPruned256(b *testing.B)      { benchmarkMatch(b, 256, false) }
+func BenchmarkMatchExhaustive256(b *testing.B)  { benchmarkMatch(b, 256, true) }
+func BenchmarkMatchPruned1024(b *testing.B)     { benchmarkMatch(b, 1024, false) }
+func BenchmarkMatchExhaustive1024(b *testing.B) { benchmarkMatch(b, 1024, true) }
+
+// manyPhaseBenchTrace crosses ten footprint sizes with six hot-injection
+// strides and five hot-set sizes: ~206 pairwise-distinguishable phases
+// (the rest imitate), enough to fill the default 256-entry phase table.
+// chunkedBenchTrace's 24 phases never exercise Match at depth; this is
+// the workload where classify cost scales with table occupancy.
+func manyPhaseBenchTrace(phases, intervalLen int) []uint64 {
+	rng := rand.New(rand.NewSource(2009))
+	addrs := make([]uint64, 0, phases*intervalLen)
+	for p := 0; p < phases; p++ {
+		footprint := 64 << uint(p%10)
+		stride := 2 + (p/10)%6
+		hot := 4 << uint((p/60)%5)
+		base := uint64(p) << 36
+		for i := 0; i < intervalLen; i++ {
+			v := rng.Intn(footprint)
+			if i%stride == 0 {
+				v = rng.Intn(hot)
+			}
+			addrs = append(addrs, base+uint64(v))
+		}
+	}
+	return addrs
+}
+
+// BenchmarkEncodeFrontendManyPhases is the Workers=1 lossy encode with
+// ~206 distinct phases resident in the phase table: every interval's
+// classify scans deep into the table, so the summary rejection bound —
+// not the backend — decides the ns/addr here.
+func BenchmarkEncodeFrontendManyPhases(b *testing.B) {
+	const (
+		phases      = 300
+		intervalLen = 2000
+	)
+	addrs := manyPhaseBenchTrace(phases, intervalLen)
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := atc.NewWriter("bench", atc.WithStore(atc.NewMemStore()),
+			atc.WithMode(atc.Lossy),
+			atc.WithIntervalLen(intervalLen),
+			atc.WithBufferAddrs(intervalLen/10),
+			atc.WithWorkers(1),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.CodeSlice(addrs); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if stats := w.Stats(); stats.Chunks < 200 {
+			b.Fatalf("trace not phase-diverse: %d chunks of %d intervals", stats.Chunks, phases)
+		}
+	}
+}
+
+// BenchmarkEncodeFrontendTable1024 is the Workers=1 front-end benchmark at
+// 4× the default TableCapacity: every interval's Match scans a deeper
+// table, so this is where the summary rejection bound has to hold the
+// classify stage flat rather than O(capacity).
+func BenchmarkEncodeFrontendTable1024(b *testing.B) {
+	const (
+		intervals   = 24
+		intervalLen = 10_000
+	)
+	addrs := chunkedBenchTrace(intervals, intervalLen)
+	b.SetBytes(int64(len(addrs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := atc.NewWriter("bench", atc.WithStore(atc.NewMemStore()),
+			atc.WithMode(atc.Lossy),
+			atc.WithIntervalLen(intervalLen),
+			atc.WithBufferAddrs(intervalLen/10),
+			atc.WithWorkers(1),
+			atc.WithTableCapacity(1024),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.CodeSlice(addrs); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if stats := w.Stats(); stats.Chunks != intervals {
+			b.Fatalf("trace not chunk-heavy: %d chunks of %d intervals", stats.Chunks, intervals)
+		}
+	}
+}
 
 // TestSegmentedBPAOverhead pins the capacity cost of lossless segmentation:
 // versus the legacy single chunk, the default segment size (which holds

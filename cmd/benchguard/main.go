@@ -1,0 +1,125 @@
+// Command benchguard compares a `go test -bench` output against a
+// checked-in baseline and fails when a guarded benchmark's ns/op
+// regresses beyond a threshold. It is the regression gate behind the
+// bench-smoke CI job: benchstat shows the drift, benchguard draws the
+// line.
+//
+// Usage:
+//
+//	benchguard -baseline ci/bench-baseline.txt current.txt
+//
+// Both files are plain `go test -bench` output (benchstat-compatible).
+// Only benchmarks present in the baseline are guarded — new benchmarks
+// pass until a baseline entry is added. GOMAXPROCS name suffixes
+// ("-2" from -cpu 1,2) are stripped, and when a benchmark appears more
+// than once on either side the best (lowest) ns/op wins, so one noisy
+// sample or an extra -cpu variant cannot fail the gate on its own.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line:
+//
+//	BenchmarkName[-4]  <iters>  <value> ns/op  [...]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+
+// parseBench reads go-bench output and returns the best ns/op per
+// benchmark name (GOMAXPROCS suffix stripped).
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		if prev, ok := best[m[1]]; !ok || ns < prev {
+			best[m[1]] = ns
+		}
+	}
+	return best, sc.Err()
+}
+
+func run(baselinePath, currentPath string, threshold float64, out *strings.Builder) (failed int, err error) {
+	baseline, err := parseBench(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	if len(baseline) == 0 {
+		return 0, fmt.Errorf("baseline %s contains no benchmark lines", baselinePath)
+	}
+	current, err := parseBench(currentPath)
+	if err != nil {
+		return 0, fmt.Errorf("current: %w", err)
+	}
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			// A guarded benchmark that no longer runs is a silent gate
+			// removal, not a pass.
+			fmt.Fprintf(out, "FAIL %-44s baseline %12.0f ns/op: missing from current run\n", name, base)
+			failed++
+			continue
+		}
+		ratio := cur / base
+		status := "ok  "
+		if ratio > threshold {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(out, "%s %-44s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			status, name, base, cur, (ratio-1)*100)
+	}
+	return failed, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline go-bench output (required)")
+	threshold := flag.Float64("threshold", 1.10, "max allowed current/baseline ns/op ratio")
+	flag.Parse()
+	if *baselinePath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard -baseline <baseline.txt> [-threshold 1.10] <current.txt>")
+		os.Exit(2)
+	}
+	var out strings.Builder
+	failed, err := run(*baselinePath, flag.Arg(0), *threshold, &out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	os.Stdout.WriteString(out.String())
+	if failed > 0 {
+		fmt.Printf("benchguard: %d benchmark(s) regressed beyond %.0f%%\n", failed, (*threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: all guarded benchmarks within threshold")
+}

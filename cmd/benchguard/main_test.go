@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `# provenance comment
+goos: linux
+BenchmarkMatchPruned256      	     100	     10000 ns/op	       0 B/op
+BenchmarkEncodeFrontendWorkers1 	       3	 300000000 ns/op
+`
+
+func TestWithinThresholdPasses(t *testing.T) {
+	base := writeFile(t, "base.txt", baseline)
+	cur := writeFile(t, "cur.txt", `
+BenchmarkMatchPruned256      	     100	     10500 ns/op
+BenchmarkMatchPruned256-2    	     100	     10900 ns/op
+BenchmarkEncodeFrontendWorkers1 	       3	 290000000 ns/op
+BenchmarkUnguardedNew        	       3	 999999999 ns/op
+`)
+	var out strings.Builder
+	failed, err := run(base, cur, 1.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0\n%s", failed, out.String())
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	base := writeFile(t, "base.txt", baseline)
+	cur := writeFile(t, "cur.txt", `
+BenchmarkMatchPruned256      	     100	     11500 ns/op
+BenchmarkEncodeFrontendWorkers1 	       3	 300000000 ns/op
+`)
+	var out strings.Builder
+	failed, err := run(base, cur, 1.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkMatchPruned256") {
+		t.Fatalf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+func TestBestOfMultipleSamplesDampsNoise(t *testing.T) {
+	base := writeFile(t, "base.txt", baseline)
+	// One noisy sample beyond threshold, but the -cpu 2 variant of the
+	// same benchmark is fine: best-of passes.
+	cur := writeFile(t, "cur.txt", `
+BenchmarkMatchPruned256      	     100	     19000 ns/op
+BenchmarkMatchPruned256-2    	     100	     10100 ns/op
+BenchmarkEncodeFrontendWorkers1 	       3	 300000000 ns/op
+`)
+	var out strings.Builder
+	failed, err := run(base, cur, 1.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0\n%s", failed, out.String())
+	}
+}
+
+func TestMissingGuardedBenchmarkFails(t *testing.T) {
+	base := writeFile(t, "base.txt", baseline)
+	cur := writeFile(t, "cur.txt", `
+BenchmarkMatchPruned256      	     100	     10000 ns/op
+`)
+	var out strings.Builder
+	failed, err := run(base, cur, 1.10, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1 (missing guarded benchmark)\n%s", failed, out.String())
+	}
+}
+
+func TestEmptyBaselineErrors(t *testing.T) {
+	base := writeFile(t, "base.txt", "goos: linux\n")
+	cur := writeFile(t, "cur.txt", baseline)
+	var out strings.Builder
+	if _, err := run(base, cur, 1.10, &out); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

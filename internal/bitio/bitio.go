@@ -131,6 +131,17 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: br}
 }
 
+// Reset re-points the Reader at a new byte source, discarding any
+// buffered bits, error state and counters. It gives reusers of a Reader
+// value the same behaviour as a fresh NewReader(src).
+func (r *Reader) Reset(src io.Reader) {
+	br, ok := src.(io.ByteReader)
+	if !ok {
+		br = bufio.NewReader(src)
+	}
+	*r = Reader{r: br}
+}
+
 // ReadBits reads n bits (MSB first) and returns them in the low n bits of
 // the result. n must be in [0,64]. At end of stream it returns io.EOF if no
 // bits were consumed, io.ErrUnexpectedEOF otherwise.

@@ -200,13 +200,32 @@ func compressBlock(w io.Writer, block []byte) error {
 // All consumption of the underlying stream — framing headers and the bit
 // stream alike — goes through a single buffered reader, and the bit reader
 // consumes it strictly byte-at-a-time, so block boundaries stay in sync.
+//
+// A Reader owns all of its block-decode working state (symbol buffer,
+// Huffman tables, MTF and BWT scratch, the block buffer itself) and
+// Reset re-targets it at a new stream while keeping that state, so one
+// Reader can decompress any number of streams with amortised-zero
+// allocation — this is what the decode pipeline's per-Decompressor
+// reader pool relies on.
 type Reader struct {
 	raw     *byteCounter
 	br      *bufio.Reader
-	pending []byte // decompressed bytes not yet delivered
+	pending []byte // decompressed bytes not yet delivered; aliases block
 	done    bool
 	started bool
 	err     error
+
+	// Reusable per-block decode state. pending aliases block, and
+	// nextBlock only runs once pending is fully drained, so overwriting
+	// these between blocks never clobbers undelivered bytes.
+	bit     bitio.Reader
+	dec     huffman.Decoder
+	hdr     [12]byte // framing scratch: magic, block markers, block headers
+	lengths [mtf.NumSyms]uint8
+	syms    []uint16
+	mtfOut  []byte  // MTF+run decode output (the BWT last column)
+	block   []byte  // reconstructed block (bwt.InverseInto dst)
+	next    []int32 // bwt.InverseInto successor-table scratch
 }
 
 // byteCounter counts bytes consumed from the underlying reader so callers
@@ -228,19 +247,34 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{raw: bc, br: bufio.NewReader(bc)}
 }
 
+// Reset discards all stream state — position, error, byte counter — and
+// restarts the Reader on src, retaining the decode working buffers. After
+// Reset the Reader behaves exactly like NewReader(src). It always returns
+// nil; the error return satisfies xcompress.ResetReader.
+func (r *Reader) Reset(src io.Reader) error {
+	r.raw.r = src
+	r.raw.n = 0
+	r.br.Reset(r.raw)
+	r.pending = nil
+	r.done = false
+	r.started = false
+	r.err = nil
+	return nil
+}
+
 // CompressedBytesRead reports how many compressed bytes have been consumed
 // from the underlying reader (including buffered read-ahead).
 func (r *Reader) CompressedBytesRead() int64 { return r.raw.n }
 
 func (r *Reader) readHeader() error {
-	var m [4]byte
-	if _, err := io.ReadFull(r.br, m[:]); err != nil {
+	m := r.hdr[:4]
+	if _, err := io.ReadFull(r.br, m); err != nil {
 		if err == io.EOF {
 			return io.EOF
 		}
 		return fmt.Errorf("%w: short magic", ErrCorrupt)
 	}
-	if string(m[:]) != magic {
+	if string(m) != magic {
 		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
 	}
 	r.started = true
@@ -274,59 +308,76 @@ func (r *Reader) Read(p []byte) (int, error) {
 }
 
 func (r *Reader) nextBlock() error {
-	var marker [1]byte
-	if _, err := io.ReadFull(r.br, marker[:]); err != nil {
+	marker, err := r.br.ReadByte()
+	if err != nil {
 		return fmt.Errorf("%w: missing block marker", ErrCorrupt)
 	}
-	if marker[0] == 0 {
+	if marker == 0 {
 		r.done = true
 		return nil
 	}
-	if marker[0] != 1 {
-		return fmt.Errorf("%w: bad block marker %d", ErrCorrupt, marker[0])
+	if marker != 1 {
+		return fmt.Errorf("%w: bad block marker %d", ErrCorrupt, marker)
 	}
-	var hdr [12]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
 		return fmt.Errorf("%w: short block header", ErrCorrupt)
 	}
-	origLen := binary.LittleEndian.Uint32(hdr[0:4])
-	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
-	primary := binary.LittleEndian.Uint32(hdr[8:12])
+	origLen := binary.LittleEndian.Uint32(r.hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(r.hdr[4:8])
+	primary := binary.LittleEndian.Uint32(r.hdr[8:12])
 	if origLen > MaxBlockSize {
 		return fmt.Errorf("%w: block length %d too large", ErrCorrupt, origLen)
 	}
-	br := bitio.NewReader(r.br)
-	lengths := make([]uint8, mtf.NumSyms)
-	for i := range lengths {
-		v, err := br.ReadBits(lenBits)
+	r.bit.Reset(r.br)
+	for i := range r.lengths {
+		v, err := r.bit.ReadBits(lenBits)
 		if err != nil {
 			return fmt.Errorf("%w: short length table", ErrCorrupt)
 		}
-		lengths[i] = uint8(v)
+		r.lengths[i] = uint8(v)
 	}
-	dec, err := huffman.NewDecoder(lengths, br)
-	if err != nil {
+	if err := r.dec.Reset(r.lengths[:], &r.bit); err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	var syms []uint16
+	// Every symbol before EOB contributes at least one decoded byte (an
+	// MTF symbol exactly one, a RUNA/RUNB run digit one or more), so a
+	// valid block's symbol stream holds at most origLen symbols plus the
+	// EOB — preallocating that bound makes the loop allocation-free and
+	// turns an over-long hostile stream into an early corruption error
+	// instead of an unbounded allocation.
+	maxSyms := int(origLen) + 1
+	if cap(r.syms) < maxSyms {
+		r.syms = make([]uint16, 0, maxSyms)
+	}
+	r.syms = r.syms[:0]
 	for {
-		s, err := dec.ReadSymbol()
+		s, err := r.dec.ReadSymbol()
 		if err != nil {
 			return fmt.Errorf("%w: symbol stream: %v", ErrCorrupt, err)
 		}
-		syms = append(syms, uint16(s))
+		if len(r.syms) == maxSyms {
+			return fmt.Errorf("%w: symbol stream exceeds block length %d", ErrCorrupt, origLen)
+		}
+		r.syms = append(r.syms, uint16(s))
 		if s == mtf.EOB {
 			break
 		}
 	}
-	transformed, _, err := mtf.Decode(syms)
+	transformed, _, err := mtf.DecodeInto(r.mtfOut, r.syms)
+	if transformed != nil {
+		r.mtfOut = transformed
+	}
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if uint32(len(transformed)) != origLen {
 		return fmt.Errorf("%w: block length mismatch (%d != %d)", ErrCorrupt, len(transformed), origLen)
 	}
-	block, err := bwt.Inverse(transformed, int(primary))
+	block, next, err := bwt.InverseInto(r.block, r.next, transformed, int(primary))
+	r.next = next
+	if block != nil {
+		r.block = block
+	}
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

@@ -53,15 +53,27 @@ func Transform(data []byte) (out []byte, primary int) {
 
 // Inverse reconstructs the original data from a BWT output and primary index.
 func Inverse(out []byte, primary int) ([]byte, error) {
+	s, _, err := InverseInto(nil, nil, out, primary)
+	return s, err
+}
+
+// InverseInto is Inverse with caller-owned working storage: dst receives
+// the reconstructed bytes and next is the (n+1)-entry successor table the
+// cycle walk needs — both are grown only when too small, so a caller
+// recycling them (the bsc Reader's pooled decode state) inverts block
+// after block without allocating. It returns the reconstructed slice
+// (aliasing dst's storage unless grown) and the possibly-grown scratch,
+// which the caller should retain even on error.
+func InverseInto(dst []byte, next []int32, out []byte, primary int) ([]byte, []int32, error) {
 	n := len(out)
 	if n == 0 {
 		if primary != 0 {
-			return nil, ErrBadPrimary
+			return nil, next, ErrBadPrimary
 		}
-		return nil, nil
+		return nil, next, nil
 	}
 	if primary < 1 || primary > n {
-		return nil, fmt.Errorf("%w: %d not in [1,%d]", ErrBadPrimary, primary, n)
+		return nil, next, fmt.Errorf("%w: %d not in [1,%d]", ErrBadPrimary, primary, n)
 	}
 	// realByte maps an index in the (n+1)-row column (sentinel at `primary`)
 	// to the stored byte.
@@ -83,7 +95,10 @@ func Inverse(out []byte, primary int) ([]byte, error) {
 		start[c] = sum
 		sum += cnt[c]
 	}
-	next := make([]int32, n+1)
+	if cap(next) < n+1 {
+		next = make([]int32, n+1)
+	}
+	next = next[:n+1]
 	var occ [256]int
 	for i := 0; i <= n; i++ {
 		if i == primary {
@@ -93,19 +108,22 @@ func Inverse(out []byte, primary int) ([]byte, error) {
 		next[i] = int32(start[c] + occ[c])
 		occ[c]++
 	}
-	s := make([]byte, n)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	s := dst[:n]
 	i := 0
 	for k := n - 1; k >= 0; k-- {
 		if i == primary {
-			return nil, fmt.Errorf("%w: cycle hit sentinel early (wrong primary?)", ErrCorrupt)
+			return nil, next, fmt.Errorf("%w: cycle hit sentinel early (wrong primary?)", ErrCorrupt)
 		}
 		s[k] = realByte(i)
 		i = int(next[i])
 	}
 	if i != primary {
-		return nil, fmt.Errorf("%w: cycle did not terminate at sentinel (wrong primary?)", ErrCorrupt)
+		return nil, next, fmt.Errorf("%w: cycle did not terminate at sentinel (wrong primary?)", ErrCorrupt)
 	}
-	return s, nil
+	return s, next, nil
 }
 
 // suffixArray computes the suffix array of data using Manber–Myers prefix

@@ -241,6 +241,18 @@ func NewDecoderMode(r io.Reader, mode Mode) *Decoder {
 	return &Decoder{r: r, mode: mode}
 }
 
+// Reset re-targets the Decoder at a new stream in the same mode,
+// retaining the per-segment working buffers — pooled decode pipelines
+// reuse one Decoder across chunks so steady-state decoding allocates no
+// inverse-sort scratch.
+func (d *Decoder) Reset(r io.Reader) {
+	d.r = r
+	d.pending = d.pending[:0]
+	d.pos = 0
+	d.done = false
+	d.err = nil
+}
+
 // Read returns the next decoded address, or io.EOF after the terminator
 // (or clean end of stream).
 func (d *Decoder) Read() (uint64, error) {

@@ -182,6 +182,21 @@ type Decompressor struct {
 	cache  ChunkCache
 	loader chunkLoader
 
+	// statefulBackend is backend's optional pooled-reader extension,
+	// captured once at Open. When set, readerFree recycles complete
+	// per-chunk decode units (blob-front bufio buffer, backend decode
+	// state, bytesort inverse-sort scratch) across chunks, so
+	// steady-state decompression stops allocating working memory.
+	statefulBackend xcompress.StatefulBackend
+	readerFree      chan *backendReader
+
+	// imitated, for lossy traces, holds every chunk ID that some
+	// imitation record replays. A chunk absent from it has exactly one
+	// consumer — its own chunk record in the sequential pass — so the
+	// batched pipeline stream-decodes it straight into batch buffers
+	// instead of materializing and caching the whole interval.
+	imitated map[int]struct{}
+
 	// chunkReads counts chunk-blob decompressions (not cache hits) — the
 	// observable that range decoding touches only the chunks it must.
 	chunkReads atomic.Int64
@@ -275,6 +290,16 @@ func Open(path string, opts DecodeOptions) (*Decompressor, error) {
 	}
 	d.backend = backend
 	d.backendName = backendName
+	d.statefulBackend, _ = backend.(xcompress.StatefulBackend)
+	if d.statefulBackend != nil {
+		// Bound retained decode state to the pipeline's concurrency: at
+		// most Readahead span tasks decode at once, plus the sync path.
+		n := d.opts.Readahead
+		if n < 1 {
+			n = 1
+		}
+		d.readerFree = make(chan *backendReader, n+2)
+	}
 	if err := d.readInfo(backendName, mi.version); err != nil {
 		closeStore()
 		return nil, err
@@ -352,6 +377,16 @@ func (d *Decompressor) buildIndex() error {
 			end = d.total
 		}
 		d.index[i] = span{start: start, end: end, rec: rec}
+	}
+	if d.mode == Lossy {
+		// Chunks replayed by at least one imitation must be materialized
+		// and cached; everything else can stream (streamableSpan).
+		d.imitated = make(map[int]struct{})
+		for _, rec := range d.records {
+			if rec.tag == recImitate {
+				d.imitated[rec.chunkID] = struct{}{}
+			}
+		}
 	}
 	return nil
 }
@@ -588,10 +623,13 @@ func (d *Decompressor) produceSpansConcurrent(par int, start int64) {
 // of BatchAddrs — segments are stream-decoded (never materialized whole)
 // and imitation translations write into recycled batch buffers — instead
 // of a multiple of IntervalLen/SegmentAddrs. For lossy traces the chunk
-// cache stays on the dispatcher goroutine: chunks load (and pin) there,
-// serially, while slicing and the byte translation of distinct imitation
-// records — including several imitations of one hot chunk — fan out
-// across the span tasks.
+// cache stays on the dispatcher goroutine: chunks that imitations replay
+// load (and pin) there, serially, while slicing and the byte translation
+// of distinct imitation records — including several imitations of one
+// hot chunk — fan out across the span tasks. Lossy chunks no imitation
+// ever replays (streamableSpan) skip materialization entirely and
+// stream-decode on their span task like segments, unless a random-access
+// pass already left them in the cache.
 func (d *Decompressor) produceSpansBatched(par int, start int64) {
 	if par < 1 {
 		par = 1
@@ -611,9 +649,26 @@ func (d *Decompressor) produceSpansBatched(par int, start int64) {
 			sp := d.index[i]
 			slot := make(chan aheadBatch, 2)
 			var chunk []uint64
-			if !d.segmented {
+			stream := d.segmented
+			if !stream && d.streamableSpan(sp) {
+				if cached, ok := d.cache.Get(sp.rec.chunkID); ok {
+					// Random access may have pinned even a never-imitated
+					// chunk; slicing the resident copy beats re-decoding.
+					metChunkCacheHits.Inc()
+					if tr := d.traceRec; tr != nil {
+						tr.CacheHit()
+					}
+					chunk = cached
+				} else {
+					stream = true
+					metChunksStreamed.Inc()
+				}
+			}
+			if !stream {
 				var err error
-				chunk, err = d.loadChunk(sp.rec.chunkID, d.mode == Lossy)
+				if chunk == nil {
+					chunk, err = d.loadChunk(sp.rec.chunkID, d.mode == Lossy)
+				}
 				if err == nil && int64(len(chunk)) != sp.end-sp.start {
 					err = fmt.Errorf("%w: chunk %d decodes to %d addresses, index says %d",
 						ErrCorrupt, sp.rec.chunkID, len(chunk), sp.end-sp.start)
@@ -634,15 +689,15 @@ func (d *Decompressor) produceSpansBatched(par int, start int64) {
 				return
 			}
 			tasks.Add(1)
-			go func(sp span, chunk []uint64, slot chan aheadBatch) {
+			go func(sp span, chunk []uint64, stream bool, slot chan aheadBatch) {
 				defer tasks.Done()
 				defer close(slot)
-				if d.segmented {
+				if stream {
 					d.streamSpanBatches(sp, slot)
 				} else {
 					d.sliceSpanBatches(sp, chunk, slot)
 				}
-			}(sp, chunk, slot)
+			}(sp, chunk, stream, slot)
 		}
 	}()
 	// In-order delivery: drain each span's batches completely before
@@ -673,6 +728,21 @@ func (d *Decompressor) produceSpansBatched(par int, start int64) {
 			}
 		}
 	}
+}
+
+// streamableSpan reports whether the sequential pipeline may stream sp's
+// chunk straight into batch buffers instead of materializing it: a lossy
+// chunk record whose chunk no imitation ever replays has exactly one
+// consumer — this pass — so decoding it whole would cost a transient
+// interval-sized buffer and caching it would only evict chunks that
+// imitations still need. Random access (materializeSpan/loadChunk) is
+// unaffected: it still materializes, pins and caches on demand.
+func (d *Decompressor) streamableSpan(sp span) bool {
+	if d.mode != Lossy || sp.rec.tag != recChunk {
+		return false
+	}
+	_, hot := d.imitated[sp.rec.chunkID]
+	return !hot
 }
 
 // sendSpanBatch sends one batch into a span slot, aborting on pipeline
@@ -714,12 +784,13 @@ func (d *Decompressor) sliceSpanBatches(sp span, chunk []uint64, slot chan ahead
 	}
 }
 
-// streamSpanBatches stream-decodes one lossless segment chunk directly
-// into recycled batch buffers: the segment is never materialized whole,
-// so per-span memory is one batch plus the bytesort decoder's working
-// buffer regardless of SegmentAddrs. The address count is verified
-// against the index — both overruns (detected before the excess is
-// delivered) and underruns surface as ErrCorrupt.
+// streamSpanBatches stream-decodes one chunk blob directly into recycled
+// batch buffers: the chunk is never materialized whole, so per-span
+// memory is one batch plus the pooled decode unit's working buffers. It
+// is format-agnostic — lossless segment chunks and never-imitated lossy
+// chunks (streamableSpan) both take this path. The address count is
+// verified against the index — both overruns (detected before the
+// excess is delivered) and underruns surface as ErrCorrupt.
 //
 //atc:hotpath
 func (d *Decompressor) streamSpanBatches(sp span, slot chan aheadBatch) {
@@ -733,13 +804,14 @@ func (d *Decompressor) streamSpanBatches(sp span, slot chan aheadBatch) {
 		return
 	}
 	defer f.Close()
-	cr, err := d.backend.NewReader(bufio.NewReaderSize(f, 1<<16))
+	pr, err := d.getBackendReader(f)
+	defer d.putBackendReader(pr)
 	if err != nil {
 		//atc:ignore hotalloc corruption reporting on the terminal error path; the span aborts here
 		d.sendSpanBatch(slot, aheadBatch{err: fmt.Errorf("%w: chunk %d: backend header: %v", ErrCorrupt, sp.rec.chunkID, err)})
 		return
 	}
-	dec := bytesort.NewDecoder(cr)
+	dec := pr.dec
 	var got int64
 	for {
 		buf := d.batchBuf()
@@ -754,7 +826,12 @@ func (d *Decompressor) streamSpanBatches(sp span, slot chan aheadBatch) {
 				ErrCorrupt, sp.rec.chunkID, got, want)})
 			return
 		}
-		if n > 0 && !d.sendSpanBatch(slot, aheadBatch{addrs: buf, buf: buf}) {
+		if n == 0 {
+			// Nothing decoded (a trailing ReadSlice that only found EOF):
+			// the buffer never enters a slot, so recycle it here or the
+			// pool bleeds one buffer per span.
+			d.recycleBatch(buf)
+		} else if !d.sendSpanBatch(slot, aheadBatch{addrs: buf, buf: buf}) {
 			return
 		}
 		if rerr == io.EOF {
@@ -1367,11 +1444,82 @@ func (d *Decompressor) materializeInterval(rec record, pin bool) ([]uint64, erro
 	}
 }
 
+// chunkBufSize is the buffered-read size fronting chunk blobs.
+const chunkBufSize = 1 << 16
+
+// backendReader bundles one complete per-chunk decode unit: the buffered
+// reader fronting the chunk blob, the backend's decompressing reader over
+// it, and the bytesort decoder consuming that. dec is the decoder to
+// read addresses from. For stateful back ends the unit is pooled on
+// Decompressor.readerFree and every layer's working state (bufio buffer,
+// backend block/transform scratch, bytesort inverse-sort scratch) is
+// recycled across chunks; rr is nil for one-shot units, which are built,
+// used and dropped exactly like the historical path.
+type backendReader struct {
+	dec *bytesort.Decoder
+	br  *bufio.Reader
+	rr  xcompress.ResetReader
+}
+
+// getBackendReader returns a decode unit reading addresses from the
+// compressed chunk stream src. Callers must hand the unit back with
+// putBackendReader; it is nil-safe, so `defer d.putBackendReader(pr)`
+// placed directly after the call covers every error return.
+//
+//atc:pool put=putBackendReader
+func (d *Decompressor) getBackendReader(src io.Reader) (*backendReader, error) {
+	if d.statefulBackend == nil {
+		cr, err := d.backend.NewReader(bufio.NewReaderSize(src, chunkBufSize))
+		if err != nil {
+			return nil, err
+		}
+		return &backendReader{dec: bytesort.NewDecoder(cr)}, nil
+	}
+	select {
+	case pr := <-d.readerFree:
+		pr.br.Reset(src)
+		if err := pr.rr.Reset(pr.br); err != nil {
+			// Suspect state: drop the unit rather than repooling it.
+			return nil, err
+		}
+		pr.dec.Reset(pr.rr)
+		return pr, nil
+	default:
+	}
+	br := bufio.NewReaderSize(src, chunkBufSize)
+	rr, err := d.statefulBackend.NewResetReader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &backendReader{dec: bytesort.NewDecoder(rr), br: br, rr: rr}, nil
+}
+
+// putBackendReader returns a pooled decode unit to the free list,
+// detaching it from the blob it was reading so the pool never pins a
+// store handle. One-shot units (and nil, from a failed get) are dropped.
+func (d *Decompressor) putBackendReader(pr *backendReader) {
+	if pr == nil || pr.rr == nil {
+		return
+	}
+	pr.br.Reset(depletedReader{})
+	select {
+	case d.readerFree <- pr:
+	default: // pool full: let the GC take it
+	}
+}
+
+// depletedReader is the empty source pooled readers are parked on while
+// on the free list.
+type depletedReader struct{}
+
+func (depletedReader) Read([]byte) (int, error) { return 0, io.EOF }
+
 // readChunkFile decompresses one chunk blob into addresses. It touches
-// only immutable Decompressor state (st, backend) plus the atomic read
-// counter, so segmented-lossless decode goroutines call it concurrently:
-// each holds its own Blob, and an archive store serves them from one
-// shared io.ReaderAt with no per-chunk open(2).
+// only immutable Decompressor state (st, backend), the atomic read
+// counter and the concurrency-safe reader pool, so segmented-lossless
+// decode goroutines call it concurrently: each holds its own Blob, and
+// an archive store serves them from one shared io.ReaderAt with no
+// per-chunk open(2).
 func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
 	d.chunkReads.Add(1)
 	metChunkLoads.Inc()
@@ -1384,11 +1532,12 @@ func (d *Decompressor) readChunkFile(id int) ([]uint64, error) {
 	// Time spent inside the blob's Read calls is fetch (store/remote
 	// I/O); the rest of the wall time here is backend decompression.
 	tf := &timedReader{r: f}
-	cr, err := d.backend.NewReader(bufio.NewReaderSize(tf, 1<<16))
+	pr, err := d.getBackendReader(tf)
+	defer d.putBackendReader(pr)
 	if err != nil {
 		return nil, err
 	}
-	addrs, err := bytesort.NewDecoder(cr).ReadAll()
+	addrs, err := pr.dec.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("%w: chunk %d: %v", ErrCorrupt, id, err)
 	}

@@ -19,6 +19,8 @@ var (
 		"chunk loads served from a private or shared chunk cache")
 	metChunkCacheEvict = obs.Default().Counter("atc_decode_chunk_cache_evictions_total",
 		"chunks evicted from private or shared chunk caches")
+	metChunksStreamed = obs.Default().Counter("atc_decode_chunks_streamed_total",
+		"lossy chunks stream-decoded straight into batch buffers (never an imitation source, so never materialized or cached)")
 
 	metEncodeChunks = obs.Default().Counter("atc_encode_chunks_total",
 		"chunks bytesorted, compressed and written")

@@ -112,6 +112,68 @@ func (s *Set) Reset() {
 	*s = Set{}
 }
 
+// SummaryBuckets is the number of rank buckets a Summary condenses each
+// sorted 256-entry histogram into (32 consecutive ranks per bucket).
+const SummaryBuckets = 8
+
+// summaryBucketShift converts a rank in [0,256) to its bucket: 256/8 = 32
+// ranks per bucket = rank >> 5.
+const summaryBucketShift = 5
+
+// Summary condenses a finalized Set into Positions × SummaryBuckets
+// normalised bucket masses: Summary[j][k] is the fraction of the interval's
+// addresses whose byte-j value has sorted rank in bucket k. Because each
+// bucket mass is a partial sum of the normalised sorted histogram, the
+// triangle inequality gives, for any two intervals A and B and every
+// position j,
+//
+//	d(h′A[j], h′B[j]) = Σ_i |a_i/N_A − b_i/N_B|
+//	                  ≥ Σ_k |Σ_{i∈bucket k} (a_i/N_A − b_i/N_B)|
+//	                  = Σ_k |S_A[j][k] − S_B[j][k]|
+//
+// so SummaryDistance is a lower bound on the per-position sorted-histogram
+// distance, and the interval distance D(A,B) = max_j d_j is bounded below
+// by max_j Σ_k |S_A[j][k] − S_B[j][k]|. phase.Table uses this to reject
+// non-matching candidates with 64 float operations instead of 2048.
+type Summary [Positions][SummaryBuckets]float64
+
+// Summarize fills sum from a finalized Set. An empty Set (N == 0)
+// summarises to all zeros.
+func Summarize(s *Set, sum *Summary) {
+	if s.N == 0 {
+		*sum = Summary{}
+		return
+	}
+	f := 1 / float64(s.N)
+	for j := 0; j < Positions; j++ {
+		h := &s.Sorted[j]
+		b := &sum[j]
+		*b = [SummaryBuckets]float64{}
+		for i := 0; i < 256; i++ {
+			b[i>>summaryBucketShift] += float64(h[i]) * f
+		}
+	}
+}
+
+// SummaryDistance returns the bucket-mass L1 distance at byte position j:
+// Σ_k |a[j][k] − b[j][k]|, a lower bound on PositionDistance of the
+// underlying sets (see Summary). The zero-N edge case is covered too: an
+// empty interval's summary is all zeros, so the bound is Σ_k b[j][k] ≤ 1,
+// below the 2 that histDistance reports for an empty-vs-nonempty pair.
+//
+//atc:hotpath
+func SummaryDistance(a, b *Summary, j int) float64 {
+	sum := 0.0
+	for k := 0; k < SummaryBuckets; k++ {
+		d := a[j][k] - b[j][k]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum
+}
+
 // histDistance computes Σ|a(i)/na − b(i)/nb| over the 256 entries, which is
 // the paper's d with each histogram normalised by its own interval length.
 // For equal lengths this is exactly (1/L)·Σ|a−b|. Result in [0,2].
@@ -145,6 +207,18 @@ func Distance(a, b *Set) float64 {
 		}
 	}
 	return max
+}
+
+// PositionDistance computes d(h′A[j], h′B[j]) on the sorted histograms at
+// byte position j — one of the eight terms whose maximum is Distance. Both
+// sets must be finalized. phase.Table evaluates positions one at a time so
+// a candidate whose running maximum already disqualifies it is abandoned
+// without touching the remaining positions; a fully-evaluated candidate's
+// maximum is bit-identical to Distance.
+//
+//atc:hotpath
+func PositionDistance(a, b *Set, j int) float64 {
+	return histDistance(&a.Sorted[j], &b.Sorted[j], a.N, b.N)
 }
 
 // UnsortedDistance computes d(hA[j], hB[j]) on the raw (unsorted)

@@ -270,41 +270,79 @@ type Decoder struct {
 
 // NewDecoder builds a Decoder for the given length table reading from r.
 func NewDecoder(lengths []uint8, r *bitio.Reader) (*Decoder, error) {
-	cb, err := NewCodebook(lengths)
-	if err != nil {
+	d := &Decoder{}
+	if err := d.Reset(lengths, r); err != nil {
 		return nil, err
 	}
-	maxLen := cb.maxLen
-	count := make([]int, maxLen+1)
+	return d, nil
+}
+
+// Reset re-initialises d for a new length table and bit reader, reusing
+// its internal decode tables — equivalent to NewDecoder but, once the
+// decoder has seen a table of equal or greater depth and symbol count,
+// allocation-free. It validates the table the same way (the Kraft check
+// NewCodebook performs, without materialising codes); on error d is left
+// unusable until a successful Reset.
+func (d *Decoder) Reset(lengths []uint8, r *bitio.Reader) error {
+	maxLen := 0
 	for _, l := range lengths {
-		if l > 0 {
-			count[l]++
+		if int(l) > maxLen {
+			maxLen = int(l)
 		}
 	}
-	firstCode := make([]uint32, maxLen+1)
-	offset := make([]int, maxLen+1)
+	if maxLen == 0 || maxLen > 57 {
+		d.maxLen = 0
+		return errBadLengths
+	}
+	if cap(d.count) < maxLen+1 {
+		d.count = make([]int, maxLen+1)
+		d.firstCode = make([]uint32, maxLen+1)
+		d.offset = make([]int, maxLen+1)
+	} else {
+		d.count = d.count[:maxLen+1]
+		d.firstCode = d.firstCode[:maxLen+1]
+		d.offset = d.offset[:maxLen+1]
+		for i := range d.count {
+			d.count[i] = 0
+		}
+	}
+	for _, l := range lengths {
+		if l > 0 {
+			d.count[l]++
+		}
+	}
+	var kraft int64
+	for l := 1; l <= maxLen; l++ {
+		kraft += int64(d.count[l]) << uint(maxLen-l)
+	}
+	if kraft > int64(1)<<uint(maxLen) {
+		d.maxLen = 0
+		return errBadLengths
+	}
 	code := uint32(0)
 	total := 0
 	for l := 1; l <= maxLen; l++ {
 		if l > 1 {
-			code = (code + uint32(count[l-1])) << 1
+			code = (code + uint32(d.count[l-1])) << 1
 		}
-		firstCode[l] = code
-		offset[l] = total
-		total += count[l]
+		d.firstCode[l] = code
+		d.offset[l] = total
+		total += d.count[l]
 	}
-	symOrder := make([]int, 0, total)
+	if cap(d.symOrder) < total {
+		d.symOrder = make([]int, 0, total)
+	}
+	d.symOrder = d.symOrder[:0]
 	for l := 1; l <= maxLen; l++ {
 		for sym, sl := range lengths {
 			if int(sl) == l {
-				symOrder = append(symOrder, sym)
+				d.symOrder = append(d.symOrder, sym)
 			}
 		}
 	}
-	return &Decoder{
-		r: r, firstCode: firstCode, count: count,
-		offset: offset, symOrder: symOrder, maxLen: maxLen,
-	}, nil
+	d.r = r
+	d.maxLen = maxLen
+	return nil
 }
 
 // ReadSymbol decodes and returns the next symbol.

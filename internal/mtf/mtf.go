@@ -81,11 +81,20 @@ func Encode(data []byte) []uint16 {
 // EOB and returns the reconstructed bytes together with the number of
 // symbols consumed.
 func Decode(syms []uint16) ([]byte, int, error) {
+	return DecodeInto(make([]byte, 0, len(syms)*2), syms)
+}
+
+// DecodeInto is Decode appending into dst (which is truncated first): a
+// caller holding a reusable buffer — the bsc Reader recycling its block
+// working state — decodes without allocating once dst has grown to the
+// workload's block size. The returned slice shares dst's storage unless
+// growth forced a reallocation.
+func DecodeInto(dst []byte, syms []uint16) ([]byte, int, error) {
 	var order [256]byte
 	for i := range order {
 		order[i] = byte(i)
 	}
-	out := make([]byte, 0, len(syms)*2)
+	out := dst[:0]
 	i := 0
 	for i < len(syms) {
 		s := syms[i]

@@ -5,6 +5,16 @@
 // sorted-histogram distance below the threshold ε, and otherwise become
 // chunks themselves. When the table is full the entry of the oldest chunk
 // is evicted (FIFO), exactly as in the paper.
+//
+// Match does not scan the table blindly: each resident entry carries a
+// histogram.Summary (per-position bucket masses of the sorted histograms)
+// whose L1 distance lower-bounds the true interval distance, so most
+// non-matching candidates are rejected after 8–64 float operations instead
+// of the full 8×256 comparison. Candidates are visited most-recently-
+// matched first — phase locality means the last phase seen is the likeliest
+// next match, which both finds the eventual winner early and tightens the
+// rejection bound for everyone after it. MatchExhaustive keeps the plain
+// reference scan; property tests pin both paths to identical selections.
 package phase
 
 import (
@@ -21,21 +31,51 @@ const DefaultEpsilon = 0.1
 // keeps the compressor's memory modest while remembering plenty of phases.
 const DefaultCapacity = 256
 
-// Entry associates a chunk ID with the histograms of the interval it stores.
-type Entry struct {
-	ChunkID int
-	Hist    *histogram.Set
+// pruneSlack absorbs floating-point rounding in the summary bound. The
+// bound is exact in real arithmetic but is accumulated in a different
+// order than the true distance, so it can exceed it by a few ulps (the
+// worst case is ~256 additions of values ≤ 2, error ≲ 1e-13). Pruning
+// only when the bound clears the threshold by this margin keeps the
+// "never reject a winner" guarantee bit-exact; the handful of extra full
+// comparisons it admits is noise.
+const pruneSlack = 1e-12
+
+// slot is one resident chunk. Slots live in a ring buffer so an entry's
+// slot index is stable for its lifetime (maps and the MRU list hold slot
+// indexes, never positions in insertion order).
+type slot struct {
+	chunkID int
+	hist    *histogram.Set
+	sum     histogram.Summary // pruning bound, computed once at Insert
+	seq     int64             // insertion sequence; smaller = older (FIFO age)
 }
 
 // Table is the online phase table. The zero value is not usable; call New.
 type Table struct {
-	eps     float64
-	cap     int
-	entries []Entry // FIFO order: entries[0] is the oldest chunk
+	eps float64
+	cap int
+	// Ring of slots: the k-th oldest resident entry is
+	// slots[(head+k)%cap]; eviction reuses the head slot and advances
+	// head, so no entries ever shift.
+	slots []slot
+	head  int
+	n     int
+	seq   int64
+	// byID maps chunkID → slot index so Lookup and Insert's duplicate
+	// check are O(1) regardless of capacity.
+	byID map[int]int
+	// mru lists resident slot indexes, most recently matched (or
+	// inserted) first — the visit order for Match.
+	mru []int
+	// qsum is Match's scratch summary for the query interval, kept here
+	// so the hot path allocates nothing.
+	qsum histogram.Summary
 	// Stats
 	lookups   int64
 	matches   int64
 	evictions int64
+	pruned    int64
+	compared  int64
 }
 
 // New returns a Table with the given capacity and matching threshold.
@@ -47,44 +87,156 @@ func New(capacity int, eps float64) *Table {
 	if eps <= 0 {
 		eps = DefaultEpsilon
 	}
-	return &Table{eps: eps, cap: capacity}
+	return &Table{
+		eps:   eps,
+		cap:   capacity,
+		slots: make([]slot, capacity),
+		byID:  make(map[int]int, capacity),
+		mru:   make([]int, 0, capacity),
+	}
 }
 
 // Epsilon reports the matching threshold.
 func (t *Table) Epsilon() float64 { return t.eps }
 
 // Len reports the number of chunks currently remembered.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.n }
 
-// Match finds the stored chunk with the smallest distance to h. It returns
-// ok=false when no chunk is within the threshold. h must be finalized.
+// Match finds the stored chunk with the smallest distance to h, breaking
+// exact ties toward the oldest entry (the selection MatchExhaustive's FIFO
+// scan makes implicitly). It returns ok=false when no chunk is within the
+// threshold. h must be finalized.
+//
+// Candidates are visited in most-recently-matched order. A candidate is
+// skipped without a full comparison when its summary lower bound proves it
+// cannot beat the current best (or reach ε); a candidate under full
+// comparison is abandoned at the first byte position whose distance
+// already disqualifies it. Neither cut can drop the winner: the bound
+// never exceeds the true distance, and the winner's running maximum never
+// crosses the abandon threshold — so the chunk picked, and the distance
+// returned for it, are identical to MatchExhaustive's.
 //
 //atc:hotpath
 func (t *Table) Match(h *histogram.Set) (chunkID int, dist float64, ok bool) {
 	t.lookups++
-	best := -1
+	histogram.Summarize(h, &t.qsum)
+	best := -1 // winning slot index
 	bestDist := 0.0
-	for i := range t.entries {
-		d := histogram.Distance(t.entries[i].Hist, h)
-		if d < t.eps && (best < 0 || d < bestDist) {
-			best, bestDist = i, d
+	bestSeq := int64(0)
+	for _, si := range t.mru {
+		sl := &t.slots[si]
+		// Rejection bound: D ≥ SummaryDistance at every position. With no
+		// best yet a win needs D < ε, so any position bounding D ≥ ε
+		// rejects; with a best it needs D < bestDist or an exact tie
+		// (resolved by age below), so only a bound strictly above
+		// bestDist rejects — a bound equal to bestDist still admits a tie.
+		pruned := false
+		for j := 0; j < histogram.Positions; j++ {
+			lb := histogram.SummaryDistance(&t.qsum, &sl.sum, j)
+			if best < 0 {
+				if lb >= t.eps+pruneSlack {
+					pruned = true
+					break
+				}
+			} else if lb > bestDist+pruneSlack {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			t.pruned++
+			continue
+		}
+		// Full comparison, one position at a time: the running maximum d
+		// only grows, so the same disqualification test abandons losers
+		// early; survivors finish with d == histogram.Distance(sl.hist, h).
+		t.compared++
+		d := 0.0
+		abandoned := false
+		for j := 0; j < histogram.Positions; j++ {
+			dj := histogram.PositionDistance(sl.hist, h, j)
+			if dj > d {
+				d = dj
+			}
+			if best < 0 {
+				if d >= t.eps {
+					abandoned = true
+					break
+				}
+			} else if d > bestDist {
+				abandoned = true
+				break
+			}
+		}
+		if abandoned {
+			continue
+		}
+		// Completing the loop proves d < ε (no best) or d ≤ bestDist
+		// (best exists); an exact tie goes to the FIFO-older entry.
+		if best < 0 || d < bestDist || (d == bestDist && sl.seq < bestSeq) {
+			best, bestDist, bestSeq = si, d, sl.seq
 		}
 	}
 	if best < 0 {
 		return 0, 0, false
 	}
 	t.matches++
-	return t.entries[best].ChunkID, bestDist, true
+	t.touch(best)
+	return t.slots[best].chunkID, bestDist, true
+}
+
+// MatchExhaustive is the reference selection: a full-distance scan of
+// every resident entry in FIFO order with no pruning, exactly the loop
+// Match replaced. It mutates no table state (no stats, no MRU reordering)
+// so tests can interleave it freely with Match and compare picks.
+func (t *Table) MatchExhaustive(h *histogram.Set) (chunkID int, dist float64, ok bool) {
+	best := -1
+	bestDist := 0.0
+	for k := 0; k < t.n; k++ {
+		sl := &t.slots[(t.head+k)%t.cap]
+		d := histogram.Distance(sl.hist, h)
+		if d < t.eps && (best < 0 || d < bestDist) {
+			best, bestDist = (t.head+k)%t.cap, d
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return t.slots[best].chunkID, bestDist, true
+}
+
+// touch moves slot index si to the front of the MRU list.
+func (t *Table) touch(si int) {
+	if len(t.mru) > 0 && t.mru[0] == si {
+		return
+	}
+	for i, v := range t.mru {
+		if v == si {
+			copy(t.mru[1:i+1], t.mru[:i])
+			t.mru[0] = si
+			return
+		}
+	}
+}
+
+// dropMRU removes slot index si from the MRU list.
+func (t *Table) dropMRU(si int) {
+	for i, v := range t.mru {
+		if v == si {
+			copy(t.mru[i:], t.mru[i+1:])
+			t.mru = t.mru[:len(t.mru)-1]
+			return
+		}
+	}
 }
 
 // Lookup returns the stored histograms for a chunk ID, if still resident.
 func (t *Table) Lookup(chunkID int) (*histogram.Set, bool) {
-	for i := range t.entries {
-		if t.entries[i].ChunkID == chunkID {
-			return t.entries[i].Hist, true
-		}
+	si, ok := t.byID[chunkID]
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	return t.slots[si].hist, true
 }
 
 // Insert records a new chunk's histograms, evicting the oldest entry when
@@ -96,32 +248,62 @@ func (t *Table) Lookup(chunkID int) (*histogram.Set, bool) {
 //
 //atc:hotpath
 func (t *Table) Insert(chunkID int, h *histogram.Set) (evicted *histogram.Set) {
-	for i := range t.entries {
-		if t.entries[i].ChunkID == chunkID {
-			//atc:ignore hotalloc formatting a programming-error panic; this path never runs in a correct build
-			panic(fmt.Sprintf("phase: duplicate chunk id %d", chunkID))
-		}
+	if _, dup := t.byID[chunkID]; dup {
+		//atc:ignore hotalloc formatting a programming-error panic; this path never runs in a correct build
+		panic(fmt.Sprintf("phase: duplicate chunk id %d", chunkID))
 	}
-	if len(t.entries) == t.cap {
-		evicted = t.entries[0].Hist
-		copy(t.entries, t.entries[1:])
-		t.entries = t.entries[:t.cap-1]
+	var si int
+	if t.n == t.cap {
+		// Reuse the oldest entry's slot: it becomes the newest, and the
+		// ring head advances past it.
+		si = t.head
+		sl := &t.slots[si]
+		delete(t.byID, sl.chunkID)
+		t.dropMRU(si)
+		evicted = sl.hist
+		t.head = (t.head + 1) % t.cap
 		t.evictions++
+	} else {
+		si = (t.head + t.n) % t.cap
+		t.n++
 	}
-	//atc:ignore hotalloc growth is bounded by the table capacity: after the first t.cap inserts the eviction branch keeps len < cap and append never reallocates
-	t.entries = append(t.entries, Entry{ChunkID: chunkID, Hist: h})
+	sl := &t.slots[si]
+	sl.chunkID = chunkID
+	sl.hist = h
+	sl.seq = t.seq
+	t.seq++
+	histogram.Summarize(h, &sl.sum)
+	t.byID[chunkID] = si
+	// A fresh chunk is by definition the current phase: push it to the
+	// front of the MRU visit order. len(t.mru) == n-1 here and capacity
+	// is t.cap, so the reslice never allocates.
+	t.mru = t.mru[:len(t.mru)+1]
+	copy(t.mru[1:], t.mru[:len(t.mru)-1])
+	t.mru[0] = si
 	return evicted
 }
 
-// Stats reports lookup/match/eviction counters.
+// Stats reports lookup/match/eviction counters, plus how many Match
+// candidates were rejected by the summary bound alone (Pruned) versus
+// fully compared (Compared): Pruned+Compared sums over all Match calls'
+// candidate visits.
 type Stats struct {
 	Lookups   int64
 	Matches   int64
 	Evictions int64
 	Resident  int
+	Pruned    int64
+	Compared  int64
 }
 
 // Stats returns a snapshot of the table counters.
 func (t *Table) Stats() Stats {
-	return Stats{Lookups: t.lookups, Matches: t.matches, Evictions: t.evictions, Resident: len(t.entries)}
+	return Stats{
+		Lookups:   t.lookups,
+		Matches:   t.matches,
+		Evictions: t.evictions,
+		Resident:  t.n,
+		Pruned:    t.pruned,
+		Compared:  t.compared,
+	}
 }

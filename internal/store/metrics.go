@@ -21,4 +21,8 @@ var (
 		"remote ranged-GET latency (per attempt, success or failure)", obs.DurationBuckets)
 	metRemoteRunBlocks = obs.Default().Histogram("atc_remote_run_blocks",
 		"blocks per coalesced fetch run", obs.CountBuckets)
+	metRemotePrefetchHit = obs.Default().Counter("atc_remote_prefetch_total",
+		"sequential-readahead block prefetches by outcome", obs.Label{Key: "result", Value: "hit"})
+	metRemotePrefetchWasted = obs.Default().Counter("atc_remote_prefetch_total",
+		"sequential-readahead block prefetches by outcome", obs.Label{Key: "result", Value: "wasted"})
 )

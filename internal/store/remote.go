@@ -71,6 +71,13 @@ type RemoteOptions struct {
 	// Client overrides the HTTP client (timeouts, proxies, auth
 	// round-trippers for private buckets). Default http.DefaultClient.
 	Client *http.Client
+	// DisablePrefetch turns off sequential block readahead: by default a
+	// read continuing the previous read's frontier triggers a background
+	// fetch of the next aligned block, overlapping origin latency with
+	// decompression of the current one. Prefetched blocks land in the
+	// same LRU and are counted hit or wasted (evicted untouched) on
+	// atc_remote_prefetch_total.
+	DisablePrefetch bool
 }
 
 // IsRemoteURL reports whether path names a remote archive — an http(s)
@@ -117,6 +124,7 @@ func OpenRemote(url string, opts RemoteOptions) (*RemoteStore, error) {
 		blockSize:  int64(opts.BlockSize),
 		retries:    opts.Retries,
 		retryDelay: opts.RetryDelay,
+		noPrefetch: opts.DisablePrefetch,
 		cache:      blockLRU{cap: opts.CacheBlocks, m: map[int64]*list.Element{}},
 		inflight:   map[int64]*blockFetch{},
 	}
@@ -161,6 +169,15 @@ type RemoteStats struct {
 	BlockHits int64
 	// Retries is the number of transient failures retried with backoff.
 	Retries int64
+	// Prefetches is the number of background block fetches launched by
+	// the sequential-readahead heuristic.
+	Prefetches int64
+	// PrefetchHits is the number of prefetched blocks a later read used
+	// (from the cache, or deduplicated onto the fetch in flight).
+	PrefetchHits int64
+	// PrefetchWasted is the number of prefetched blocks evicted without
+	// ever being read.
+	PrefetchWasted int64
 }
 
 // RangeReaderAt is a caching io.ReaderAt over one remote object. Reads are
@@ -177,15 +194,26 @@ type RangeReaderAt struct {
 	blockSize  int64
 	retries    int
 	retryDelay time.Duration
+	noPrefetch bool
 
 	mu       sync.Mutex
 	cache    blockLRU
 	inflight map[int64]*blockFetch
+	// prevLast is the last block the previous ReadAt touched (valid once
+	// hasRead is set): a read starting at or adjacent to that frontier
+	// AND advancing past it is "sequential" and prefetches the block
+	// after its own end. Requiring progress keeps repeated reads inside
+	// one block (a bufio draining it) from re-triggering speculation.
+	prevLast int64
+	hasRead  bool
 
-	fetches      atomic.Int64
-	bytesFetched atomic.Int64
-	blockHits    atomic.Int64
-	retried      atomic.Int64
+	fetches        atomic.Int64
+	bytesFetched   atomic.Int64
+	blockHits      atomic.Int64
+	retried        atomic.Int64
+	prefetches     atomic.Int64
+	prefetchHits   atomic.Int64
+	prefetchWasted atomic.Int64
 }
 
 // blockFetch is one in-flight block: done closes once data/err are set, so
@@ -195,6 +223,11 @@ type blockFetch struct {
 	done chan struct{}
 	data []byte
 	err  error
+	// prefetch marks a speculative background fetch. The first reader to
+	// dedupe onto it (or hit the cached result) clears the flag and
+	// counts a prefetch hit; eviction with the flag still set counts it
+	// wasted. Mutated only under RangeReaderAt.mu.
+	prefetch bool
 }
 
 // Size reports the remote object's length captured at open.
@@ -207,10 +240,13 @@ func (r *RangeReaderAt) ETag() string { return r.etag }
 // Stats reports fetch counters.
 func (r *RangeReaderAt) Stats() RemoteStats {
 	return RemoteStats{
-		Fetches:      r.fetches.Load(),
-		BytesFetched: r.bytesFetched.Load(),
-		BlockHits:    r.blockHits.Load(),
-		Retries:      r.retried.Load(),
+		Fetches:        r.fetches.Load(),
+		BytesFetched:   r.bytesFetched.Load(),
+		BlockHits:      r.blockHits.Load(),
+		Retries:        r.retried.Load(),
+		Prefetches:     r.prefetches.Load(),
+		PrefetchHits:   r.prefetchHits.Load(),
+		PrefetchWasted: r.prefetchWasted.Load(),
 	}
 }
 
@@ -246,15 +282,27 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	var waits []waiter
 	var runs [][2]int64 // inclusive block ranges this call claimed to fetch
 	r.mu.Lock()
+	sequential := r.hasRead && first <= r.prevLast+1 && last > r.prevLast
+	r.prevLast = last
+	r.hasRead = true
 	for b := first; b <= last; b++ {
 		i := int(b - first)
-		if data, ok := r.cache.get(b); ok {
+		if data, pref, ok := r.cache.get(b); ok {
 			r.blockHits.Add(1)
 			metRemoteBlockHits.Inc()
+			if pref {
+				r.prefetchHits.Add(1)
+				metRemotePrefetchHit.Inc()
+			}
 			blocks[i] = data
 			continue
 		}
 		if f, ok := r.inflight[b]; ok {
+			if f.prefetch {
+				f.prefetch = false
+				r.prefetchHits.Add(1)
+				metRemotePrefetchHit.Inc()
+			}
 			waits = append(waits, waiter{i, f})
 			continue
 		}
@@ -277,6 +325,9 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 		runs = append(runs, [2]int64{start, b})
 	}
 	r.mu.Unlock()
+	if sequential {
+		r.maybePrefetch(last + 1)
+	}
 	for _, run := range runs {
 		metRemoteRunBlocks.Observe(float64(run[1] - run[0] + 1))
 	}
@@ -331,6 +382,60 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
+// maybePrefetch launches a background fetch of block b after a
+// sequential read, so the next ReadAt finds it cached (or dedupes onto
+// the fetch in flight) instead of paying a full origin round trip.
+// Already-cached, already-in-flight and past-EOF blocks are skipped; a
+// failed prefetch is discarded silently — the demand fetch that would
+// have needed it retries from scratch with full error reporting.
+func (r *RangeReaderAt) maybePrefetch(b int64) {
+	off := b * r.blockSize
+	if r.noPrefetch || off >= r.size {
+		return
+	}
+	r.mu.Lock()
+	if _, cached := r.cache.m[b]; cached {
+		r.mu.Unlock()
+		return
+	}
+	if _, busy := r.inflight[b]; busy {
+		r.mu.Unlock()
+		return
+	}
+	f := &blockFetch{done: make(chan struct{}), prefetch: true}
+	r.inflight[b] = f
+	r.mu.Unlock()
+	r.prefetches.Add(1)
+	go func() {
+		length := r.blockSize
+		if off+length > r.size {
+			length = r.size - off
+		}
+		data, err := r.fetchRange(off, length)
+		r.mu.Lock()
+		delete(r.inflight, b)
+		if err != nil {
+			f.err = err
+		} else {
+			f.data = data
+			// A reader that deduped onto this fetch already cleared
+			// f.prefetch and took the hit; only a still-speculative block
+			// enters the cache flagged.
+			r.noteWasted(r.cache.put(b, data, f.prefetch))
+		}
+		close(f.done)
+		r.mu.Unlock()
+	}()
+}
+
+// noteWasted tallies prefetched blocks evicted before any read used them.
+func (r *RangeReaderAt) noteWasted(n int) {
+	if n > 0 {
+		r.prefetchWasted.Add(int64(n))
+		metRemotePrefetchWasted.Add(int64(n))
+	}
+}
+
 // fetchRun fetches blocks [start, end] in one ranged GET, resolves their
 // in-flight registrations, inserts them into the LRU and fills the calling
 // ReadAt's assembly slots.
@@ -354,7 +459,7 @@ func (r *RangeReaderAt) fetchRun(start, end, first int64, blocks [][]byte) error
 				hi = int64(len(data))
 			}
 			f.data = data[lo:hi]
-			r.cache.put(b, f.data)
+			r.noteWasted(r.cache.put(b, f.data, false))
 			if i := int(b - first); i >= 0 && i < len(blocks) {
 				blocks[i] = f.data
 			}
@@ -540,31 +645,47 @@ type blockLRU struct {
 type lruBlock struct {
 	id   int64
 	data []byte
+	// prefetched marks a speculative block no read has used yet; see
+	// blockFetch.prefetch for the hit/wasted accounting protocol.
+	prefetched bool
 }
 
-// get returns a cached block and marks it most recently used.
+// get returns a cached block and marks it most recently used. The second
+// result reports (and clears) the block's untouched-prefetch flag.
 //
 //atc:hotpath
-func (c *blockLRU) get(id int64) ([]byte, bool) {
+func (c *blockLRU) get(id int64) ([]byte, bool, bool) {
 	e, ok := c.m[id]
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
 	c.ll.MoveToFront(e)
-	return e.Value.(*lruBlock).data, true
+	blk := e.Value.(*lruBlock)
+	pref := blk.prefetched
+	blk.prefetched = false
+	return blk.data, pref, true
 }
 
-// put inserts a block, evicting from the least recently used end.
-func (c *blockLRU) put(id int64, data []byte) {
+// put inserts a block, evicting from the least recently used end. It
+// returns the number of evicted blocks whose prefetched flag was never
+// cleared — speculative fetches that turned out wasted.
+func (c *blockLRU) put(id int64, data []byte, prefetched bool) (wasted int) {
 	if e, ok := c.m[id]; ok {
 		c.ll.MoveToFront(e)
-		e.Value.(*lruBlock).data = data
-		return
+		blk := e.Value.(*lruBlock)
+		blk.data = data
+		blk.prefetched = blk.prefetched && prefetched
+		return 0
 	}
-	c.m[id] = c.ll.PushFront(&lruBlock{id: id, data: data})
+	c.m[id] = c.ll.PushFront(&lruBlock{id: id, data: data, prefetched: prefetched})
 	for len(c.m) > c.cap {
 		e := c.ll.Back()
-		delete(c.m, e.Value.(*lruBlock).id)
+		blk := e.Value.(*lruBlock)
+		if blk.prefetched {
+			wasted++
+		}
+		delete(c.m, blk.id)
 		c.ll.Remove(e)
 	}
+	return wasted
 }

@@ -34,6 +34,27 @@ type Backend interface {
 	NewReader(r io.Reader) (io.Reader, error)
 }
 
+// ResetReader is a decompressing reader that can be re-targeted at a new
+// compressed stream while retaining its internal working state (block
+// buffers, transform scratch, entropy-coder tables). After Reset the
+// reader must behave exactly as a freshly constructed one on src.
+type ResetReader interface {
+	io.Reader
+	Reset(src io.Reader) error
+}
+
+// StatefulBackend is implemented by back ends whose readers carry
+// reusable decode state worth recycling. NewResetReader returns a reader
+// the caller may Reset across any number of streams — the decode
+// pipeline pools these per Decompressor so per-chunk decompression stops
+// allocating working memory. Back ends without meaningful state (or not
+// yet adapted) simply don't implement the interface; callers fall back
+// to NewReader per stream.
+type StatefulBackend interface {
+	Backend
+	NewResetReader(r io.Reader) (ResetReader, error)
+}
+
 var (
 	mu       sync.RWMutex
 	backends = map[string]Backend{}
@@ -87,6 +108,10 @@ func (b bscBackend) NewReader(r io.Reader) (io.Reader, error) {
 	return bsc.NewReader(r), nil
 }
 
+func (b bscBackend) NewResetReader(r io.Reader) (ResetReader, error) {
+	return bsc.NewReader(r), nil
+}
+
 // flateBackend adapts compress/flate.
 type flateBackend struct{ level int }
 
@@ -100,6 +125,20 @@ func (f flateBackend) NewReader(r io.Reader) (io.Reader, error) {
 	return flate.NewReader(r), nil
 }
 
+func (f flateBackend) NewResetReader(r io.Reader) (ResetReader, error) {
+	return &flateResetReader{rc: flate.NewReader(r)}, nil
+}
+
+// flateResetReader adapts compress/flate's Resetter (whose Reset takes a
+// dictionary argument) to the ResetReader shape.
+type flateResetReader struct{ rc io.ReadCloser }
+
+func (f *flateResetReader) Read(p []byte) (int, error) { return f.rc.Read(p) }
+
+func (f *flateResetReader) Reset(src io.Reader) error {
+	return f.rc.(flate.Resetter).Reset(src, nil)
+}
+
 // storeBackend copies bytes verbatim with a trivial length-free framing:
 // the stream is the data itself (callers frame externally).
 type storeBackend struct{}
@@ -111,6 +150,22 @@ func (storeBackend) NewWriter(w io.Writer) (io.WriteCloser, error) {
 }
 
 func (storeBackend) NewReader(r io.Reader) (io.Reader, error) { return r, nil }
+
+func (storeBackend) NewResetReader(r io.Reader) (ResetReader, error) {
+	return &passthroughReader{src: r}, nil
+}
+
+// passthroughReader gives the store back end a resettable identity reader
+// so it pools like the real compressors (the indirection through one
+// non-escaping struct read is noise next to the copy itself).
+type passthroughReader struct{ src io.Reader }
+
+func (p *passthroughReader) Read(b []byte) (int, error) { return p.src.Read(b) }
+
+func (p *passthroughReader) Reset(src io.Reader) error {
+	p.src = src
+	return nil
+}
 
 type nopWriteCloser struct{ io.Writer }
 

@@ -134,3 +134,79 @@ func TestRoundTripProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestStatefulBackendResetEquivalence exercises every registered back end
+// that advertises pooled reader state: one ResetReader re-targeted across
+// a series of unrelated streams must decode each byte-identically to a
+// fresh NewReader — including immediately after a mid-stream abandonment,
+// which is how the decode pipeline recycles readers between chunks.
+func TestStatefulBackendResetEquivalence(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte("x"),
+		bytes.Repeat([]byte("stateful reset equivalence "), 500),
+		func() []byte {
+			p := make([]byte, 100_000)
+			for i := range p {
+				p[i] = byte(i * 2654435761 >> 13)
+			}
+			return p
+		}(),
+		bytes.Repeat([]byte{0}, 64<<10),
+	}
+	stateful := 0
+	for _, name := range Names() {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, ok := b.(StatefulBackend)
+		if !ok {
+			continue
+		}
+		stateful++
+		var comp [][]byte
+		for i, p := range payloads {
+			c, err := CompressAll(name, p)
+			if err != nil {
+				t.Fatalf("%s compress %d: %v", name, i, err)
+			}
+			comp = append(comp, c)
+		}
+		rr, err := sb.NewResetReader(readerOf(comp[0]))
+		if err != nil {
+			t.Fatalf("%s: NewResetReader: %v", name, err)
+		}
+		for round := 0; round < 3; round++ {
+			for i, c := range comp {
+				if round > 0 || i > 0 {
+					if err := rr.Reset(readerOf(c)); err != nil {
+						t.Fatalf("%s: reset %d/%d: %v", name, round, i, err)
+					}
+				}
+				got, err := io.ReadAll(rr)
+				if err != nil {
+					t.Fatalf("%s: read %d/%d: %v", name, round, i, err)
+				}
+				want, err := DecompressAll(name, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: reset decode %d/%d mismatch (%d vs %d bytes)", name, round, i, len(got), len(want))
+				}
+			}
+			// Abandon a stream partway; the next round's Reset must recover.
+			if err := rr.Reset(readerOf(comp[3])); err != nil {
+				t.Fatal(err)
+			}
+			var one [1]byte
+			if _, err := rr.Read(one[:]); err != nil {
+				t.Fatalf("%s: partial read: %v", name, err)
+			}
+		}
+	}
+	if stateful < 3 {
+		t.Fatalf("only %d stateful back ends registered, want bsc+flate+store", stateful)
+	}
+}
