@@ -314,10 +314,30 @@ func NewSharedChunkCache(n int) *SharedChunkCache { return core.NewSharedChunkCa
 
 // WithSharedChunkCache replaces the Reader's private chunk cache with a
 // caller-provided one — typically one NewSharedChunkCache shared by every
-// pooled Reader of the same trace. Do not share one cache across
-// different traces: chunk IDs would collide. Overrides WithChunkCache.
+// pooled Reader of the same trace, or a SharedChunkCacheBytes trace view
+// (ForTrace) when many traces share one byte budget. Do not share one
+// SharedChunkCache across different traces: chunk IDs would collide.
+// Overrides WithChunkCache.
 func WithSharedChunkCache(c ChunkCache) ReadOption {
 	return func(o *core.DecodeOptions) { o.ChunkCache = c }
+}
+
+// SharedChunkCacheBytes is a process-wide byte-budgeted chunk cache:
+// every Reader of every trace shares one memory cap, with entries keyed
+// by (trace, chunkID), accounted at len(addrs)*8 bytes each and evicted
+// LRU-by-bytes (pinned chunks survive pressure). Inject a per-trace view
+// from ForTrace with WithSharedChunkCache.
+type SharedChunkCacheBytes = core.SharedChunkCacheBytes
+
+// TraceChunkCache is one trace's view of a SharedChunkCacheBytes; it
+// satisfies WithSharedChunkCache and carries per-trace hit/load/eviction
+// and residency counters.
+type TraceChunkCache = core.TraceChunkCache
+
+// NewSharedChunkCacheBytes returns a process-wide chunk cache holding at
+// most budget decoded bytes across every trace.
+func NewSharedChunkCacheBytes(budget int64) *SharedChunkCacheBytes {
+	return core.NewSharedChunkCacheBytes(budget)
 }
 
 // WithReadahead bounds how many decoded batches a background pipeline

@@ -13,6 +13,7 @@ package atc_test
 //	ratio        compression ratio (Figure 8)
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"atc"
@@ -27,6 +29,7 @@ import (
 	"atc/internal/experiment"
 	"atc/internal/histogram"
 	"atc/internal/phase"
+	"atc/internal/store"
 	"atc/internal/vpc"
 )
 
@@ -1075,3 +1078,115 @@ func BenchmarkDecodeRangeVsFullDecode(b *testing.B) {
 		r.Close()
 	}
 }
+
+// BenchmarkSharedCacheBytes measures the hot-hit path of the
+// process-wide byte-budgeted chunk cache: GetOrLoad across three trace
+// views, every lookup a hit, the shape a serving replica sees once its
+// working set is resident.
+func BenchmarkSharedCacheBytes(b *testing.B) {
+	const (
+		traces   = 3
+		chunks   = 64
+		chunkLen = 512
+	)
+	c := atc.NewSharedChunkCacheBytes(int64(traces * chunks * chunkLen * 8))
+	views := make([]*atc.TraceChunkCache, traces)
+	payload := make([]uint64, chunkLen)
+	for t := range views {
+		views[t] = c.ForTrace(fmt.Sprintf("t%d", t))
+		for id := 0; id < chunks; id++ {
+			views[t].Put(id, payload)
+		}
+	}
+	load := func() ([]uint64, error) { return payload, nil }
+	// Thousands of lookups per op keep ns/op coarse enough for the
+	// benchguard gate: a single hot hit is a few hundred nanoseconds,
+	// too fine for a 10% threshold at -benchtime 3x.
+	const lookups = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < lookups; j++ {
+			addrs, err := views[j%traces].GetOrLoad(j%chunks, true, load)
+			if err != nil || len(addrs) != chunkLen {
+				b.Fatalf("GetOrLoad = %d addrs, %v", len(addrs), err)
+			}
+		}
+	}
+}
+
+// remoteBenchTrace writes a 32-segment archive — several megabytes, so a
+// sequential decode crosses enough 32 KiB remote blocks for the adaptive
+// window to reach and hold its steady state.
+func remoteBenchTrace(b *testing.B) (string, int64) {
+	const segments = 32
+	rng := rand.New(rand.NewSource(2009))
+	addrs := make([]uint64, segments*segBenchAddrs)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	dir, err := os.MkdirTemp("", "atc-remotebench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	path := filepath.Join(dir, "t.atc")
+	w, err := atc.CreateArchive(path,
+		atc.WithMode(atc.Lossless),
+		atc.WithSegmentAddrs(segBenchAddrs),
+		atc.WithBufferAddrs(segBenchAddrs/10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.CodeSlice(addrs); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path, int64(len(addrs))
+}
+
+// benchmarkRemotePrefetch decodes the whole segmented archive
+// front-to-back over a local Range-speaking origin with a cold block
+// cache each iteration, and reports the origin round-trips. maxPrefetch
+// 0 is the adaptive readahead (window doubles on sequential hits, up to
+// 16 blocks per coalesced GET); 1 pins the pre-adaptive fixed depth-1
+// behavior, one block per GET, for comparison.
+func benchmarkRemotePrefetch(b *testing.B, maxPrefetch int) {
+	path, total := remoteBenchTrace(b)
+	var gets atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		http.ServeFile(w, r, path)
+	}))
+	b.Cleanup(srv.Close)
+	b.SetBytes(total * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rst, err := store.OpenRemote(srv.URL, store.RemoteOptions{
+			BlockSize:         32768,
+			CacheBlocks:       128,
+			MaxPrefetchBlocks: maxPrefetch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := atc.NewReader("bench", atc.WithReadStore(rst), atc.WithReadahead(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := r.DecodeRange(0, total)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int64(len(got)) != total {
+			b.Fatalf("decoded %d addrs, want %d", len(got), total)
+		}
+		r.Close()
+	}
+	b.ReportMetric(float64(gets.Load())/float64(b.N), "origin-gets/op")
+}
+
+func BenchmarkRemotePrefetchAdaptive(b *testing.B) { benchmarkRemotePrefetch(b, 0) }
+func BenchmarkRemotePrefetchDepth1(b *testing.B)   { benchmarkRemotePrefetch(b, 1) }

@@ -31,7 +31,19 @@
 //	                                     or JSON with ?format=json; add
 //	                                     ?trace=1 for per-stage decode
 //	                                     timings (an ATC-Trace header, and
-//	                                     an embedded trace object in JSON)
+//	                                     an embedded trace object in JSON).
+//	                                     Binary responses honor HTTP Range
+//	                                     headers (bytes of the wire format,
+//	                                     single range): 206 with
+//	                                     Content-Range, decoding only the
+//	                                     covering address sub-window
+//
+// Every trace decodes through one process-wide chunk cache with a byte
+// budget (-cache-bytes, default 256 MiB of decoded addresses): hot chunks
+// stay resident across traces under one memory cap instead of a per-trace
+// chunk count. -cache-bytes 0 falls back to the legacy per-trace
+// count-bounded cache (-shared-cache). Per-trace metric series are capped
+// at -metric-traces names; later traces aggregate under trace="other".
 //
 // With -debug-addr set, a second listener serves operational diagnostics:
 // /metrics (Prometheus text format), /debug/obs (JSON metrics dump) and
@@ -64,6 +76,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -99,8 +112,10 @@ func main() {
 	addr := flag.String("addr", ":8405", "listen address")
 	debugAddr := flag.String("debug-addr", "", "diagnostics listen address serving /metrics, /debug/obs and /debug/pprof (disabled when empty)")
 	readers := flag.Int("readers", 4, "pooled readers per trace (max concurrent range decodes)")
-	cache := flag.Int("cache", 0, "private decompressed-chunk cache size per reader (default 8; only used when -shared-cache is 0)")
-	sharedCache := flag.Int("shared-cache", 64, "per-trace chunk cache shared by all pooled readers, in chunks (0 reverts to private per-reader caches)")
+	cache := flag.Int("cache", 0, "private decompressed-chunk cache size per reader (default 8; only used when -cache-bytes and -shared-cache are 0)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "process-wide chunk cache budget in decoded bytes, shared by every trace (0 falls back to -shared-cache)")
+	sharedCache := flag.Int("shared-cache", 64, "per-trace chunk cache shared by all pooled readers, in chunks; only used when -cache-bytes is 0 (0 reverts to private per-reader caches)")
+	metricTraces := flag.Int("metric-traces", 100, "per-trace labeled metric series cap: counters for traces beyond it collapse into trace=\"other\"")
 	mem := flag.Bool("mem", false, "load .atc archives fully into memory and serve from RAM")
 	maxRange := flag.Int64("max-range", 16<<20, "largest [from, to) window served per request, in addresses")
 	maxWait := flag.Duration("max-wait", 2*time.Second, "longest a request waits for a pooled reader before 429")
@@ -130,6 +145,11 @@ func main() {
 		sharedCache: *sharedCache,
 		remote:      store.RemoteOptions{BlockSize: *remoteBlock, CacheBlocks: *remoteBlocks},
 		reg:         obs.Default(),
+		registrar:   newTraceRegistrar(obs.Default(), *metricTraces),
+	}
+	if *cacheBytes > 0 {
+		cfg.sharedBytes = atc.NewSharedChunkCacheBytes(*cacheBytes)
+		cfg.sharedBytes.Register(obs.Default())
 	}
 	srv := &server{
 		pools:    map[string]*tracePool{},
@@ -242,11 +262,14 @@ type traceMeta struct {
 	// shared chunk cache on (the default), it counts each hot chunk once
 	// per process, not once per reader.
 	ChunkReads int64 `json:"chunkReads"`
-	// SharedCacheHits/SharedCacheLoads report the per-trace shared chunk
-	// cache's traffic (absent when -shared-cache 0 reverts to private
-	// per-reader caches).
+	// SharedCacheHits/SharedCacheLoads report the trace's shared chunk
+	// cache traffic — its view of the byte-budgeted process cache, or the
+	// legacy count-bounded per-trace cache (absent when both are off).
+	// SharedCacheBytes is the trace's resident decoded bytes in the
+	// byte-budgeted cache (absent for the count-bounded kind).
 	SharedCacheHits  int64 `json:"sharedCacheHits,omitempty"`
 	SharedCacheLoads int64 `json:"sharedCacheLoads,omitempty"`
+	SharedCacheBytes int64 `json:"sharedCacheBytes,omitempty"`
 	// RemoteFetches/RemoteBytes report the remote block reader's origin
 	// traffic for -remote traces (absent for local ones).
 	RemoteFetches int64 `json:"remoteFetches,omitempty"`
@@ -274,11 +297,14 @@ type tracePool struct {
 	// all references every pooled reader for metrics: Reader.ChunkReads
 	// is an atomic counter, safe to sum while a reader is borrowed.
 	all []*atc.Reader
-	// shared is the trace's cross-reader chunk cache (nil with
-	// -shared-cache 0); remote the backing remote store (nil for local
-	// traces). Both feed live counters into metaNow.
-	shared *atc.SharedChunkCache
-	remote *store.RemoteStore
+	// shared is the trace's legacy count-bounded cross-reader chunk cache
+	// (-shared-cache, only when -cache-bytes is 0); sharedBytes the
+	// trace's view of the process-wide byte-budgeted cache (-cache-bytes,
+	// the default); remote the backing remote store (nil for local
+	// traces). All feed live counters into metaNow.
+	shared      *atc.SharedChunkCache
+	sharedBytes *atc.TraceChunkCache
+	remote      *store.RemoteStore
 	// etag is the trace's strong HTTP validator, derived from the
 	// immutable decode identity (name, mode, totals, chunk index) at open;
 	// etagHex is the same digest unquoted, for composing per-range
@@ -303,13 +329,23 @@ type poolConfig struct {
 	// historical -cache flag); it only applies when sharedCache is 0.
 	cache int
 	// sharedCache sizes the per-trace chunk cache shared by every pooled
-	// reader, in chunks; 0 disables sharing.
+	// reader, in chunks; 0 disables sharing. Ignored when sharedBytes is
+	// set.
 	sharedCache int
+	// sharedBytes, when set, is the process-wide byte-budgeted chunk
+	// cache every trace shares (-cache-bytes): each pool decodes through
+	// its ForTrace view, so one memory cap covers all pooled readers of
+	// all traces.
+	sharedBytes *atc.SharedChunkCacheBytes
 	remote      store.RemoteOptions
 	// reg, when set, receives per-trace labeled func metrics (chunk reads,
 	// shared-cache and remote counters) at open. Nil in tests that build
 	// pools directly.
 	reg *obs.Registry
+	// registrar, when set, routes that registration through the
+	// per-trace cardinality cap (-metric-traces) instead of registering
+	// each pool's own series unconditionally.
+	registrar *traceRegistrar
 }
 
 // openTrace opens the store once (directory, archive, archive bytes in
@@ -369,7 +405,11 @@ func openTrace(name, path string, cfg poolConfig) (*tracePool, error) {
 		// a request asks for, and prefetch past the window would be waste.
 		atc.WithReadStore(st), atc.WithReadahead(-1), atc.WithChunkCache(cfg.cache),
 	}
-	if cfg.sharedCache > 0 {
+	switch {
+	case cfg.sharedBytes != nil:
+		p.sharedBytes = cfg.sharedBytes.ForTrace(name)
+		readerOpts = append(readerOpts, atc.WithSharedChunkCache(p.sharedBytes))
+	case cfg.sharedCache > 0:
 		p.shared = atc.NewSharedChunkCache(cfg.sharedCache)
 		readerOpts = append(readerOpts, atc.WithSharedChunkCache(p.shared))
 	}
@@ -404,32 +444,138 @@ func openTrace(name, path string, cfg poolConfig) (*tracePool, error) {
 	p.etagHex = traceETagHex(p.meta, p.index)
 	p.etag = `"` + p.etagHex + `"`
 	p.readers <- r
-	if cfg.reg != nil {
+	if cfg.registrar != nil {
+		cfg.registrar.add(p)
+	} else if cfg.reg != nil {
 		p.register(cfg.reg)
 	}
 	return p, nil
+}
+
+// poolCacheStats unifies the two shared-cache kinds (count-bounded
+// per-trace, byte-budgeted process-wide view) for /meta and metrics; ok
+// is false with private per-reader caches only.
+type poolCacheStats struct {
+	hits, loads, evictions       int64
+	residentBytes, residentChunk int64
+	ok                           bool
+}
+
+func (p *tracePool) cacheStats() poolCacheStats {
+	switch {
+	case p.sharedBytes != nil:
+		st := p.sharedBytes.Stats()
+		return poolCacheStats{st.Hits, st.Loads, st.Evictions, st.ResidentBytes, st.ResidentChunks, true}
+	case p.shared != nil:
+		st := p.shared.Stats()
+		return poolCacheStats{st.Hits, st.Loads, st.Evictions, 0, int64(st.Resident), true}
+	}
+	return poolCacheStats{}
 }
 
 // register exposes the pool's live counters as per-trace labeled func
 // metrics: thin views over the same atomics /meta reports, so the two
 // surfaces can never disagree.
 func (p *tracePool) register(reg *obs.Registry) {
-	lbl := obs.Label{Key: "trace", Value: p.name}
+	registerPoolMetrics(reg, p.name, []*tracePool{p})
+}
+
+// registerPoolMetrics exposes the summed live counters of pools under a
+// trace=label series set. With a single pool under its own name this is
+// the ordinary per-trace registration; the cardinality-capped overflow
+// re-registers a growing pool list under trace="other" (func-metric
+// registration is last-wins, so each re-registration swaps in closures
+// over the larger set).
+func registerPoolMetrics(reg *obs.Registry, label string, pools []*tracePool) {
+	pools = append([]*tracePool(nil), pools...) // closures must not alias a caller slice that keeps growing
+	lbl := obs.Label{Key: "trace", Value: label}
+	sum := func(f func(*tracePool) int64) func() int64 {
+		return func() int64 {
+			var n int64
+			for _, p := range pools {
+				n += f(p)
+			}
+			return n
+		}
+	}
 	reg.CounterFunc("atc_trace_chunk_reads_total",
 		"chunk-blob decompressions across the trace's pooled readers",
-		p.chunkReads, lbl)
-	if p.shared != nil {
-		p.shared.Register(reg, lbl)
+		sum((*tracePool).chunkReads), lbl)
+	anyCache, anyBytes, anyRemote := false, false, false
+	for _, p := range pools {
+		anyCache = anyCache || p.shared != nil || p.sharedBytes != nil
+		anyBytes = anyBytes || p.sharedBytes != nil
+		anyRemote = anyRemote || p.remote != nil
 	}
-	if p.remote != nil {
-		rr := p.remote
+	if anyCache {
+		reg.CounterFunc("atc_chunk_cache_hits_total",
+			"chunk lookups served from the shared cache or deduplicated onto an in-flight load",
+			sum(func(p *tracePool) int64 { return p.cacheStats().hits }), lbl)
+		reg.CounterFunc("atc_chunk_cache_loads_total",
+			"chunk decompressions through the shared cache (misses)",
+			sum(func(p *tracePool) int64 { return p.cacheStats().loads }), lbl)
+		reg.CounterFunc("atc_chunk_cache_evictions_total",
+			"chunks evicted from the shared cache",
+			sum(func(p *tracePool) int64 { return p.cacheStats().evictions }), lbl)
+		reg.GaugeFunc("atc_chunk_cache_resident_chunks",
+			"chunks currently resident in the shared cache",
+			sum(func(p *tracePool) int64 { return p.cacheStats().residentChunk }), lbl)
+	}
+	if anyBytes {
+		reg.GaugeFunc("atc_chunk_cache_resident_bytes",
+			"decoded bytes this trace holds in the process-wide byte-budgeted cache",
+			sum(func(p *tracePool) int64 { return p.cacheStats().residentBytes }), lbl)
+	}
+	if anyRemote {
 		reg.CounterFunc("atc_trace_remote_fetches_total",
 			"ranged GETs issued for this trace's remote archive",
-			func() int64 { return rr.ReaderStats().Fetches }, lbl)
+			sum(func(p *tracePool) int64 {
+				if p.remote == nil {
+					return 0
+				}
+				return p.remote.ReaderStats().Fetches
+			}), lbl)
 		reg.CounterFunc("atc_trace_remote_fetch_bytes_total",
 			"payload bytes fetched for this trace's remote archive",
-			func() int64 { return rr.ReaderStats().BytesFetched }, lbl)
+			sum(func(p *tracePool) int64 {
+				if p.remote == nil {
+					return 0
+				}
+				return p.remote.ReaderStats().BytesFetched
+			}), lbl)
 	}
+}
+
+// traceRegistrar applies the per-trace metric cardinality cap
+// (-metric-traces): the first cap pools each get their own trace="name"
+// series, and every later pool's counters collapse into one summed
+// trace="other" series set — a replica serving thousands of traces keeps
+// a bounded scrape size instead of an unboundedly growing registry.
+type traceRegistrar struct {
+	reg   *obs.Registry
+	cap   int
+	named int
+	other []*tracePool
+}
+
+func newTraceRegistrar(reg *obs.Registry, cap int) *traceRegistrar {
+	if cap < 0 {
+		cap = 0
+	}
+	return &traceRegistrar{reg: reg, cap: cap}
+}
+
+// add registers one pool's metrics, under its own name while the cap
+// allows and into the shared overflow series after. Pools register
+// serially at startup; add is not safe for concurrent use.
+func (t *traceRegistrar) add(p *tracePool) {
+	if t.named < t.cap {
+		t.named++
+		registerPoolMetrics(t.reg, p.name, []*tracePool{p})
+		return
+	}
+	t.other = append(t.other, p)
+	registerPoolMetrics(t.reg, "other", t.other)
 }
 
 // traceETagHex digests the trace's immutable decode identity — name,
@@ -716,9 +862,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 func (p *tracePool) metaNow() traceMeta {
 	m := p.meta
 	m.ChunkReads = p.chunkReads()
-	if p.shared != nil {
-		st := p.shared.Stats()
-		m.SharedCacheHits, m.SharedCacheLoads = st.Hits, st.Loads
+	if cs := p.cacheStats(); cs.ok {
+		m.SharedCacheHits, m.SharedCacheLoads = cs.hits, cs.loads
+		m.SharedCacheBytes = cs.residentBytes
 	}
 	if p.remote != nil {
 		st := p.remote.ReaderStats()
@@ -841,6 +987,31 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	// The binary payload is a byte-addressable immutable representation,
+	// so it honors inbound HTTP ranges: bytes of the wire format (8 per
+	// address), one range per request. A byte range maps to the smallest
+	// covering address sub-window — only those addresses decode — and a
+	// byteWindowWriter trims the odd leading/trailing bytes when the range
+	// does not fall on an address boundary. JSON and traced responses are
+	// not byte-addressable payloads and ignore Range per RFC 9110.
+	byteLen := (to - from) * 8
+	var rng byteRange
+	partial := false
+	if format != "json" && !traced {
+		w.Header().Set("Accept-Ranges", "bytes")
+		var err error
+		rng, partial, err = parseByteRange(r.Header.Get("Range"), byteLen)
+		if err != nil {
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", byteLen))
+			http.Error(w, "unsatisfiable byte range: "+err.Error(), http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		// If-Range: serve the partial only against the exact current
+		// validator; anything else gets the full representation.
+		if partial && !ifRangeAllows(r.Header.Get("If-Range"), etag) {
+			partial = false
+		}
+	}
 	// Admission: the wait for a pooled reader is itself a decode stage —
 	// a saturated pool shows up in the trace, not just in the 429 counter.
 	tr := &obs.Trace{}
@@ -902,7 +1073,14 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 	// detect. A traced response decodes the whole window before writing the
 	// Atc-Trace header, so the header covers every stage (headers cannot
 	// follow the first body byte); the batching still bounds memory.
-	buf, err := rd.DecodeRange(from, min64(from+serveBatchAddrs, to))
+	dFrom, dTo := from, to
+	if partial {
+		// Smallest address window covering the byte range: floor the start,
+		// ceil the end to the next address boundary.
+		dFrom = from + rng.start/8
+		dTo = from + rng.end/8 + 1
+	}
+	buf, err := rd.DecodeRange(dFrom, min64(dFrom+serveBatchAddrs, dTo))
 	if err != nil {
 		writeDecodeError(w, p.name, err)
 		return
@@ -914,14 +1092,22 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Cache-Control", addrsCacheControl)
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.FormatInt((to-from)*8, 10))
-	tw := trace.NewWriter(w)
-	for pos := from; ; {
-		if pos == from && traced {
+	var out io.Writer = w
+	if partial {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", rng.start, rng.end, byteLen))
+		w.Header().Set("Content-Length", strconv.FormatInt(rng.end-rng.start+1, 10))
+		out = &byteWindowWriter{w: w, skip: rng.start % 8, n: rng.end - rng.start + 1}
+		w.WriteHeader(http.StatusPartialContent)
+	} else {
+		w.Header().Set("Content-Length", strconv.FormatInt(byteLen, 10))
+	}
+	tw := trace.NewWriter(out)
+	for pos := dFrom; ; {
+		if pos == dFrom && traced {
 			// Finish decoding before the first write commits the headers.
 			rest := [][]uint64{}
-			for next := from + int64(len(buf)); next < to; {
-				batch, err := rd.DecodeRange(next, min64(next+serveBatchAddrs, to))
+			for next := dFrom + int64(len(buf)); next < dTo; {
+				batch, err := rd.DecodeRange(next, min64(next+serveBatchAddrs, dTo))
 				if err != nil {
 					writeDecodeError(w, p.name, err)
 					return
@@ -950,14 +1136,120 @@ func (s *server) handleAddrs(w http.ResponseWriter, r *http.Request) {
 			return // client went away; nothing useful to report mid-body
 		}
 		pos += int64(len(buf))
-		if pos >= to {
+		if pos >= dTo {
 			break
 		}
-		if buf, err = rd.DecodeRangeAppend(buf[:0], pos, min64(pos+serveBatchAddrs, to)); err != nil {
+		if buf, err = rd.DecodeRangeAppend(buf[:0], pos, min64(pos+serveBatchAddrs, dTo)); err != nil {
 			return
 		}
 	}
 	tw.Flush()
+}
+
+// byteRange is one inbound satisfiable byte range, inclusive on both
+// ends per RFC 9110, relative to the binary payload of the requested
+// address window.
+type byteRange struct{ start, end int64 }
+
+// parseByteRange interprets an inbound Range header against a payload of
+// size bytes. It returns ok=false — serve the full representation — for
+// an absent header, a non-bytes unit, multiple ranges, syntactic garbage
+// or an inverted range (all "ignore the header" cases per RFC 9110), and
+// an error — answer 416 — only for a syntactically valid single range
+// that cannot be satisfied (first byte at or past the end, or an empty
+// suffix). A last-byte position past the end clamps, as the RFC requires.
+func parseByteRange(h string, size int64) (byteRange, bool, error) {
+	if h == "" {
+		return byteRange{}, false, nil
+	}
+	spec, found := strings.CutPrefix(h, "bytes=")
+	if !found || strings.Contains(spec, ",") {
+		return byteRange{}, false, nil
+	}
+	first, last, found := strings.Cut(strings.TrimSpace(spec), "-")
+	if !found {
+		return byteRange{}, false, nil
+	}
+	if first == "" {
+		// Suffix form bytes=-n: the final n bytes.
+		n, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || n < 0 {
+			return byteRange{}, false, nil
+		}
+		if n == 0 || size == 0 {
+			return byteRange{}, false, fmt.Errorf("suffix of %d bytes of a %d-byte payload", n, size)
+		}
+		start := size - n
+		if start < 0 {
+			start = 0
+		}
+		return byteRange{start, size - 1}, true, nil
+	}
+	start, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || start < 0 {
+		return byteRange{}, false, nil
+	}
+	end := size - 1
+	if last != "" {
+		if end, err = strconv.ParseInt(last, 10, 64); err != nil {
+			return byteRange{}, false, nil
+		}
+		if end < start {
+			return byteRange{}, false, nil
+		}
+		if end > size-1 {
+			end = size - 1
+		}
+	}
+	if start >= size {
+		return byteRange{}, false, fmt.Errorf("first byte %d of a %d-byte payload", start, size)
+	}
+	return byteRange{start, end}, true, nil
+}
+
+// ifRangeAllows reports whether an If-Range header permits a partial
+// response: no header, or an exact match of the current strong ETag.
+// Date forms never match (the payload validator is the ETag).
+func ifRangeAllows(h, etag string) bool {
+	if h == "" {
+		return true
+	}
+	return strings.TrimSpace(h) == etag
+}
+
+// byteWindowWriter passes through the byte window [skip, skip+n) of what
+// is written to it and swallows the rest, so the batched decode loop can
+// stream whole 8-byte addresses while the client receives exactly the
+// requested bytes. It always reports the full input consumed; the decode
+// loop stops on its own once the covering address window is written.
+type byteWindowWriter struct {
+	w    io.Writer
+	skip int64 // leading bytes still to drop
+	n    int64 // payload bytes still to pass through
+}
+
+func (bw *byteWindowWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	if bw.skip > 0 {
+		if int64(total) <= bw.skip {
+			bw.skip -= int64(total)
+			return total, nil
+		}
+		p = p[bw.skip:]
+		bw.skip = 0
+	}
+	if bw.n <= 0 {
+		return total, nil
+	}
+	if int64(len(p)) > bw.n {
+		p = p[:bw.n]
+	}
+	written, err := bw.w.Write(p)
+	bw.n -= int64(written)
+	if err != nil {
+		return total, err
+	}
+	return total, nil
 }
 
 // serveBatchAddrs is the binary response's per-batch decode size: 256 Ki

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"atc/internal/obs"
+)
+
+// SharedChunkCacheBytes is a process-wide, byte-budgeted chunk cache: one
+// instance serves every trace a process reads, keyed by (trace, chunkID),
+// so a replica holding thousands of traces caches under a single memory
+// cap instead of one count bound per trace. Residency is accounted in
+// decoded bytes (len(addrs)*8 per chunk — chunk sizes vary wildly with
+// IntervalLen/SegmentAddrs across traces, so counting entries would not
+// bound memory), eviction is LRU by bytes, and pinned chunks survive
+// eviction pressure. Like SharedChunkCache it is safe for concurrent use
+// and deduplicates concurrent misses of one chunk onto a single load.
+//
+// Readers never see this type directly: ForTrace returns a lightweight
+// per-trace view implementing the ChunkCache (and singleflight loader)
+// contract, injected per Reader exactly like a SharedChunkCache.
+type SharedChunkCacheBytes struct {
+	budget int64
+
+	mu       sync.Mutex
+	bytes    int64 // resident decoded bytes, including pinned entries
+	ll       list.List
+	m        map[byteCacheKey]*list.Element
+	inflight map[byteCacheKey]*chunkFlight
+	views    map[string]*TraceChunkCache
+
+	hits      atomic.Int64
+	loads     atomic.Int64
+	evictions atomic.Int64
+}
+
+// byteCacheKey identifies one chunk of one trace.
+type byteCacheKey struct {
+	trace string
+	id    int
+}
+
+// byteCacheEntry is one resident chunk. pins > 0 exempts it from
+// eviction; the byte budget may be exceeded transiently by pinned bytes
+// (pinning is an explicit operator action, bounded by its callers).
+type byteCacheEntry struct {
+	key   byteCacheKey
+	addrs []uint64
+	size  int64
+	pins  int
+	view  *TraceChunkCache
+}
+
+// NewSharedChunkCacheBytes returns a byte-budgeted cache holding at most
+// budget decoded bytes (minimum one address). A chunk alone larger than
+// the whole budget is never admitted: its load still succeeds, the result
+// just is not retained.
+func NewSharedChunkCacheBytes(budget int64) *SharedChunkCacheBytes {
+	if budget < 8 {
+		budget = 8
+	}
+	return &SharedChunkCacheBytes{
+		budget:   budget,
+		m:        map[byteCacheKey]*list.Element{},
+		inflight: map[byteCacheKey]*chunkFlight{},
+		views:    map[string]*TraceChunkCache{},
+	}
+}
+
+// Budget reports the configured byte budget.
+func (c *SharedChunkCacheBytes) Budget() int64 { return c.budget }
+
+// ForTrace returns the cache's view for one trace: a ChunkCache (with
+// singleflight GetOrLoad) whose chunk IDs are namespaced by the trace
+// name, so many traces share the one budget without ID collisions.
+// Repeated calls with one name return the same view.
+func (c *SharedChunkCacheBytes) ForTrace(trace string) *TraceChunkCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.views[trace]; ok {
+		return v
+	}
+	v := &TraceChunkCache{c: c, trace: trace}
+	c.views[trace] = v
+	return v
+}
+
+// putLocked inserts or refreshes an entry and evicts back to budget.
+func (c *SharedChunkCacheBytes) putLocked(v *TraceChunkCache, key byteCacheKey, addrs []uint64) {
+	size := int64(len(addrs)) * 8
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		ent := e.Value.(*byteCacheEntry)
+		c.bytes += size - ent.size
+		ent.view.residentBytes.Add(size - ent.size)
+		ent.addrs, ent.size = addrs, size
+		c.evictLocked()
+		return
+	}
+	if size > c.budget {
+		return
+	}
+	c.m[key] = c.ll.PushFront(&byteCacheEntry{key: key, addrs: addrs, size: size, view: v})
+	c.bytes += size
+	v.residentBytes.Add(size)
+	v.residentChunks.Add(1)
+	c.evictLocked()
+}
+
+// evictLocked removes unpinned entries from the LRU end until resident
+// bytes fit the budget. Pinned entries are skipped in place — they keep
+// their recency position and rejoin normal eviction once unpinned.
+func (c *SharedChunkCacheBytes) evictLocked() {
+	for e := c.ll.Back(); e != nil && c.bytes > c.budget; {
+		prev := e.Prev()
+		ent := e.Value.(*byteCacheEntry)
+		if ent.pins == 0 {
+			delete(c.m, ent.key)
+			c.ll.Remove(e)
+			c.bytes -= ent.size
+			ent.view.residentBytes.Add(-ent.size)
+			ent.view.residentChunks.Add(-1)
+			ent.view.evictions.Add(1)
+			c.evictions.Add(1)
+			metChunkCacheEvict.Inc()
+		}
+		e = prev
+	}
+}
+
+// SharedChunkCacheBytesStats counts a SharedChunkCacheBytes's traffic
+// across every trace.
+type SharedChunkCacheBytesStats struct {
+	Hits      int64
+	Loads     int64
+	Evictions int64
+	// ResidentBytes is the decoded bytes currently cached (≤ Budget except
+	// transiently for pinned entries).
+	ResidentBytes  int64
+	ResidentChunks int
+	Budget         int64
+}
+
+// Stats reports process-wide counters and occupancy.
+func (c *SharedChunkCacheBytes) Stats() SharedChunkCacheBytesStats {
+	c.mu.Lock()
+	bytes, chunks := c.bytes, len(c.m)
+	c.mu.Unlock()
+	return SharedChunkCacheBytesStats{
+		Hits:           c.hits.Load(),
+		Loads:          c.loads.Load(),
+		Evictions:      c.evictions.Load(),
+		ResidentBytes:  bytes,
+		ResidentChunks: chunks,
+		Budget:         c.budget,
+	}
+}
+
+// Register exposes the cache's process-wide occupancy on r: the
+// configured budget and the resident decoded bytes across every trace.
+// Per-trace traffic is registered by the serving tier from the per-view
+// Stats, behind its cardinality cap.
+func (c *SharedChunkCacheBytes) Register(r *obs.Registry, labels ...obs.Label) {
+	r.GaugeFunc("atc_chunk_cache_budget_bytes",
+		"configured byte budget of the process-wide chunk cache",
+		func() int64 { return c.budget }, labels...)
+	r.GaugeFunc("atc_chunk_cache_bytes",
+		"decoded bytes resident in the process-wide chunk cache, all traces",
+		func() int64 { return c.Stats().ResidentBytes }, labels...)
+}
+
+// TraceChunkCache is one trace's view of a SharedChunkCacheBytes. It
+// implements the ChunkCache contract plus singleflight GetOrLoad, so it
+// injects into a Reader exactly like a SharedChunkCache, and carries the
+// trace's own hit/load/eviction/resident counters for per-trace metrics.
+type TraceChunkCache struct {
+	c     *SharedChunkCacheBytes
+	trace string
+
+	hits      atomic.Int64
+	loads     atomic.Int64
+	evictions atomic.Int64
+	// residentBytes/residentChunks are mutated only under c.mu but read
+	// lock-free by metric callbacks.
+	residentBytes  atomic.Int64
+	residentChunks atomic.Int64
+}
+
+// Trace reports the trace name the view is bound to.
+func (v *TraceChunkCache) Trace() string { return v.trace }
+
+// Get returns the cached chunk, marking it most recently used.
+func (v *TraceChunkCache) Get(id int) ([]uint64, bool) {
+	c := v.c
+	key := byteCacheKey{v.trace, id}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	addrs := e.Value.(*byteCacheEntry).addrs
+	c.mu.Unlock()
+	v.hits.Add(1)
+	c.hits.Add(1)
+	metChunkCacheHits.Inc()
+	return addrs, true
+}
+
+// Put inserts a chunk, evicting LRU-by-bytes back to the shared budget.
+func (v *TraceChunkCache) Put(id int, addrs []uint64) {
+	c := v.c
+	c.mu.Lock()
+	c.putLocked(v, byteCacheKey{v.trace, id}, addrs)
+	c.mu.Unlock()
+}
+
+// GetOrLoad implements the singleflight load path across every reader of
+// every trace sharing the budget: on a miss the first caller runs load
+// while concurrent callers for the same (trace, chunk) wait and share the
+// result. Failed loads are not cached — every waiter sees the error, and
+// the next request retries.
+func (v *TraceChunkCache) GetOrLoad(id int, pin bool, load func() ([]uint64, error)) ([]uint64, error) {
+	c := v.c
+	key := byteCacheKey{v.trace, id}
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		addrs := e.Value.(*byteCacheEntry).addrs
+		c.mu.Unlock()
+		v.hits.Add(1)
+		c.hits.Add(1)
+		metChunkCacheHits.Inc()
+		return addrs, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		v.hits.Add(1)
+		c.hits.Add(1)
+		metChunkCacheHits.Inc()
+		return f.addrs, nil
+	}
+	f := &chunkFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+	f.addrs, f.err = load()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && pin {
+		c.putLocked(v, key, f.addrs)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	v.loads.Add(1)
+	c.loads.Add(1)
+	return f.addrs, nil
+}
+
+// Pin exempts a resident chunk from eviction until Unpin, reporting
+// whether it was resident. Pins nest. Pinned bytes still count against
+// the budget, so heavy pinning can hold residency above it — pinning is
+// for keeping a hot trace's working set resident under pressure, not a
+// second cache.
+func (v *TraceChunkCache) Pin(id int) bool {
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[byteCacheKey{v.trace, id}]
+	if !ok {
+		return false
+	}
+	e.Value.(*byteCacheEntry).pins++
+	return true
+}
+
+// Unpin releases one Pin and re-applies the budget (an over-budget cache
+// evicts immediately once the pin count allows).
+func (v *TraceChunkCache) Unpin(id int) {
+	c := v.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[byteCacheKey{v.trace, id}]
+	if !ok {
+		return
+	}
+	if ent := e.Value.(*byteCacheEntry); ent.pins > 0 {
+		ent.pins--
+	}
+	c.evictLocked()
+}
+
+// TraceCacheStats counts one trace's share of a SharedChunkCacheBytes.
+type TraceCacheStats struct {
+	Hits           int64
+	Loads          int64
+	Evictions      int64
+	ResidentBytes  int64
+	ResidentChunks int64
+}
+
+// Stats reports the view's counters and occupancy.
+func (v *TraceChunkCache) Stats() TraceCacheStats {
+	return TraceCacheStats{
+		Hits:           v.hits.Load(),
+		Loads:          v.loads.Load(),
+		Evictions:      v.evictions.Load(),
+		ResidentBytes:  v.residentBytes.Load(),
+		ResidentChunks: v.residentChunks.Load(),
+	}
+}

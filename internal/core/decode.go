@@ -174,6 +174,13 @@ type Decompressor struct {
 	// that drains them, bounding the pipeline's total allocation.
 	batchFree chan []uint64
 
+	// intervalFree recycles the interval-sized buffers imitation records
+	// translate into on the copy-out decode paths (DecodeRangeAppend), so
+	// random access over a phase-heavy lossy trace stops allocating one
+	// interval per materialization. Created at open for lossy traces;
+	// nil otherwise.
+	intervalFree chan []uint64
+
 	// cache holds decompressed chunks. With the default private FIFO it is
 	// only touched from the goroutine that owns decoding (the dispatcher
 	// when readahead runs); a caller-provided shared cache is concurrency-
@@ -386,6 +393,11 @@ func (d *Decompressor) buildIndex() error {
 			if rec.tag == recImitate {
 				d.imitated[rec.chunkID] = struct{}{}
 			}
+		}
+		if len(d.imitated) > 0 {
+			// Two slots cover the copy-out decode paths: one buffer being
+			// filled while the previous one drains back.
+			d.intervalFree = make(chan []uint64, 2)
 		}
 	}
 	return nil
@@ -1233,7 +1245,7 @@ func (d *Decompressor) DecodeRangeAppend(dst []uint64, from, to int64) ([]uint64
 	}
 	for i := start; i < len(d.index) && d.index[i].start < to; i++ {
 		sp := d.index[i]
-		addrs, err := d.materializeSpan(sp, true)
+		addrs, owned, err := d.materializeSpanPooled(sp)
 		if err != nil {
 			return nil, err
 		}
@@ -1249,6 +1261,7 @@ func (d *Decompressor) DecodeRangeAppend(dst []uint64, from, to int64) ([]uint64
 			t0 = time.Now()
 		}
 		dst = append(dst, addrs[lo:hi-sp.start]...)
+		d.recycleInterval(owned)
 		if tr != nil {
 			tr.Add(obs.StageDeliver, time.Since(t0))
 		}
@@ -1418,6 +1431,65 @@ func (d *Decompressor) readSpan(sp span) ([]uint64, error) {
 			ErrCorrupt, sp.rec.chunkID, len(addrs), sp.end-sp.start)
 	}
 	return addrs, nil
+}
+
+// intervalBuf takes a recycled imitation-interval buffer of length n, or
+// allocates a fresh one. A recycled buffer too small for n is dropped —
+// intervals of one trace share a length, so in practice the pool is
+// right-sized after the first materialization.
+//
+//atc:pool put=recycleInterval
+func (d *Decompressor) intervalBuf(n int) []uint64 {
+	if d.intervalFree != nil {
+		select {
+		case b := <-d.intervalFree:
+			if cap(b) >= n {
+				return b[:n]
+			}
+		default:
+		}
+	}
+	return make([]uint64, n)
+}
+
+// recycleInterval returns a drained interval buffer to the free list
+// (dropped when full; nil is ignored).
+func (d *Decompressor) recycleInterval(buf []uint64) {
+	if buf == nil || d.intervalFree == nil {
+		return
+	}
+	select {
+	case d.intervalFree <- buf:
+	default:
+	}
+}
+
+// materializeSpanPooled is materializeSpan for consumers that copy the
+// addresses out before touching the span again (DecodeRangeAppend): an
+// imitation record's translated interval is built in a pooled buffer,
+// returned as owned for the caller to hand back with recycleInterval
+// once copied out. For chunk records — and under IgnoreTranslations,
+// where the cached chunk itself is the materialization — owned is nil
+// and addrs aliases cache-owned memory exactly as materializeSpan.
+func (d *Decompressor) materializeSpanPooled(sp span) (addrs, owned []uint64, err error) {
+	if sp.rec.tag != recImitate || d.opts.IgnoreTranslations {
+		addrs, err = d.materializeSpan(sp, true)
+		return addrs, nil, err
+	}
+	chunk, err := d.loadChunk(sp.rec.chunkID, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(len(chunk)) != sp.end-sp.start {
+		return nil, nil, fmt.Errorf("%w: chunk %d decodes to %d addresses, index says %d",
+			ErrCorrupt, sp.rec.chunkID, len(chunk), sp.end-sp.start)
+	}
+	start := time.Now()
+	buf := d.intervalBuf(len(chunk))
+	copy(buf, chunk)
+	sp.rec.trans.ApplySlice(buf)
+	d.observeTranslate(time.Since(start))
+	return buf, buf, nil
 }
 
 // materializeInterval decodes one record into addresses: the chunk

@@ -25,4 +25,6 @@ var (
 		"sequential-readahead block prefetches by outcome", obs.Label{Key: "result", Value: "hit"})
 	metRemotePrefetchWasted = obs.Default().Counter("atc_remote_prefetch_total",
 		"sequential-readahead block prefetches by outcome", obs.Label{Key: "result", Value: "wasted"})
+	metRemotePrefetchDepth = obs.Default().Histogram("atc_remote_prefetch_depth_blocks",
+		"blocks launched per adaptive sequential-readahead run", obs.CountBuckets)
 )

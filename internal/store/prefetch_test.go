@@ -77,12 +77,13 @@ func TestPrefetchSequentialReads(t *testing.T) {
 	if d := metRemotePrefetchHit.Value() - hitsBefore; d != 1 {
 		t.Fatalf("atc_remote_prefetch_total{result=hit} advanced by %d, want 1", d)
 	}
-	// read(2) advanced the frontier again, speculating block 3; a jump
-	// backwards must not speculate.
-	waitFor(t, "prefetch of block 3", func() bool { return ra.blockResident(3) })
+	// read(2) advanced the frontier again with a doubled window: blocks 3
+	// and 4 speculate as one coalesced run. A jump backwards must not
+	// speculate (and halves the window).
+	waitFor(t, "prefetch of blocks 3 and 4", func() bool { return ra.blockResident(3) && ra.blockResident(4) })
 	read(0)
-	if n := ra.Stats().Prefetches; n != 2 {
-		t.Fatalf("prefetches after backwards jump = %d, want 2", n)
+	if n := ra.Stats().Prefetches; n != 3 {
+		t.Fatalf("prefetches after backwards jump = %d, want 3", n)
 	}
 }
 
@@ -101,17 +102,18 @@ func TestPrefetchDedupesOntoDemandRead(t *testing.T) {
 	// The prefetch of block 2 is now in flight or landed. A demand read
 	// must either dedupe onto it or hit the cached result — never issue
 	// its own fetch — and count the speculation as a hit either way. It
-	// also advances the frontier, speculating block 3.
+	// also advances the frontier, speculating blocks 3 and 4 (the window
+	// doubled) as one coalesced run.
 	if _, err := ra.ReadAt(buf, 2048); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "requests to settle", func() bool { return h.requests.Load() == 4 })
 	st := ra.Stats()
-	if st.Prefetches != 2 || st.PrefetchHits != 1 {
-		t.Fatalf("prefetches/hits = %d/%d, want 2/1", st.Prefetches, st.PrefetchHits)
+	if st.Prefetches != 3 || st.PrefetchHits != 1 {
+		t.Fatalf("prefetches/hits = %d/%d, want 3/1", st.Prefetches, st.PrefetchHits)
 	}
 	if n := h.requests.Load(); n != 4 {
-		t.Fatalf("requests = %d, want 4 (two demand reads + two prefetches)", n)
+		t.Fatalf("requests = %d, want 4 (two demand reads + two prefetch runs)", n)
 	}
 }
 
@@ -190,5 +192,93 @@ func TestPrefetchDisabled(t *testing.T) {
 	}
 	if n := h.requests.Load(); n != 4 {
 		t.Fatalf("requests = %d, want 4 demand fetches only", n)
+	}
+}
+
+func TestPrefetchAdaptiveRampUp(t *testing.T) {
+	data := testObject(64 << 10)
+	h := &rangeHost{data: data}
+	ra := newPrefetchReader(t, h, 1024, 64)
+
+	read := func(block int64) {
+		t.Helper()
+		buf := make([]byte, 1024)
+		if _, err := ra.ReadAt(buf, block*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read(0)
+	if d := ra.Stats().PrefetchDepth; d != 1 {
+		t.Fatalf("initial prefetch depth = %d, want 1", d)
+	}
+	// Each sustained sequential read doubles the window up to the cap.
+	want := []int64{2, 4, 8, 16, 16, 16}
+	for i, block := range []int64{1, 2, 3, 4, 5, 6} {
+		read(block)
+		if d := ra.Stats().PrefetchDepth; d != want[i] {
+			t.Fatalf("prefetch depth after %d sequential reads = %d, want %d", i+2, d, want[i])
+		}
+	}
+	// Drain the rest of the object sequentially: with the window at the
+	// cap, consumed blocks come out of coalesced readahead runs, so the
+	// origin sees far fewer requests than blocks.
+	for block := int64(7); block < 48; block++ {
+		read(block)
+	}
+	if n := h.requests.Load(); n >= 24 {
+		t.Fatalf("requests for 48 sequential blocks = %d, want < 24 (adaptive coalescing)", n)
+	}
+}
+
+func TestPrefetchAdaptiveRampDown(t *testing.T) {
+	data := testObject(64 << 10)
+	h := &rangeHost{data: data}
+	ra := newPrefetchReader(t, h, 1024, 64)
+
+	read := func(block int64) {
+		t.Helper()
+		buf := make([]byte, 1024)
+		if _, err := ra.ReadAt(buf, block*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for block := int64(0); block <= 5; block++ {
+		read(block)
+	}
+	if d := ra.Stats().PrefetchDepth; d != 16 {
+		t.Fatalf("ramped prefetch depth = %d, want 16", d)
+	}
+	// Each departure from the sequential pattern halves the window.
+	for i, block := range []int64{30, 40, 50} {
+		read(block)
+		if d, want := ra.Stats().PrefetchDepth, int64(16>>(i+1)); d != want {
+			t.Fatalf("prefetch depth after %d jumps = %d, want %d", i+1, d, want)
+		}
+	}
+	// A wasted prefetch (speculative block evicted unread) halves it too.
+	ra.mu.Lock()
+	ra.prefDepth = 8
+	ra.noteWasted(1)
+	d := ra.depthLocked()
+	ra.mu.Unlock()
+	if d != 4 {
+		t.Fatalf("prefetch depth after wasted prefetch = %d, want 4", d)
+	}
+}
+
+func TestPrefetchFixedDepthCap(t *testing.T) {
+	data := testObject(16 << 10)
+	h := &rangeHost{data: data}
+	ra := newPrefetchReader(t, h, 1024, 64)
+	ra.maxPrefetch = 1 // MaxPrefetchBlocks: 1 pins the pre-adaptive behavior
+
+	buf := make([]byte, 1024)
+	for block := int64(0); block < 8; block++ {
+		if _, err := ra.ReadAt(buf, block*1024); err != nil {
+			t.Fatal(err)
+		}
+		if d := ra.Stats().PrefetchDepth; d != 1 {
+			t.Fatalf("prefetch depth with cap 1 = %d, want 1", d)
+		}
 	}
 }

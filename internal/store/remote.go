@@ -50,6 +50,7 @@ const (
 	DefaultRemoteCacheBlocks = 64        // 16 MiB cached at the default block size
 	DefaultRemoteRetries     = 2         // 3 attempts in total
 	DefaultRemoteRetryDelay  = 100 * time.Millisecond
+	DefaultRemoteMaxPrefetch = 16 // adaptive readahead window cap, in blocks
 )
 
 // RemoteOptions tunes OpenRemote. The zero value selects the defaults.
@@ -73,11 +74,18 @@ type RemoteOptions struct {
 	Client *http.Client
 	// DisablePrefetch turns off sequential block readahead: by default a
 	// read continuing the previous read's frontier triggers a background
-	// fetch of the next aligned block, overlapping origin latency with
+	// fetch of the blocks after it, overlapping origin latency with
 	// decompression of the current one. Prefetched blocks land in the
 	// same LRU and are counted hit or wasted (evicted untouched) on
 	// atc_remote_prefetch_total.
 	DisablePrefetch bool
+	// MaxPrefetchBlocks caps the adaptive readahead window: sustained
+	// sequential reads double the number of blocks speculated ahead
+	// (1, 2, 4, …, issued as one coalesced ranged GET) up to this cap,
+	// and any non-sequential read or wasted prefetch halves it. 1 pins
+	// the pre-adaptive fixed depth-1 behavior. Default
+	// DefaultRemoteMaxPrefetch.
+	MaxPrefetchBlocks int
 }
 
 // IsRemoteURL reports whether path names a remote archive — an http(s)
@@ -117,16 +125,17 @@ func OpenRemote(url string, opts RemoteOptions) (*RemoteStore, error) {
 		return nil, err
 	}
 	ra := &RangeReaderAt{
-		url:        url,
-		client:     opts.Client,
-		size:       size,
-		etag:       etag,
-		blockSize:  int64(opts.BlockSize),
-		retries:    opts.Retries,
-		retryDelay: opts.RetryDelay,
-		noPrefetch: opts.DisablePrefetch,
-		cache:      blockLRU{cap: opts.CacheBlocks, m: map[int64]*list.Element{}},
-		inflight:   map[int64]*blockFetch{},
+		url:         url,
+		client:      opts.Client,
+		size:        size,
+		etag:        etag,
+		blockSize:   int64(opts.BlockSize),
+		retries:     opts.Retries,
+		retryDelay:  opts.RetryDelay,
+		noPrefetch:  opts.DisablePrefetch,
+		maxPrefetch: int64(opts.MaxPrefetchBlocks),
+		cache:       blockLRU{cap: opts.CacheBlocks, m: map[int64]*list.Element{}},
+		inflight:    map[int64]*blockFetch{},
 	}
 	ast, err := OpenArchiveReaderAt(ra, size)
 	if err != nil {
@@ -178,6 +187,10 @@ type RemoteStats struct {
 	// PrefetchWasted is the number of prefetched blocks evicted without
 	// ever being read.
 	PrefetchWasted int64
+	// PrefetchDepth is the current adaptive readahead window, in blocks:
+	// doubled (up to the configured cap) on each sustained sequential
+	// read, halved on a non-sequential read or a wasted prefetch.
+	PrefetchDepth int64
 }
 
 // RangeReaderAt is a caching io.ReaderAt over one remote object. Reads are
@@ -195,17 +208,27 @@ type RangeReaderAt struct {
 	retries    int
 	retryDelay time.Duration
 	noPrefetch bool
+	// maxPrefetch caps the adaptive readahead window in blocks (0 means
+	// DefaultRemoteMaxPrefetch, resolved lazily so zero-value readers in
+	// tests behave like the default).
+	maxPrefetch int64
 
 	mu       sync.Mutex
 	cache    blockLRU
 	inflight map[int64]*blockFetch
 	// prevLast is the last block the previous ReadAt touched (valid once
 	// hasRead is set): a read starting at or adjacent to that frontier
-	// AND advancing past it is "sequential" and prefetches the block
+	// AND advancing past it is "sequential" and prefetches the blocks
 	// after its own end. Requiring progress keeps repeated reads inside
 	// one block (a bufio draining it) from re-triggering speculation.
 	prevLast int64
 	hasRead  bool
+	// prefDepth is the adaptive readahead window in blocks (0 reads as
+	// 1): each sequential read speculates prefDepth blocks ahead and
+	// doubles it up to maxPrefetch; a non-sequential read or a wasted
+	// prefetch halves it, so the window tracks how committed the consumer
+	// actually is to the sequential pattern. Guarded by mu.
+	prefDepth int64
 
 	fetches        atomic.Int64
 	bytesFetched   atomic.Int64
@@ -237,9 +260,29 @@ func (r *RangeReaderAt) Size() int64 { return r.size }
 // none; consistency then degrades to size checks).
 func (r *RangeReaderAt) ETag() string { return r.etag }
 
+// depthLocked resolves the current readahead window; callers hold mu.
+func (r *RangeReaderAt) depthLocked() int64 {
+	if r.prefDepth < 1 {
+		return 1
+	}
+	return r.prefDepth
+}
+
+// maxDepth resolves the configured window cap (immutable after open).
+func (r *RangeReaderAt) maxDepth() int64 {
+	if r.maxPrefetch > 0 {
+		return r.maxPrefetch
+	}
+	return DefaultRemoteMaxPrefetch
+}
+
 // Stats reports fetch counters.
 func (r *RangeReaderAt) Stats() RemoteStats {
+	r.mu.Lock()
+	depth := r.depthLocked()
+	r.mu.Unlock()
 	return RemoteStats{
+		PrefetchDepth:  depth,
 		Fetches:        r.fetches.Load(),
 		BytesFetched:   r.bytesFetched.Load(),
 		BlockHits:      r.blockHits.Load(),
@@ -283,6 +326,20 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	var runs [][2]int64 // inclusive block ranges this call claimed to fetch
 	r.mu.Lock()
 	sequential := r.hasRead && first <= r.prevLast+1 && last > r.prevLast
+	// Adapt the readahead window to how committed the consumer is to the
+	// sequential pattern: sustained sequential reads double it (capped),
+	// any departure halves it.
+	var depth int64
+	if sequential {
+		depth = r.depthLocked()
+		if next := depth * 2; next <= r.maxDepth() {
+			r.prefDepth = next
+		} else {
+			r.prefDepth = r.maxDepth()
+		}
+	} else if r.hasRead {
+		r.prefDepth = r.depthLocked() / 2
+	}
 	r.prevLast = last
 	r.hasRead = true
 	for b := first; b <= last; b++ {
@@ -326,7 +383,7 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	}
 	r.mu.Unlock()
 	if sequential {
-		r.maybePrefetch(last + 1)
+		r.maybePrefetch(last+1, depth)
 	}
 	for _, run := range runs {
 		metRemoteRunBlocks.Observe(float64(run[1] - run[0] + 1))
@@ -382,57 +439,96 @@ func (r *RangeReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// maybePrefetch launches a background fetch of block b after a
-// sequential read, so the next ReadAt finds it cached (or dedupes onto
-// the fetch in flight) instead of paying a full origin round trip.
-// Already-cached, already-in-flight and past-EOF blocks are skipped; a
-// failed prefetch is discarded silently — the demand fetch that would
-// have needed it retries from scratch with full error reporting.
-func (r *RangeReaderAt) maybePrefetch(b int64) {
-	off := b * r.blockSize
-	if r.noPrefetch || off >= r.size {
+// maybePrefetch launches a background fetch of up to depth blocks
+// starting at b after a sequential read, so the next ReadAts find them
+// cached (or dedupe onto the fetch in flight) instead of paying a full
+// origin round trip per block. The first contiguous run of missing
+// blocks inside the window is claimed and fetched as one coalesced
+// ranged GET; already-cached, already-in-flight and past-EOF blocks are
+// skipped. A failed prefetch is discarded silently — the demand fetch
+// that would have needed it retries from scratch with full error
+// reporting.
+func (r *RangeReaderAt) maybePrefetch(b, depth int64) {
+	if r.noPrefetch || b*r.blockSize >= r.size {
 		return
 	}
+	nblocks := (r.size + r.blockSize - 1) / r.blockSize
+	end := b + depth
+	if end > nblocks {
+		end = nblocks
+	}
+	var start, stop int64 = -1, -1
 	r.mu.Lock()
-	if _, cached := r.cache.m[b]; cached {
+	for blk := b; blk < end; blk++ {
+		_, cached := r.cache.m[blk]
+		_, busy := r.inflight[blk]
+		if cached || busy {
+			if start >= 0 {
+				break // one contiguous run per GET; stop at the first gap
+			}
+			continue
+		}
+		if start < 0 {
+			start = blk
+		}
+		stop = blk
+	}
+	// Hysteresis: top up only once at least half the window has drained.
+	// Without it a consumer keeping pace with the readahead would extend
+	// the frontier by one block per read — a 1-block GET per read, the
+	// request rate adaptivity exists to avoid. With it, steady state is
+	// one half-window coalesced GET per half-window consumed.
+	if start < 0 || (stop-start+1)*2 < depth {
 		r.mu.Unlock()
 		return
 	}
-	if _, busy := r.inflight[b]; busy {
-		r.mu.Unlock()
-		return
+	fetches := make([]*blockFetch, stop-start+1)
+	for i := range fetches {
+		fetches[i] = &blockFetch{done: make(chan struct{}), prefetch: true}
+		r.inflight[start+int64(i)] = fetches[i]
 	}
-	f := &blockFetch{done: make(chan struct{}), prefetch: true}
-	r.inflight[b] = f
 	r.mu.Unlock()
-	r.prefetches.Add(1)
+	r.prefetches.Add(int64(len(fetches)))
+	metRemotePrefetchDepth.Observe(float64(len(fetches)))
 	go func() {
-		length := r.blockSize
+		off := start * r.blockSize
+		length := (stop+1)*r.blockSize - off
 		if off+length > r.size {
 			length = r.size - off
 		}
 		data, err := r.fetchRange(off, length)
 		r.mu.Lock()
-		delete(r.inflight, b)
-		if err != nil {
-			f.err = err
-		} else {
-			f.data = data
-			// A reader that deduped onto this fetch already cleared
-			// f.prefetch and took the hit; only a still-speculative block
-			// enters the cache flagged.
-			r.noteWasted(r.cache.put(b, data, f.prefetch))
+		for i, f := range fetches {
+			blk := start + int64(i)
+			delete(r.inflight, blk)
+			if err != nil {
+				f.err = err
+			} else {
+				lo := int64(i) * r.blockSize
+				hi := lo + r.blockSize
+				if hi > int64(len(data)) {
+					hi = int64(len(data))
+				}
+				f.data = data[lo:hi]
+				// A reader that deduped onto this fetch already cleared
+				// f.prefetch and took the hit; only a still-speculative
+				// block enters the cache flagged.
+				r.noteWasted(r.cache.put(blk, f.data, f.prefetch))
+			}
+			close(f.done)
 		}
-		close(f.done)
 		r.mu.Unlock()
 	}()
 }
 
-// noteWasted tallies prefetched blocks evicted before any read used them.
+// noteWasted tallies prefetched blocks evicted before any read used them
+// and halves the adaptive window — speculation outran the consumer.
+// Always called with mu held.
 func (r *RangeReaderAt) noteWasted(n int) {
 	if n > 0 {
 		r.prefetchWasted.Add(int64(n))
 		metRemotePrefetchWasted.Add(int64(n))
+		r.prefDepth = r.depthLocked() / 2
 	}
 }
 
